@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the autofocus criterion kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use desim::OpCounts;
+use sar_core::autofocus::{focus_criterion, range_stage, sweep_criterion, AutofocusConfig, Block6};
+use sar_core::complex::c32;
+use sar_core::ffbp::interp::neville4;
+
+fn bench_neville(c: &mut Criterion) {
+    let p = [
+        c32::new(1.0, 0.2),
+        c32::new(-0.5, 1.0),
+        c32::new(0.7, -0.3),
+        c32::new(0.1, 0.9),
+    ];
+    c.bench_function("neville4 complex", |b| {
+        let mut counts = OpCounts::default();
+        b.iter(|| neville4(black_box(p), black_box(0.37), &mut counts))
+    });
+}
+
+fn bench_range_stage(c: &mut Criterion) {
+    let block = Block6::gaussian_blob(0.0, 0.0);
+    let cfg = AutofocusConfig::default();
+    c.bench_function("range_stage (1 window, 1 iteration)", |b| {
+        let mut counts = OpCounts::default();
+        b.iter(|| range_stage(black_box(&block), 0, 0.2, 0, &cfg, &mut counts))
+    });
+}
+
+fn bench_criterion_value(c: &mut Criterion) {
+    let f_minus = Block6::gaussian_blob(0.0, 0.2);
+    let f_plus = Block6::gaussian_blob(0.0, -0.2);
+    let cfg = AutofocusConfig::default();
+    c.bench_function("focus_criterion (one hypothesis)", |b| {
+        let mut counts = OpCounts::default();
+        b.iter(|| focus_criterion(black_box(&f_minus), &f_plus, 0.4, &cfg, &mut counts))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let f_minus = Block6::gaussian_blob(0.0, 0.2);
+    let f_plus = Block6::gaussian_blob(0.0, -0.2);
+    let cfg = AutofocusConfig::default();
+    let mut group = c.benchmark_group("shift sweep");
+    group.sample_size(20);
+    group.bench_function("24 hypotheses", |b| {
+        let mut counts = OpCounts::default();
+        b.iter(|| sweep_criterion(black_box(&f_minus), &f_plus, 1.0, 24, &cfg, &mut counts))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neville,
+    bench_range_stage,
+    bench_criterion_value,
+    bench_sweep
+);
+criterion_main!(benches);

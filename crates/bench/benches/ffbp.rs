@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the image-formation kernels
+//! (host-execution cost of the functional algorithms; the *simulated*
+//! machine times come from the report binaries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use desim::OpCounts;
+use sar_core::ffbp::{ffbp, merge_pair, FfbpConfig, InterpKind};
+use sar_core::ffbp::pipeline::stage0;
+use sar_core::gbp::gbp;
+use sar_core::geometry::{merge_geometry, SarGeometry};
+use sar_core::parallel::ffbp_parallel;
+use sar_core::scene::{simulate_compressed_data, Scene};
+
+fn workload() -> (sar_core::ComplexImage, SarGeometry) {
+    let geom = SarGeometry::test_size();
+    let scene = Scene::six_targets(geom);
+    (simulate_compressed_data(&scene, 0.0, 7), geom)
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    c.bench_function("merge_geometry eqs 1-4", |b| {
+        let mut counts = OpCounts::default();
+        b.iter(|| merge_geometry(black_box(4500.0), black_box(1.57), black_box(64.0), &mut counts))
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let (data, geom) = workload();
+    let subs = stage0(&data, &geom);
+    let mut group = c.benchmark_group("merge_pair 2 beams x 129 bins");
+    for (name, kind) in [
+        ("nearest", InterpKind::Nearest),
+        ("linear", InterpKind::Linear),
+        ("cubic", InterpKind::Cubic),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                OpCounts::default,
+                |mut counts| merge_pair(&subs[0], &subs[1], &geom, kind, true, &mut counts),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_ffbp(c: &mut Criterion) {
+    let (data, geom) = workload();
+    let mut group = c.benchmark_group("ffbp 64x129");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| ffbp(black_box(&data), &geom, &FfbpConfig::default()))
+    });
+    group.bench_function("host-parallel x4", |b| {
+        b.iter(|| ffbp_parallel(black_box(&data), &geom, &FfbpConfig::default(), 4))
+    });
+    group.finish();
+}
+
+fn bench_gbp(c: &mut Criterion) {
+    let (data, geom) = workload();
+    let mut group = c.benchmark_group("gbp");
+    group.sample_size(10);
+    group.bench_function("64 beams x 129 bins", |b| {
+        b.iter(|| gbp(black_box(&data), &geom, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geometry, bench_merge, bench_full_ffbp, bench_gbp);
+criterion_main!(benches);

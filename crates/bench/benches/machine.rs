@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks for the machine-model substrate itself:
+//! simulator overhead per modelled transaction (keeps the harness
+//! honest about how much host time a simulated run costs).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use desim::OpCounts;
+use emesh::network::EMeshParams;
+use emesh::{EMesh, Mesh2D, NodeId};
+use epiphany::{Chip, EpiphanyParams};
+use memsim::{GlobalAddr, HierarchyParams, MemoryHierarchy};
+
+fn bench_mesh_transfer(c: &mut Criterion) {
+    c.bench_function("emesh write_onchip (6 hops)", |b| {
+        b.iter_batched(
+            || EMesh::new(Mesh2D::e16g3(), EMeshParams::default()),
+            |mut fabric| {
+                for i in 0..64u64 {
+                    fabric.write_onchip(desim::Cycle(i), NodeId(0), NodeId(15), 64);
+                }
+                black_box(fabric.cmesh.transfers())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_chip_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip primitives x64");
+    group.bench_function("compute", |b| {
+        b.iter_batched(
+            || Chip::e16g3(EpiphanyParams::default()),
+            |mut chip| {
+                for core in 0..16 {
+                    chip.compute(core, &OpCounts { fmas: 100, loads: 50, ..OpCounts::default() });
+                }
+                black_box(chip.elapsed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("read_external", |b| {
+        b.iter_batched(
+            || Chip::e16g3(EpiphanyParams::default()),
+            |mut chip| {
+                for i in 0..64u32 {
+                    chip.read_external((i % 16) as usize, GlobalAddr::external(i * 64), 8);
+                }
+                black_box(chip.elapsed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    c.bench_function("cache hierarchy sequential access x1024", |b| {
+        b.iter_batched(
+            || MemoryHierarchy::new(HierarchyParams::default()),
+            |mut h| {
+                let mut total = 0u64;
+                for i in 0..1024u64 {
+                    total += h.access(i * 64, false);
+                }
+                black_box(total)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_mesh_transfer, bench_chip_ops, bench_hierarchy);
+criterion_main!(benches);

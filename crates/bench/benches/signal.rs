@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks for the signal-chain substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sar_core::complex::c32;
+use sar_core::signal::{fft_inplace, lfm_chirp, ChirpParams, MatchedFilter};
+
+fn tone(n: usize) -> Vec<c32> {
+    (0..n).map(|i| c32::cis(0.05 * i as f32)).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        let data = tone(n);
+        group.bench_function(format!("radix2 n={n}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut buf| {
+                    fft_inplace(&mut buf);
+                    black_box(buf)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_pulse_compression(c: &mut Criterion) {
+    let waveform = lfm_chirp(ChirpParams { samples: 128, fractional_bandwidth: 0.8 });
+    let mf = MatchedFilter::new(&waveform, 1001);
+    let signal = tone(1001);
+    c.bench_function("matched filter 1001 bins", |b| {
+        b.iter(|| mf.compress(black_box(&signal)))
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_pulse_compression);
+criterion_main!(benches);

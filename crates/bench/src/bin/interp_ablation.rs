@@ -1,0 +1,48 @@
+//! A2 — interpolation-kernel ablation: the paper uses simplified
+//! (nearest-neighbour) interpolation and remarks that cubic kernels
+//! would "considerably improve" image quality at higher cost. Quantify
+//! both sides: cycles on the Epiphany model and fidelity to GBP.
+//!
+//! Usage: `cargo run -p bench --bin interp_ablation --release`
+
+use epiphany::EpiphanyParams;
+use sar_core::ffbp::{ffbp, FfbpConfig, InterpKind};
+use sar_core::gbp::gbp;
+use sar_core::quality::{image_entropy, normalized_rmse};
+use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
+use sar_epiphany::workloads::FfbpWorkload;
+
+fn main() {
+    let base = bench::reduced_ffbp(256, 513);
+    let reference = gbp(&base.data, &base.geom, base.geom.num_pulses);
+    println!(
+        "FFBP interpolation ablation ({} pulses x {} bins; RMSE vs GBP)",
+        base.geom.num_pulses, base.geom.num_bins
+    );
+    println!(
+        "{:>9} {:>14} {:>12} {:>12} {:>10}",
+        "kernel", "epiphany (ms)", "flop work", "RMSE", "entropy"
+    );
+    for (name, kind) in [
+        ("nearest", InterpKind::Nearest),
+        ("linear", InterpKind::Linear),
+        ("cubic", InterpKind::Cubic),
+    ] {
+        let w = FfbpWorkload {
+            config: FfbpConfig { interp: kind, ..base.config },
+            ..base.clone()
+        };
+        let machine = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
+        let plain = ffbp(&w.data, &w.geom, &w.config);
+        println!(
+            "{:>9} {:>14.2} {:>12} {:>12.4} {:>10.2}",
+            name,
+            machine.report.millis(),
+            plain.counts.flop_work(),
+            normalized_rmse(&plain.image, &reference.image),
+            image_entropy(&plain.image)
+        );
+    }
+    println!("\nNearest is cheapest and noisiest; cubic buys fidelity with flops —");
+    println!("the trade the paper points at without quantifying.");
+}

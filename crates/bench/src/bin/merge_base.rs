@@ -1,0 +1,43 @@
+//! A6 — merge-base choice. The paper fixes merge base 2 (ten
+//! iterations for 1024 pulses); base 4 halves the iteration count but
+//! each combine touches four children. Compare arithmetic cost and
+//! image quality.
+//!
+//! Usage: `cargo run -p bench --bin merge_base --release`
+
+use std::time::Instant;
+
+use sar_core::ffbp::{ffbp, FfbpConfig};
+use sar_core::gbp::gbp;
+use sar_core::quality::{image_entropy, normalized_rmse};
+
+fn main() {
+    let w = bench::reduced_ffbp(256, 513);
+    let reference = gbp(&w.data, &w.geom, w.geom.num_pulses);
+    println!(
+        "FFBP merge-base ablation ({} pulses x {} bins)",
+        w.geom.num_pulses, w.geom.num_bins
+    );
+    println!(
+        "{:>5} {:>11} {:>14} {:>12} {:>12} {:>10}",
+        "base", "iterations", "flop work", "host (ms)", "RMSE", "entropy"
+    );
+    for base in [2usize, 4] {
+        let cfg = FfbpConfig { merge_base: base, ..w.config };
+        let t = Instant::now();
+        let run = ffbp(&w.data, &w.geom, &cfg);
+        let host_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>5} {:>11} {:>14} {:>12.1} {:>12.4} {:>10.2}",
+            base,
+            run.iterations,
+            run.counts.flop_work(),
+            host_ms,
+            normalized_rmse(&run.image, &reference.image),
+            image_entropy(&run.image)
+        );
+    }
+    println!("\nBase 4 halves the passes over the data set (less off-chip traffic)");
+    println!("but pays more interpolation arithmetic per output sample; base 2 is");
+    println!("the paper's pick for the bandwidth-starved Epiphany.");
+}

@@ -1,0 +1,57 @@
+//! A3 — attribute the SPMD FFBP performance to its two memory tricks:
+//! DMA prefetch into the upper local banks, and non-stalling posted
+//! writes. The paper credits both (§VI); this bench isolates each.
+//!
+//! Usage: `cargo run -p bench --bin prefetch_ablation --release`
+
+use epiphany::EpiphanyParams;
+use refcpu::RefCpuParams;
+use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
+use sar_epiphany::{ffbp_ref, ffbp_seq};
+
+fn main() {
+    let w = bench::reduced_ffbp(256, 1001);
+    println!(
+        "FFBP memory-system ablation ({} pulses x {} bins)",
+        w.geom.num_pulses, w.geom.num_bins
+    );
+
+    let with = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
+    let without = ffbp_spmd::run(
+        &w,
+        EpiphanyParams::default(),
+        SpmdOptions { prefetch: false, ..SpmdOptions::default() },
+    );
+    println!("\nEpiphany SPMD (16 cores):");
+    println!(
+        "  prefetch ON : {:>10.2} ms   local {} / external {}",
+        with.report.millis(),
+        with.local_hits,
+        with.external_misses
+    );
+    println!(
+        "  prefetch OFF: {:>10.2} ms   local {} / external {}",
+        without.report.millis(),
+        without.local_hits,
+        without.external_misses
+    );
+    println!(
+        "  prefetch speedup: {}",
+        bench::fmt_x(without.report.elapsed.seconds() / with.report.elapsed.seconds())
+    );
+
+    // Sequential side: Epiphany's naive port vs the i7 with and
+    // without *its* prefetcher — the other half of the paper's
+    // memory-system argument.
+    let seq = ffbp_seq::run(&w, EpiphanyParams::default());
+    let i7 = ffbp_ref::run(&w, RefCpuParams::default());
+    let i7_nopf = ffbp_ref::run(&w, RefCpuParams::without_prefetch());
+    println!("\nSequential configurations:");
+    println!("  Epiphany 1 core (no cache)     : {:>10.2} ms", seq.report.millis());
+    println!("  i7 model (caches + prefetcher) : {:>10.2} ms", i7.report.millis());
+    println!("  i7 model (prefetcher disabled) : {:>10.2} ms", i7_nopf.report.millis());
+    println!(
+        "  i7 prefetcher contribution     : {}",
+        bench::fmt_x(i7_nopf.report.elapsed.seconds() / i7.report.elapsed.seconds())
+    );
+}

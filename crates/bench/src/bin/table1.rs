@@ -1,0 +1,24 @@
+//! Regenerates Table I of the paper at full workload scale.
+//!
+//! Usage: `cargo run -p bench --bin table1 --release [-- --small] [-- --json]`
+//!
+//! `--json` emits the table as machine-readable JSON (for regression
+//! tracking) instead of the human-readable rendering.
+
+use sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let json = std::env::args().any(|a| a == "--json");
+    let (fw, aw) = if small {
+        (FfbpWorkload::small(), AutofocusWorkload::small())
+    } else {
+        (FfbpWorkload::paper(), AutofocusWorkload::paper())
+    };
+    let t = sar_epiphany::table1(&fw, &aw);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&t).expect("serialise table"));
+    } else {
+        println!("{t}");
+    }
+}

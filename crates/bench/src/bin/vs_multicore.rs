@@ -1,0 +1,75 @@
+//! Related-work context (paper §IV/VI-A, Lidberg et al.): FFBP on a
+//! general-purpose multicore host — real threads, real wall time —
+//! against the simulated 16-core Epiphany, compared on energy
+//! efficiency as the paper does ("our implementation outperforms
+//! theirs in terms of energy efficiency").
+//!
+//! Host energy uses an assumed package power (configurable constant
+//! below) times measured wall time; the Epiphany side uses the 2 W
+//! datasheet figure times simulated time.
+//!
+//! Usage: `cargo run -p bench --bin vs_multicore --release`
+
+use std::time::Instant;
+
+use epiphany::EpiphanyParams;
+use sar_core::parallel::ffbp_parallel;
+use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
+
+/// Assumed host package power under load, watts (a mobile/desktop
+/// multicore; adjust for your machine).
+const HOST_POWER_W: f64 = 45.0;
+/// Epiphany chip datasheet power, watts.
+const EPIPHANY_POWER_W: f64 = 2.0;
+
+fn main() {
+    let w = bench::reduced_ffbp(256, 1001);
+    let pixels = w.pixels() as f64;
+    println!(
+        "FFBP: host threads (measured wall time) vs simulated Epiphany ({} px)",
+        w.pixels()
+    );
+    println!(
+        "\n{:>16} {:>12} {:>14} {:>16}",
+        "config", "time (ms)", "Mpx/s", "Mpx/s/W"
+    );
+
+    let mut host_best = f64::MAX;
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for threads in [1usize, 2, 4, max_threads] {
+        let t0 = Instant::now();
+        let run = ffbp_parallel(&w.data, &w.geom, &w.config, threads);
+        let secs = t0.elapsed().as_secs_f64();
+        host_best = host_best.min(secs);
+        let mpx = pixels / secs / 1e6;
+        println!(
+            "{:>12} x{:<3} {:>12.1} {:>14.2} {:>16.4}",
+            "host",
+            threads,
+            secs * 1e3,
+            mpx,
+            mpx / HOST_POWER_W
+        );
+        let _ = run;
+    }
+
+    let epi = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
+    let secs = epi.report.elapsed.seconds();
+    let mpx = pixels / secs / 1e6;
+    println!(
+        "{:>16} {:>12.1} {:>14.2} {:>16.4}",
+        "Epiphany x16",
+        secs * 1e3,
+        mpx,
+        mpx / EPIPHANY_POWER_W
+    );
+
+    let host_mpx_w = pixels / host_best / 1e6 / HOST_POWER_W;
+    let epi_mpx_w = mpx / EPIPHANY_POWER_W;
+    println!(
+        "\nenergy-efficiency advantage (Epiphany / best host): {:.1}x",
+        epi_mpx_w / host_mpx_w
+    );
+    println!("The host wins raw throughput; per watt the manycore wins — the");
+    println!("paper's conclusion against the Lidberg et al. Xeon implementation.");
+}

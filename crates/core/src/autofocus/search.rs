@@ -1,0 +1,150 @@
+//! Flight-path compensation search: evaluate the criterion for a grid
+//! of candidate shifts and pick the maximum.
+
+use desim::OpCounts;
+
+use crate::autofocus::block::Block6;
+use crate::autofocus::criterion::{focus_criterion, AutofocusConfig};
+
+/// Evaluate the criterion for `hypotheses` equally spaced shifts in
+/// `[-max_shift, max_shift]`; returns `(shift, criterion)` pairs.
+pub fn sweep_criterion(
+    f_minus: &Block6,
+    f_plus: &Block6,
+    max_shift: f32,
+    hypotheses: usize,
+    cfg: &AutofocusConfig,
+    counts: &mut OpCounts,
+) -> Vec<(f32, f32)> {
+    assert!(hypotheses >= 2, "need at least two hypotheses");
+    assert!(max_shift > 0.0, "max_shift must be positive");
+    (0..hypotheses)
+        .map(|i| {
+            let shift = -max_shift + 2.0 * max_shift * i as f32 / (hypotheses - 1) as f32;
+            let v = focus_criterion(f_minus, f_plus, shift, cfg, counts);
+            (shift, v)
+        })
+        .collect()
+}
+
+/// The shift whose criterion is maximal.
+pub fn best_shift(sweep: &[(f32, f32)]) -> (f32, f32) {
+    sweep
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("sweep must be non-empty")
+}
+
+/// Sub-step refinement of the sweep maximum: fit a parabola through
+/// the best sample and its neighbours and return the vertex. Falls
+/// back to the discrete maximum at the sweep edges or on degenerate
+/// (flat) neighbourhoods.
+pub fn refine_peak(sweep: &[(f32, f32)]) -> f32 {
+    let (idx, _) = sweep
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+        .expect("sweep must be non-empty");
+    if idx == 0 || idx + 1 == sweep.len() {
+        return sweep[idx].0;
+    }
+    let (xl, vl) = sweep[idx - 1];
+    let (x0, v0) = sweep[idx];
+    let (_, vr) = sweep[idx + 1];
+    let denom = vl - 2.0 * v0 + vr;
+    if denom >= 0.0 || !denom.is_finite() {
+        return x0;
+    }
+    let step = x0 - xl;
+    let offset = 0.5 * (vl - vr) / denom;
+    x0 + offset.clamp(-1.0, 1.0) * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_recovers_injected_path_error() {
+        let cfg = AutofocusConfig::default();
+        for truth in [-0.5f32, -0.2, 0.0, 0.3, 0.6] {
+            let f_plus = Block6::gaussian_blob(0.0, -truth / 2.0);
+            let f_minus = Block6::gaussian_blob(0.0, truth / 2.0);
+            let mut c = OpCounts::default();
+            let sweep = sweep_criterion(&f_minus, &f_plus, 1.0, 41, &cfg, &mut c);
+            let (found, _) = best_shift(&sweep);
+            assert!(
+                (found - truth).abs() <= 0.15,
+                "truth {truth}: found {found}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_shape_and_bounds() {
+        let cfg = AutofocusConfig::default();
+        let b = Block6::gaussian_blob(0.0, 0.0);
+        let mut c = OpCounts::default();
+        let sweep = sweep_criterion(&b, &b, 0.8, 17, &cfg, &mut c);
+        assert_eq!(sweep.len(), 17);
+        assert!((sweep[0].0 + 0.8).abs() < 1e-6);
+        assert!((sweep[16].0 - 0.8).abs() < 1e-6);
+        // Counts scale linearly with hypotheses.
+        let per_hyp = c.flop_work() / 17;
+        assert!(per_hyp > 10_000);
+    }
+
+    #[test]
+    fn criterion_curve_is_unimodal_near_truth() {
+        let cfg = AutofocusConfig::default();
+        let truth = 0.3f32;
+        let f_plus = Block6::gaussian_blob(0.0, -truth / 2.0);
+        let f_minus = Block6::gaussian_blob(0.0, truth / 2.0);
+        let mut c = OpCounts::default();
+        let sweep = sweep_criterion(&f_minus, &f_plus, 1.0, 21, &cfg, &mut c);
+        let (_, peak_v) = best_shift(&sweep);
+        // Endpoints are clearly worse than the peak.
+        assert!(sweep[0].1 < 0.9 * peak_v);
+        assert!(sweep[20].1 < 0.9 * peak_v);
+    }
+
+    #[test]
+    fn refine_peak_finds_parabola_vertex() {
+        // Samples of -(x - 0.37)^2: vertex at 0.37.
+        let sweep: Vec<(f32, f32)> = (0..11)
+            .map(|i| {
+                let x = -1.0 + 0.2 * i as f32;
+                (x, -(x - 0.37) * (x - 0.37))
+            })
+            .collect();
+        let refined = refine_peak(&sweep);
+        assert!((refined - 0.37).abs() < 1e-3, "vertex {refined}");
+        // Discrete best is only within half a step.
+        assert!((best_shift(&sweep).0 - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refine_peak_handles_edges_and_flats() {
+        // Peak at the first sample: no refinement possible.
+        let edge = vec![(0.0f32, 5.0f32), (1.0, 1.0), (2.0, 0.0)];
+        assert_eq!(refine_peak(&edge), 0.0);
+        // Flat neighbourhood: returns a finite in-sweep value (the
+        // discrete maximum), never NaN or an extrapolation.
+        let flat = vec![(0.0f32, 1.0f32), (1.0, 1.0), (2.0, 1.0)];
+        let r = refine_peak(&flat);
+        assert!(r.is_finite() && (0.0..=2.0).contains(&r), "got {r}");
+        // Convex (minimum-shaped) neighbourhood falls back too.
+        let vee = vec![(0.0f32, 1.0f32), (1.0, 2.0), (2.0, 5.0)];
+        assert_eq!(refine_peak(&vee), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn degenerate_sweep_rejected() {
+        let cfg = AutofocusConfig::default();
+        let b = Block6::gaussian_blob(0.0, 0.0);
+        let mut c = OpCounts::default();
+        let _ = sweep_criterion(&b, &b, 1.0, 1, &cfg, &mut c);
+    }
+}

@@ -1,0 +1,261 @@
+//! Single-precision complex arithmetic.
+//!
+//! The paper stores each pixel as two 32-bit floats (real, imaginary)
+//! and notes that representing the pair as one struct lets the compiler
+//! move it with a single 64-bit instruction; `#[repr(C)]` on a pair of
+//! `f32` gives the same layout here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` components.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct c32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl c32 {
+    /// Additive identity.
+    pub const ZERO: c32 = c32 { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: c32 = c32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: c32 = c32 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> c32 {
+        c32 { re, im }
+    }
+
+    /// `e^{i phase}` — unit phasor.
+    #[inline]
+    pub fn cis(phase: f32) -> c32 {
+        let (s, c) = phase.sin_cos();
+        c32 { re: c, im: s }
+    }
+
+    /// Squared magnitude `|z|^2` (no square root).
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Phase angle in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> c32 {
+        c32 { re: self.re, im: -self.im }
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f32) -> c32 {
+        c32 { re: self.re * k, im: self.im * k }
+    }
+
+    /// Fused-style multiply-accumulate: `self + a * b`.
+    #[inline]
+    pub fn mul_add(self, a: c32, b: c32) -> c32 {
+        self + a * b
+    }
+
+    /// True if either component is NaN.
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for c32 {
+    type Output = c32;
+    #[inline]
+    fn add(self, rhs: c32) -> c32 {
+        c32 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for c32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: c32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for c32 {
+    type Output = c32;
+    #[inline]
+    fn sub(self, rhs: c32) -> c32 {
+        c32 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for c32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: c32) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for c32 {
+    type Output = c32;
+    #[inline]
+    fn mul(self, rhs: c32) -> c32 {
+        c32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for c32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: c32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for c32 {
+    type Output = c32;
+    #[inline]
+    fn mul(self, rhs: f32) -> c32 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for c32 {
+    type Output = c32;
+    #[inline]
+    fn div(self, rhs: c32) -> c32 {
+        let d = rhs.norm_sqr();
+        c32 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Div<f32> for c32 {
+    type Output = c32;
+    #[inline]
+    fn div(self, rhs: f32) -> c32 {
+        c32 { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for c32 {
+    type Output = c32;
+    #[inline]
+    fn neg(self) -> c32 {
+        c32 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for c32 {
+    fn sum<I: Iterator<Item = c32>>(iter: I) -> c32 {
+        iter.fold(c32::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for c32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: c32, b: c32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = c32::new(1.0, 2.0);
+        let b = c32::new(-3.0, 0.5);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * (b + c32::ONE), a * b + a));
+        assert!(close(a + (-a), c32::ZERO));
+        assert!(close(a / a, c32::ONE));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(c32::I * c32::I, -c32::ONE));
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        for k in 0..8 {
+            let p = k as f32 * std::f32::consts::FRAC_PI_4;
+            let z = c32::cis(p);
+            assert!((z.abs() - 1.0).abs() < 1e-6);
+            assert!((z.re - p.cos()).abs() < 1e-6);
+            assert!((z.im - p.sin()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conj_negates_phase() {
+        let z = c32::cis(0.7);
+        assert!((z.conj().arg() + 0.7).abs() < 1e-6);
+        assert!(close(z * z.conj(), c32::new(z.norm_sqr(), 0.0)));
+    }
+
+    #[test]
+    fn norms_and_scaling() {
+        let z = c32::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!(close(z.scale(2.0), c32::new(6.0, 8.0)));
+        assert!(close(z * 2.0, z.scale(2.0)));
+        assert!(close(z / 2.0, c32::new(1.5, 2.0)));
+    }
+
+    #[test]
+    fn mul_add_and_sum() {
+        let acc = c32::ONE.mul_add(c32::new(2.0, 0.0), c32::new(0.0, 3.0));
+        assert!(close(acc, c32::new(1.0, 6.0)));
+        let s: c32 = [c32::ONE, c32::I, c32::new(1.0, 1.0)].into_iter().sum();
+        assert!(close(s, c32::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn layout_is_two_packed_floats() {
+        assert_eq!(std::mem::size_of::<c32>(), 8);
+        assert_eq!(std::mem::align_of::<c32>(), 4);
+    }
+
+    #[test]
+    fn display_and_nan() {
+        assert_eq!(format!("{}", c32::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", c32::new(1.0, 2.0)), "1+2i");
+        assert!(c32::new(f32::NAN, 0.0).is_nan());
+        assert!(!c32::ONE.is_nan());
+    }
+}

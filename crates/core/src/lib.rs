@@ -1,0 +1,47 @@
+//! SAR algorithm library: the signal chain and image-formation
+//! algorithms evaluated by the paper.
+//!
+//! Everything here is *functional* Rust — it computes real images from
+//! synthetic radar scenes — and the hot kernels are instrumented: they
+//! accumulate [`desim::OpCounts`] describing the arithmetic they
+//! performed, which the machine models (`epiphany`, `refcpu`) price to
+//! obtain cycle/energy figures. Counting costs a few integer adds per
+//! kernel region and is always on.
+//!
+//! Contents:
+//!
+//! * [`complex`] / [`image`] — `c32` arithmetic and complex images,
+//! * [`signal`] — chirp generation, an in-house radix-2 FFT, and
+//!   matched-filter pulse compression,
+//! * [`geometry`] — the stripmap geometry and the subaperture merge
+//!   equations (1)–(4) of the paper,
+//! * [`scene`] — synthetic point-target scenes and raw-data simulation
+//!   (the paper's validation scenario is six point targets),
+//! * [`track`] — non-linear flight tracks and range-shift motion
+//!   compensation (the reason for time-domain processing, §I),
+//! * [`gbp`] — global back-projection, the quality reference,
+//! * [`ffbp`] — fast factorized back-projection with merge base 2 (or
+//!   4), nearest-neighbour/linear/cubic interpolation, and the polar
+//!   subaperture grids,
+//! * [`autofocus`] — the autofocus criterion calculation: Neville
+//!   cubic interpolation in range and beam, correlation criterion
+//!   (eq. 6), and the flight-path shift search,
+//! * [`quality`] — image quality metrics used to compare GBP vs FFBP,
+//! * [`parallel`] — host-thread parallel FFBP (the Lidberg-style
+//!   multicore comparison point).
+
+pub mod autofocus;
+pub mod complex;
+pub mod ffbp;
+pub mod gbp;
+pub mod geometry;
+pub mod image;
+pub mod parallel;
+pub mod quality;
+pub mod scene;
+pub mod signal;
+pub mod track;
+
+pub use complex::c32;
+pub use desim::OpCounts;
+pub use image::ComplexImage;

@@ -1,0 +1,227 @@
+//! Image quality metrics for comparing GBP and FFBP outputs
+//! (the paper's Figure 7 discussion: FFBP with simplified interpolation
+//! is noisier than GBP).
+
+use crate::image::ComplexImage;
+
+/// Offset between the peak positions of two images, in (columns, rows).
+pub fn peak_position_error(a: &ComplexImage, b: &ComplexImage) -> (usize, usize) {
+    let (_, ra, ca) = a.peak();
+    let (_, rb, cb) = b.peak();
+    (ca.abs_diff(cb), ra.abs_diff(rb))
+}
+
+/// Peak-to-sidelobe ratio in dB: the peak magnitude against the
+/// strongest magnitude outside a `guard`-pixel box around the peak.
+/// Higher is better.
+pub fn peak_sidelobe_ratio_db(img: &ComplexImage, guard: usize) -> f32 {
+    let (peak, pr, pc) = img.peak();
+    let mut worst = 0.0f32;
+    for r in 0..img.rows() {
+        for c in 0..img.cols() {
+            if r.abs_diff(pr) <= guard && c.abs_diff(pc) <= guard {
+                continue;
+            }
+            worst = worst.max(img.at(r, c).abs());
+        }
+    }
+    if worst <= 0.0 {
+        f32::INFINITY
+    } else {
+        20.0 * (peak / worst).log10()
+    }
+}
+
+/// Shannon entropy of the normalised intensity image — lower entropy
+/// means better-focused imagery (energy concentrated in few pixels).
+pub fn image_entropy(img: &ComplexImage) -> f64 {
+    let total = img.energy();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0f64;
+    for z in img.as_slice() {
+        let p = z.norm_sqr() as f64 / total;
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Root-mean-square magnitude difference between two equally sized
+/// images, normalised by the reference peak.
+pub fn normalized_rmse(img: &ComplexImage, reference: &ComplexImage) -> f64 {
+    assert_eq!(img.rows(), reference.rows(), "image shapes must match");
+    assert_eq!(img.cols(), reference.cols(), "image shapes must match");
+    let (peak, _, _) = reference.peak();
+    if peak <= 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for (a, b) in img.as_slice().iter().zip(reference.as_slice()) {
+        let d = (a.abs() - b.abs()) as f64;
+        sum += d * d;
+    }
+    (sum / img.len() as f64).sqrt() / peak as f64
+}
+
+/// Fraction of total image energy inside `guard`-pixel boxes around
+/// the `expected` (row, col) positions — a multi-target focus measure.
+pub fn energy_concentration(
+    img: &ComplexImage,
+    expected: &[(usize, usize)],
+    guard: usize,
+) -> f64 {
+    let total = img.energy();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut inside = 0.0f64;
+    for r in 0..img.rows() {
+        for c in 0..img.cols() {
+            if expected
+                .iter()
+                .any(|&(er, ec)| r.abs_diff(er) <= guard && c.abs_diff(ec) <= guard)
+            {
+                inside += img.at(r, c).norm_sqr() as f64;
+            }
+        }
+    }
+    inside / total
+}
+
+/// Impulse-response width at `level` (e.g. 0.5 for -6 dB amplitude,
+/// `1/sqrt(2)` for -3 dB) through the image peak, measured along a row
+/// (`axis = Axis::Range`) or column (`Axis::CrossRange`), in pixels
+/// (linear interpolation between samples).
+pub fn response_width(img: &ComplexImage, axis: Axis, level: f32) -> f32 {
+    assert!((0.0..1.0).contains(&level), "level must be in (0, 1)");
+    let (peak, pr, pc) = img.peak();
+    if peak <= 0.0 {
+        return 0.0;
+    }
+    let threshold = peak * level;
+    let value = |offset: i64| -> f32 {
+        match axis {
+            Axis::Range => img.at_or_zero(pr as isize, pc as isize + offset as isize).abs(),
+            Axis::CrossRange => img.at_or_zero(pr as isize + offset as isize, pc as isize).abs(),
+        }
+    };
+    // Walk outward from the peak to the first crossing on each side.
+    let crossing = |dir: i64| -> f32 {
+        let mut prev = peak;
+        for step in 1..4096i64 {
+            let v = value(dir * step);
+            if v <= threshold {
+                // Linear interpolation between prev (above) and v.
+                let frac = if prev > v { (prev - threshold) / (prev - v) } else { 1.0 };
+                return (step - 1) as f32 + frac;
+            }
+            prev = v;
+        }
+        4096.0
+    };
+    crossing(-1) + crossing(1)
+}
+
+/// Axis selector for [`response_width`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Along a row (range bins).
+    Range,
+    /// Along a column (beams / azimuth).
+    CrossRange,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c32;
+
+    fn delta_image(rows: usize, cols: usize, r: usize, c: usize, amp: f32) -> ComplexImage {
+        let mut img = ComplexImage::zeros(rows, cols);
+        *img.at_mut(r, c) = c32::new(amp, 0.0);
+        img
+    }
+
+    #[test]
+    fn peak_error_between_shifted_deltas() {
+        let a = delta_image(10, 10, 3, 4, 1.0);
+        let b = delta_image(10, 10, 5, 1, 1.0);
+        assert_eq!(peak_position_error(&a, &b), (3, 2));
+    }
+
+    #[test]
+    fn pslr_of_clean_delta_is_infinite() {
+        let a = delta_image(8, 8, 4, 4, 1.0);
+        assert!(peak_sidelobe_ratio_db(&a, 1).is_infinite());
+    }
+
+    #[test]
+    fn pslr_measures_sidelobe() {
+        let mut a = delta_image(16, 16, 8, 8, 10.0);
+        *a.at_mut(2, 2) = c32::new(1.0, 0.0); // -20 dB sidelobe
+        let pslr = peak_sidelobe_ratio_db(&a, 1);
+        assert!((pslr - 20.0).abs() < 0.1, "pslr {pslr}");
+    }
+
+    #[test]
+    fn entropy_prefers_concentrated_energy() {
+        let focused = delta_image(16, 16, 8, 8, 4.0);
+        let mut smeared = ComplexImage::zeros(16, 16);
+        for i in 0..16 {
+            *smeared.at_mut(i, i) = c32::new(1.0, 0.0);
+        }
+        assert!(image_entropy(&focused) < image_entropy(&smeared));
+        assert_eq!(image_entropy(&ComplexImage::zeros(4, 4)), 0.0);
+    }
+
+    #[test]
+    fn rmse_zero_for_identical_images() {
+        let a = delta_image(8, 8, 1, 1, 2.0);
+        assert!(normalized_rmse(&a, &a) < 1e-12);
+        let b = delta_image(8, 8, 1, 1, 1.0);
+        assert!(normalized_rmse(&b, &a) > 0.0);
+    }
+
+    #[test]
+    fn response_width_measures_a_triangle() {
+        // Triangle response |x| <= 4 around the peak: amplitude
+        // 1 - |x|/4; half-amplitude crossings at +/-2 -> width 4.
+        let mut img = ComplexImage::zeros(9, 9);
+        for d in -4i64..=4 {
+            let amp = 1.0 - d.abs() as f32 / 4.0;
+            *img.at_mut(4, (4 + d) as usize) = c32::new(amp, 0.0);
+            *img.at_mut((4 + d) as usize, 4) = c32::new(amp, 0.0);
+        }
+        let w_range = response_width(&img, Axis::Range, 0.5);
+        let w_cross = response_width(&img, Axis::CrossRange, 0.5);
+        assert!((w_range - 4.0).abs() < 0.2, "range width {w_range}");
+        assert!((w_cross - 4.0).abs() < 0.2, "cross width {w_cross}");
+    }
+
+    #[test]
+    fn narrower_response_means_smaller_width() {
+        let mut sharp = ComplexImage::zeros(9, 9);
+        *sharp.at_mut(4, 4) = c32::new(1.0, 0.0);
+        let mut broad = ComplexImage::zeros(9, 9);
+        for d in -3i64..=3 {
+            *broad.at_mut(4, (4 + d) as usize) = c32::new(1.0 - 0.1 * d.abs() as f32, 0.0);
+        }
+        assert!(
+            response_width(&sharp, Axis::Range, 0.5)
+                < response_width(&broad, Axis::Range, 0.5)
+        );
+    }
+
+    #[test]
+    fn concentration_finds_target_boxes() {
+        let mut img = delta_image(16, 16, 4, 4, 3.0);
+        *img.at_mut(12, 12) = c32::new(3.0, 0.0);
+        let full = energy_concentration(&img, &[(4, 4), (12, 12)], 1);
+        assert!((full - 1.0).abs() < 1e-9);
+        let half = energy_concentration(&img, &[(4, 4)], 1);
+        assert!((half - 0.5).abs() < 1e-9);
+    }
+}

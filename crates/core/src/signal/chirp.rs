@@ -1,0 +1,94 @@
+//! Linear-FM chirp generation and windowing.
+
+use std::f32::consts::PI;
+
+use crate::complex::c32;
+
+/// Parameters of a linear-FM (chirp) pulse, in normalised units: time
+/// is measured in samples and bandwidth as a fraction of the sample
+/// rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ChirpParams {
+    /// Pulse length in samples.
+    pub samples: usize,
+    /// Swept bandwidth as a fraction of the sampling rate (0, 1].
+    pub fractional_bandwidth: f32,
+}
+
+impl Default for ChirpParams {
+    fn default() -> Self {
+        ChirpParams {
+            samples: 128,
+            fractional_bandwidth: 0.8,
+        }
+    }
+}
+
+/// Complex baseband LFM chirp: phase `pi * k * (t - T/2)^2` with the
+/// sweep rate `k` chosen so the instantaneous frequency covers
+/// `±B/2` over the pulse.
+pub fn lfm_chirp(p: ChirpParams) -> Vec<c32> {
+    assert!(p.samples > 1, "chirp needs at least two samples");
+    assert!(
+        p.fractional_bandwidth > 0.0 && p.fractional_bandwidth <= 1.0,
+        "fractional bandwidth must be in (0, 1]"
+    );
+    let t0 = p.samples as f32 / 2.0;
+    let k = p.fractional_bandwidth / p.samples as f32;
+    (0..p.samples)
+        .map(|i| {
+            let t = i as f32 - t0;
+            c32::cis(PI * k * t * t)
+        })
+        .collect()
+}
+
+/// Hamming window of length `n` (sidelobe control for the matched
+/// filter).
+pub fn hamming_window(n: usize) -> Vec<f32> {
+    assert!(n > 1, "window needs at least two points");
+    (0..n)
+        .map(|i| 0.54 - 0.46 * (2.0 * PI * i as f32 / (n - 1) as f32).cos())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chirp_is_unit_magnitude() {
+        let c = lfm_chirp(ChirpParams::default());
+        assert_eq!(c.len(), 128);
+        for z in &c {
+            assert!((z.abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn chirp_sweeps_frequency() {
+        // Instantaneous frequency (phase difference) should increase
+        // monotonically for an up-chirp.
+        let c = lfm_chirp(ChirpParams { samples: 256, fractional_bandwidth: 0.5 });
+        let freq: Vec<f32> = c.windows(2).map(|w| (w[1] * w[0].conj()).arg()).collect();
+        let early: f32 = freq[..64].iter().sum();
+        let late: f32 = freq[192..].iter().sum();
+        assert!(late > early, "chirp frequency should rise: {early} vs {late}");
+    }
+
+    #[test]
+    fn window_is_symmetric_and_peaked() {
+        let w = hamming_window(65);
+        assert!((w[32] - 1.0).abs() < 1e-4);
+        for i in 0..32 {
+            assert!((w[i] - w[64 - i]).abs() < 1e-5);
+        }
+        assert!((w[0] - 0.08).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional bandwidth")]
+    fn bad_bandwidth_rejected() {
+        let _ = lfm_chirp(ChirpParams { samples: 16, fractional_bandwidth: 0.0 });
+    }
+}

@@ -1,0 +1,12 @@
+//! The front of the SAR signal chain (Figure 1 of the paper): waveform
+//! generation, the FFT it rides on, and matched-filter pulse
+//! compression producing the range-compressed data that back-projection
+//! consumes.
+
+pub mod chirp;
+pub mod fft;
+pub mod pulse;
+
+pub use chirp::{hamming_window, lfm_chirp, ChirpParams};
+pub use fft::{fft_inplace, ifft_inplace, next_pow2};
+pub use pulse::{compress_pulse, MatchedFilter};

@@ -1,0 +1,45 @@
+//! Deterministic discrete-event simulation (DES) kernel.
+//!
+//! This crate is the timing substrate for the machine models in this
+//! workspace (`epiphany`, `refcpu`). It provides:
+//!
+//! * a [`Cycle`] simulation clock (one tick = one clock cycle of the
+//!   modelled clock domain),
+//! * an event queue with *deterministic* tie-breaking ([`Simulator`]),
+//! * FIFO-arbitrated shared resources with a fixed service rate
+//!   ([`resource::FifoResource`]), used to model links, memory ports and
+//!   DMA channels,
+//! * lightweight statistics: counters, histograms and busy-time trackers
+//!   ([`stats`]).
+//!
+//! The kernel is intentionally *not* a coroutine framework: the machine
+//! models in this workspace are transaction-level and batch pure compute
+//! analytically, so a simple "earliest deadline first" timeline with
+//! explicit resource reservations is both faster and easier to test than
+//! a process-interleaving scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::{Cycle, Simulator};
+//!
+//! let mut sim = Simulator::new();
+//! let mut fired = Vec::new();
+//! sim.schedule(Cycle(10), 7u32);
+//! sim.schedule(Cycle(5), 3u32);
+//! while let Some((t, payload)) = sim.pop() {
+//!     fired.push((t, payload));
+//! }
+//! assert_eq!(fired, vec![(Cycle(5), 3), (Cycle(10), 7)]);
+//! ```
+
+pub mod queue;
+pub mod resource;
+pub mod stats;
+pub mod time;
+pub mod work;
+
+pub use queue::{EventQueue, Simulator};
+pub use resource::{FifoResource, Reservation};
+pub use time::{Cycle, Frequency, TimeSpan};
+pub use work::OpCounts;

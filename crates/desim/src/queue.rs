@@ -1,0 +1,269 @@
+//! Event queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// One pending event: a firing time plus an opaque payload.
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first. The sequence number makes simultaneous events fire
+        // in insertion order, which keeps runs reproducible.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of timed events, popped in `(time, insertion)` order.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an event firing at `at`.
+    pub fn push(&mut self, at: Cycle, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Firing time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A discrete-event simulator: an [`EventQueue`] plus a monotonically
+/// advancing clock.
+///
+/// The simulator enforces causality: scheduling an event in the past of
+/// the current clock panics, and popping an event advances the clock to
+/// its firing time.
+pub struct Simulator<T> {
+    queue: EventQueue<T>,
+    now: Cycle,
+}
+
+impl<T> Default for Simulator<T> {
+    fn default() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: Cycle::ZERO,
+        }
+    }
+}
+
+impl<T> Simulator<T> {
+    /// Fresh simulator at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the current clock (causality violation).
+    pub fn schedule(&mut self, at: Cycle, payload: T) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} but now is {}",
+            self.now
+        );
+        self.queue.push(at, payload);
+    }
+
+    /// Schedule `payload` to fire `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycle, payload: T) {
+        let at = self.now + delay;
+        self.queue.push(at, payload);
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        let (at, payload) = self.queue.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, payload))
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run the simulation to completion, calling `handler` for each event.
+    /// The handler may schedule further events through the provided
+    /// simulator reference.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, Cycle, T)) {
+        while let Some((at, payload)) = self.pop() {
+            handler(self, at, payload);
+        }
+    }
+}
+
+// `run` needs to hand `&mut Self` to the handler while iterating; do the
+// pop inside the loop so the borrow is released between events.
+impl<T> Simulator<T> {
+    /// Advance the clock to `at` without firing events. Used by models
+    /// that interleave analytic compute spans with evented communication.
+    ///
+    /// # Panics
+    /// If `at` is in the past.
+    pub fn advance_to(&mut self, at: Cycle) {
+        assert!(
+            at >= self.now,
+            "cannot rewind clock from {} to {at}",
+            self.now
+        );
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), "c");
+        q.push(Cycle(10), "a");
+        q.push(Cycle(20), "b");
+        assert_eq!(q.peek_time(), Some(Cycle(10)));
+        assert_eq!(q.pop(), Some((Cycle(10), "a")));
+        assert_eq!(q.pop(), Some((Cycle(20), "b")));
+        assert_eq!(q.pop(), Some((Cycle(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(5), i)));
+        }
+    }
+
+    #[test]
+    fn simulator_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule(Cycle(10), ());
+        sim.schedule(Cycle(4), ());
+        assert_eq!(sim.now(), Cycle::ZERO);
+        sim.pop();
+        assert_eq!(sim.now(), Cycle(4));
+        sim.pop();
+        assert_eq!(sim.now(), Cycle(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn rejects_past_events() {
+        let mut sim = Simulator::new();
+        sim.schedule(Cycle(10), ());
+        sim.pop();
+        sim.schedule(Cycle(5), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut sim = Simulator::new();
+        sim.schedule(Cycle(10), 1);
+        sim.pop();
+        sim.schedule_in(Cycle(7), 2);
+        let (at, v) = sim.pop().unwrap();
+        assert_eq!((at, v), (Cycle(17), 2));
+    }
+
+    #[test]
+    fn run_drains_and_allows_rescheduling() {
+        // A self-perpetuating event chain that stops after 5 firings.
+        let mut sim = Simulator::new();
+        sim.schedule(Cycle(1), 0u32);
+        let mut fired = Vec::new();
+        sim.run(|sim, at, n| {
+            fired.push((at, n));
+            if n < 4 {
+                sim.schedule_in(Cycle(2), n + 1);
+            }
+        });
+        assert_eq!(
+            fired,
+            vec![
+                (Cycle(1), 0),
+                (Cycle(3), 1),
+                (Cycle(5), 2),
+                (Cycle(7), 3),
+                (Cycle(9), 4)
+            ]
+        );
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance_to(Cycle(100));
+        assert_eq!(sim.now(), Cycle(100));
+    }
+}

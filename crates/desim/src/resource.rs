@@ -1,0 +1,273 @@
+//! FIFO-arbitrated shared resources with a fixed service rate.
+//!
+//! Links, memory ports, DMA engines and DRAM channels are all modelled
+//! as the same primitive: a server that processes `units` (bytes, words,
+//! transactions) at a fixed rate, serving requests in arrival order.
+//! A request made at time `t` for `n` units occupies the server from
+//! `max(t, free_at)` until `start + service(n)`; the caller receives the
+//! busy interval as a [`Reservation`] and layers any pipelined latency on
+//! top itself.
+
+use std::collections::VecDeque;
+
+use crate::time::Cycle;
+
+/// The interval a request occupies a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When service began (>= request time).
+    pub start: Cycle,
+    /// When the resource becomes free again (start + service time).
+    pub end: Cycle,
+}
+
+impl Reservation {
+    /// Queueing delay experienced by a request issued at `issued`.
+    pub fn wait(&self, issued: Cycle) -> Cycle {
+        self.start.saturating_sub(issued)
+    }
+
+    /// Cycles the resource was held.
+    pub fn hold(&self) -> Cycle {
+        self.end - self.start
+    }
+}
+
+/// A single-server FIFO resource with service rate `den` units per `num`
+/// cycles (i.e. one unit takes `num/den` cycles; requests are rounded up
+/// to whole cycles).
+///
+/// # Example
+///
+/// An 8-byte-per-cycle mesh link:
+///
+/// ```
+/// use desim::{Cycle, FifoResource};
+/// let mut link = FifoResource::per_units(1, 8); // 1 cycle per 8 units
+/// let r = link.request(Cycle(0), 64);           // 64 bytes -> 8 cycles
+/// assert_eq!(r.start, Cycle(0));
+/// assert_eq!(r.end, Cycle(8));
+/// let r2 = link.request(Cycle(2), 8);           // queued behind first
+/// assert_eq!(r2.start, Cycle(8));
+/// assert_eq!(r2.end, Cycle(9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    /// Cycles per `units_per` units.
+    cycles_per: u64,
+    /// Units served in `cycles_per` cycles.
+    units_per: u64,
+    /// Earliest time the server is idle.
+    free_at: Cycle,
+    /// Recently observed idle intervals `[start, end)` before
+    /// `free_at`, oldest first. Machine models issue requests from
+    /// per-core time cursors, so a request can carry a timestamp
+    /// *earlier* than one already served; letting it backfill capacity
+    /// that was genuinely idle at its time keeps the model from
+    /// serialising on call order instead of virtual time.
+    gaps: VecDeque<(Cycle, Cycle)>,
+    /// Accumulated busy cycles (for utilisation reporting).
+    busy: Cycle,
+    /// Number of requests served.
+    served: u64,
+    /// Total queueing delay across requests.
+    total_wait: Cycle,
+}
+
+/// Idle gaps remembered per resource; older gaps are forgotten (their
+/// capacity is conservatively lost).
+const MAX_GAPS: usize = 128;
+
+impl FifoResource {
+    /// Resource serving `units_per` units every `cycles_per` cycles.
+    ///
+    /// # Panics
+    /// If either parameter is zero.
+    pub fn per_units(cycles_per: u64, units_per: u64) -> FifoResource {
+        assert!(cycles_per > 0 && units_per > 0, "rate must be positive");
+        FifoResource {
+            cycles_per,
+            units_per,
+            free_at: Cycle::ZERO,
+            gaps: VecDeque::new(),
+            busy: Cycle::ZERO,
+            served: 0,
+            total_wait: Cycle::ZERO,
+        }
+    }
+
+    /// Service time for `units`, rounded up to whole cycles; zero-unit
+    /// requests still occupy one cycle (a transaction slot).
+    pub fn service_cycles(&self, units: u64) -> Cycle {
+        let units = units.max(1);
+        // ceil(units * cycles_per / units_per)
+        Cycle((units * self.cycles_per).div_ceil(self.units_per))
+    }
+
+    /// Reserve the resource for `units` at time `at`: behind earlier
+    /// reservations, except that a request timestamped before the
+    /// current frontier may backfill a remembered idle gap large
+    /// enough to hold it (see the `gaps` field).
+    pub fn request(&mut self, at: Cycle, units: u64) -> Reservation {
+        let hold = self.service_cycles(units);
+
+        // Try to backfill an idle gap for requests behind the frontier.
+        if at < self.free_at {
+            for i in 0..self.gaps.len() {
+                let (gs, ge) = self.gaps[i];
+                let start = gs.max(at);
+                if start + hold <= ge {
+                    let end = start + hold;
+                    // Split the gap around the reservation.
+                    let tail = (end, ge);
+                    if start > gs {
+                        self.gaps[i] = (gs, start);
+                        if tail.0 < tail.1 {
+                            self.gaps.insert(i + 1, tail);
+                            if self.gaps.len() > MAX_GAPS {
+                                self.gaps.pop_front();
+                            }
+                        }
+                    } else if tail.0 < tail.1 {
+                        self.gaps[i] = tail;
+                    } else {
+                        self.gaps.remove(i);
+                    }
+                    self.busy += hold;
+                    self.served += 1;
+                    self.total_wait += start - at;
+                    return Reservation { start, end };
+                }
+            }
+        }
+
+        let start = at.max(self.free_at);
+        if start > self.free_at {
+            // The interval [free_at, start) was idle; remember it.
+            self.gaps.push_back((self.free_at, start));
+            if self.gaps.len() > MAX_GAPS {
+                self.gaps.pop_front();
+            }
+        }
+        let end = start + hold;
+        self.free_at = end;
+        self.busy += hold;
+        self.served += 1;
+        self.total_wait += start - at;
+        Reservation { start, end }
+    }
+
+    /// Earliest instant the resource is idle.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Total busy cycles so far.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean queueing delay per request, in cycles.
+    pub fn mean_wait(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_wait.raw() as f64 / self.served as f64
+        }
+    }
+
+    /// Utilisation over `[0, horizon]`.
+    pub fn utilization(&self, horizon: Cycle) -> f64 {
+        if horizon == Cycle::ZERO {
+            0.0
+        } else {
+            (self.busy.raw() as f64 / horizon.raw() as f64).min(1.0)
+        }
+    }
+
+    /// Forget all history (keep the rate). Used when reusing a machine
+    /// model across runs.
+    pub fn reset(&mut self) {
+        self.free_at = Cycle::ZERO;
+        self.gaps.clear();
+        self.busy = Cycle::ZERO;
+        self.served = 0;
+        self.total_wait = Cycle::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut r = FifoResource::per_units(1, 1);
+        let a = r.request(Cycle(0), 5);
+        assert_eq!((a.start, a.end), (Cycle(0), Cycle(5)));
+        let b = r.request(Cycle(0), 3);
+        assert_eq!((b.start, b.end), (Cycle(5), Cycle(8)));
+        assert_eq!(b.wait(Cycle(0)), Cycle(5));
+        assert_eq!(b.hold(), Cycle(3));
+    }
+
+    #[test]
+    fn idle_gaps_are_not_busy() {
+        let mut r = FifoResource::per_units(1, 1);
+        r.request(Cycle(0), 2);
+        r.request(Cycle(100), 2);
+        assert_eq!(r.busy_cycles(), Cycle(4));
+        assert!((r.utilization(Cycle(104)) - 4.0 / 104.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_rates_round_up() {
+        // 8 units per cycle.
+        let r = FifoResource::per_units(1, 8);
+        assert_eq!(r.service_cycles(1), Cycle(1));
+        assert_eq!(r.service_cycles(8), Cycle(1));
+        assert_eq!(r.service_cycles(9), Cycle(2));
+        assert_eq!(r.service_cycles(64), Cycle(8));
+        // 3 cycles per unit.
+        let s = FifoResource::per_units(3, 1);
+        assert_eq!(s.service_cycles(2), Cycle(6));
+    }
+
+    #[test]
+    fn zero_unit_request_takes_a_slot() {
+        let mut r = FifoResource::per_units(1, 8);
+        let a = r.request(Cycle(0), 0);
+        assert_eq!(a.hold(), Cycle(1));
+    }
+
+    #[test]
+    fn mean_wait_tracks_queueing() {
+        let mut r = FifoResource::per_units(1, 1);
+        r.request(Cycle(0), 10); // no wait
+        r.request(Cycle(0), 10); // waits 10
+        assert!((r.mean_wait() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut r = FifoResource::per_units(2, 1);
+        r.request(Cycle(0), 4);
+        r.reset();
+        assert_eq!(r.free_at(), Cycle::ZERO);
+        assert_eq!(r.busy_cycles(), Cycle::ZERO);
+        assert_eq!(r.served(), 0);
+        let a = r.request(Cycle(1), 1);
+        assert_eq!(a.start, Cycle(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        let _ = FifoResource::per_units(0, 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Lightweight simulation statistics: counters, histograms, busy-time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Cycle;
+
+/// A named monotonically increasing counter set.
+///
+/// Counters are keyed by static strings so machine models can account
+/// events (`"flop"`, `"remote_read"`, …) without allocating per event.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `n` to counter `key`.
+    #[inline]
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.map.entry(key).or_insert(0) += n;
+    }
+
+    /// Increment counter `key` by one.
+    #[inline]
+    pub fn bump(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (zero if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Drop all counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:>24}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (e.g. latencies in cycles).
+///
+/// Buckets are power-of-two exponential: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))`, with bucket 0 holding `{0, 1}`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (None if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (None if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile from the exponential buckets: returns the
+    /// upper bound of the bucket containing quantile `q` (0..=1).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(if i == 0 { 1 } else { 1u64 << (i + 1) });
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Tracks the busy fraction of a component for energy modelling: the
+/// caller reports busy intervals, and the tracker exposes total busy
+/// cycles without double counting an interval reported twice verbatim
+/// (overlaps are the caller's responsibility — machine models report
+/// reservation holds, which never overlap for a single server).
+#[derive(Debug, Default, Clone)]
+pub struct BusyTime {
+    busy: Cycle,
+    intervals: u64,
+}
+
+impl BusyTime {
+    /// Zeroed tracker.
+    pub fn new() -> BusyTime {
+        BusyTime::default()
+    }
+
+    /// Report a busy interval of length `hold`.
+    pub fn add(&mut self, hold: Cycle) {
+        self.busy += hold;
+        self.intervals += 1;
+    }
+
+    /// Total busy cycles.
+    pub fn busy(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Intervals reported.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Busy fraction over `[0, horizon]`, clamped to 1.
+    pub fn fraction(&self, horizon: Cycle) -> f64 {
+        if horizon == Cycle::ZERO {
+            0.0
+        } else {
+            (self.busy.raw() as f64 / horizon.raw() as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Counters::new();
+        a.add("flop", 10);
+        a.bump("flop");
+        a.bump("load");
+        assert_eq!(a.get("flop"), 11);
+        assert_eq!(a.get("load"), 1);
+        assert_eq!(a.get("absent"), 0);
+
+        let mut b = Counters::new();
+        b.add("flop", 5);
+        b.add("store", 2);
+        a.merge(&b);
+        assert_eq!(a.get("flop"), 16);
+        assert_eq!(a.get("store"), 2);
+
+        let listed: Vec<_> = a.iter().collect();
+        assert_eq!(listed.len(), 3); // flop, load, store
+        a.clear();
+        assert_eq!(a.get("flop"), 0);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(16));
+        assert!((h.mean() - 6.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // Median of 0..1000 is ~500; exponential buckets give the bucket
+        // upper bound, so p50 must be within [500, 1024].
+        assert!((500..=1024).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0).unwrap() >= 999, true);
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_zero_and_one_share_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.quantile(0.01), Some(1));
+    }
+
+    #[test]
+    fn busytime_fraction() {
+        let mut b = BusyTime::new();
+        b.add(Cycle(30));
+        b.add(Cycle(20));
+        assert_eq!(b.busy(), Cycle(50));
+        assert_eq!(b.intervals(), 2);
+        assert!((b.fraction(Cycle(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(b.fraction(Cycle::ZERO), 0.0);
+        // Clamped at 1.
+        assert_eq!(b.fraction(Cycle(10)), 1.0);
+    }
+}

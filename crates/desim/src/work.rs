@@ -1,0 +1,110 @@
+//! Architecture-neutral workload descriptors.
+//!
+//! Instrumented kernels report *what they executed* as operation
+//! counts; each machine model prices the counts with its own
+//! microarchitecture constants. Keeping the descriptor here (in the
+//! simulation substrate) lets the algorithm library, the Epiphany model
+//! and the reference-CPU model agree on one type without depending on
+//! each other.
+
+/// Raw operation counts emitted by an instrumented kernel region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Plain single-precision FPU ops (add/sub/mul/compare).
+    pub flops: u64,
+    /// Fused multiply-adds (one instruction where supported, two
+    /// flops of arithmetic work).
+    pub fmas: u64,
+    /// Integer/address ALU ops.
+    pub ialu: u64,
+    /// Word-size loads from local/cacheable memory.
+    pub loads: u64,
+    /// Word-size stores to local/cacheable memory.
+    pub stores: u64,
+    /// Square roots.
+    pub sqrts: u64,
+    /// Divides.
+    pub divs: u64,
+    /// Trigonometric/inverse-trigonometric evaluations.
+    pub trigs: u64,
+}
+
+impl OpCounts {
+    /// Component-wise accumulate.
+    #[inline]
+    pub fn add(&mut self, other: &OpCounts) {
+        self.flops += other.flops;
+        self.fmas += other.fmas;
+        self.ialu += other.ialu;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.sqrts += other.sqrts;
+        self.divs += other.divs;
+        self.trigs += other.trigs;
+    }
+
+    /// Every count multiplied by `k` ("this region ran `k` times").
+    pub fn scaled(&self, k: u64) -> OpCounts {
+        OpCounts {
+            flops: self.flops * k,
+            fmas: self.fmas * k,
+            ialu: self.ialu * k,
+            loads: self.loads * k,
+            stores: self.stores * k,
+            sqrts: self.sqrts * k,
+            divs: self.divs * k,
+            trigs: self.trigs * k,
+        }
+    }
+
+    /// Difference against an earlier snapshot of the same accumulator
+    /// (each field of `self` must be >= the snapshot's).
+    pub fn since(&self, snapshot: &OpCounts) -> OpCounts {
+        OpCounts {
+            flops: self.flops - snapshot.flops,
+            fmas: self.fmas - snapshot.fmas,
+            ialu: self.ialu - snapshot.ialu,
+            loads: self.loads - snapshot.loads,
+            stores: self.stores - snapshot.stores,
+            sqrts: self.sqrts - snapshot.sqrts,
+            divs: self.divs - snapshot.divs,
+            trigs: self.trigs - snapshot.trigs,
+        }
+    }
+
+    /// Total floating-point arithmetic *work* (an FMA counts as two).
+    pub fn flop_work(&self) -> u64 {
+        self.flops + 2 * self.fmas
+    }
+
+    /// Total dynamic instruction-ish count on a machine without FMA
+    /// (an FMA lowers to multiply + add).
+    pub fn instrs_no_fma(&self) -> u64 {
+        self.flops + 2 * self.fmas + self.ialu + self.loads + self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_scale_and_diff() {
+        let unit = OpCounts { flops: 3, fmas: 1, loads: 2, ..OpCounts::default() };
+        let mut acc = OpCounts::default();
+        acc.add(&unit.scaled(4));
+        assert_eq!(acc.flops, 12);
+        assert_eq!(acc.fmas, 4);
+        let snap = acc;
+        acc.add(&unit);
+        let delta = acc.since(&snap);
+        assert_eq!(delta, unit);
+    }
+
+    #[test]
+    fn flop_work_counts_fma_twice() {
+        let o = OpCounts { flops: 5, fmas: 10, ..OpCounts::default() };
+        assert_eq!(o.flop_work(), 25);
+        assert_eq!(o.instrs_no_fma(), 25);
+    }
+}

@@ -1,0 +1,434 @@
+//! The three-mesh eMesh fabric with contention and per-hop latency.
+
+use desim::stats::Histogram;
+use desim::{Cycle, FifoResource, Reservation};
+
+use crate::routing::{route_xy, Direction};
+use crate::topology::{Coord, Mesh2D, NodeId};
+
+/// How a link serialises traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkMode {
+    /// `n` bytes per cycle (cMesh/xMesh data links).
+    BytesPerCycle(u64),
+    /// One transaction per cycle regardless of size (rMesh request wires).
+    TransactionPerCycle,
+}
+
+/// Outcome of pushing one transaction through a mesh.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferResult {
+    /// Cycle the full payload has arrived at the destination router.
+    pub arrival: Cycle,
+    /// Router-to-router hops traversed.
+    pub hops: u32,
+    /// Total queueing delay accumulated across links.
+    pub queued: Cycle,
+}
+
+/// One physical mesh: a grid of routers with four directed output links
+/// each, modelled as FIFO servers, wormhole-pipelined with a single
+/// cycle of routing latency per hop.
+pub struct MeshNetwork {
+    mesh: Mesh2D,
+    mode: LinkMode,
+    hop_latency: u64,
+    /// `links[node][direction]` for the four non-local directions.
+    links: Vec<Vec<FifoResource>>,
+    transfers: u64,
+    bytes: u64,
+    byte_hops: u64,
+    latency: Histogram,
+}
+
+impl MeshNetwork {
+    /// Build a mesh where every link follows `mode` and each hop costs
+    /// `hop_latency` cycles of routing delay.
+    pub fn new(mesh: Mesh2D, mode: LinkMode, hop_latency: u64) -> MeshNetwork {
+        let make = || match mode {
+            LinkMode::BytesPerCycle(b) => FifoResource::per_units(1, b),
+            LinkMode::TransactionPerCycle => FifoResource::per_units(1, 1),
+        };
+        let links = (0..mesh.len())
+            .map(|_| (0..4).map(|_| make()).collect())
+            .collect();
+        MeshNetwork {
+            mesh,
+            mode,
+            hop_latency,
+            links,
+            transfers: 0,
+            bytes: 0,
+            byte_hops: 0,
+            latency: Histogram::new(),
+        }
+    }
+
+    fn link_mut(&mut self, from: Coord, dir: Direction) -> &mut FifoResource {
+        let node = self.mesh.node(from).raw();
+        &mut self.links[node][dir.index()]
+    }
+
+    fn units_for(&self, wire_bytes: u64) -> u64 {
+        match self.mode {
+            LinkMode::BytesPerCycle(_) => wire_bytes,
+            LinkMode::TransactionPerCycle => 1,
+        }
+    }
+
+    /// Send `wire_bytes` from `src` to `dst` starting at `at`.
+    ///
+    /// The header advances one hop per `hop_latency` cycles, reserving
+    /// each traversed link FIFO for the message's serialization time;
+    /// the tail arrives one serialization interval after the header.
+    /// `src == dst` models a local (router-bypass) delivery costing one
+    /// hop latency.
+    pub fn transfer(&mut self, at: Cycle, src: NodeId, dst: NodeId, wire_bytes: u64) -> TransferResult {
+        let (sc, dc) = (self.mesh.coord(src), self.mesh.coord(dst));
+        let route = route_xy(&self.mesh, sc, dc);
+        let units = self.units_for(wire_bytes);
+        let mut t = at;
+        let mut queued = Cycle::ZERO;
+        for hop in &route {
+            let hop_latency = self.hop_latency;
+            let link = self.link_mut(hop.from, hop.dir);
+            let r = link.request(t, units);
+            queued += r.wait(t);
+            t = r.start + Cycle(hop_latency);
+        }
+        // Tail of the message: serialization of the payload behind the
+        // header. For a zero-hop (local) transfer charge one hop of
+        // latency plus serialization at the local port rate.
+        let serialization = match self.mode {
+            LinkMode::BytesPerCycle(b) => Cycle(wire_bytes.max(1).div_ceil(b)),
+            LinkMode::TransactionPerCycle => Cycle(1),
+        };
+        let arrival = if route.is_empty() {
+            at + Cycle(self.hop_latency) + serialization
+        } else {
+            t + serialization
+        };
+        self.transfers += 1;
+        self.bytes += wire_bytes;
+        self.byte_hops += wire_bytes * route.len() as u64;
+        self.latency.record((arrival - at).raw());
+        TransferResult {
+            arrival,
+            hops: route.len() as u32,
+            queued,
+        }
+    }
+
+    /// Total transactions carried.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total wire bytes carried.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Sum over transfers of `wire_bytes * hops` — the fabric activity
+    /// figure the energy model charges per byte-hop.
+    pub fn byte_hops(&self) -> u64 {
+        self.byte_hops
+    }
+
+    /// End-to-end latency histogram (cycles).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Busiest link's busy-cycle count — the congestion hot spot.
+    pub fn max_link_busy(&self) -> Cycle {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.busy_cycles())
+            .max()
+            .unwrap_or(Cycle::ZERO)
+    }
+
+    /// Busy cycles of the output link leaving `from` in `dir`.
+    pub fn link_busy(&self, from: Coord, dir: Direction) -> Cycle {
+        let node = self.mesh.node(from).raw();
+        self.links[node][dir.index()].busy_cycles()
+    }
+
+    /// Clear all link state and statistics.
+    pub fn reset(&mut self) {
+        for node in &mut self.links {
+            for link in node {
+                link.reset();
+            }
+        }
+        self.transfers = 0;
+        self.bytes = 0;
+        self.byte_hops = 0;
+        self.latency = Histogram::new();
+    }
+}
+
+/// Datasheet-derived fabric parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EMeshParams {
+    /// cMesh/xMesh link width in bytes per cycle (E16G3: 8 — a double
+    /// word per cycle per link).
+    pub link_bytes_per_cycle: u64,
+    /// Routing latency per node (E16G3: single-cycle wait per node).
+    pub hop_latency: u64,
+    /// Off-chip eLink bandwidth in bytes per cycle at core clock
+    /// (E16G3: 8 GB/s total at 1 GHz = 8 B/cycle).
+    pub elink_bytes_per_cycle: u64,
+}
+
+impl Default for EMeshParams {
+    fn default() -> Self {
+        EMeshParams {
+            link_bytes_per_cycle: 8,
+            hop_latency: 1,
+            elink_bytes_per_cycle: 8,
+        }
+    }
+}
+
+/// The full eMesh: three physical meshes plus the off-chip eLink port.
+///
+/// * on-chip writes ride the cMesh and are *posted* — the sender
+///   continues immediately (this is the "write without stalling"
+///   behaviour the paper exploits in FFBP),
+/// * reads issue a request on the rMesh and stall the requester until
+///   the reply write returns over the cMesh,
+/// * off-chip traffic crosses the xMesh to the eLink node and then
+///   serialises through the much narrower eLink.
+pub struct EMesh {
+    mesh: Mesh2D,
+    /// On-chip write mesh.
+    pub cmesh: MeshNetwork,
+    /// Read-request mesh.
+    pub rmesh: MeshNetwork,
+    /// Off-chip mesh.
+    pub xmesh: MeshNetwork,
+    /// The shared off-chip link (both directions contend).
+    pub elink: FifoResource,
+    elink_node: NodeId,
+}
+
+impl EMesh {
+    /// Build the fabric for `mesh` with `params`.
+    pub fn new(mesh: Mesh2D, params: EMeshParams) -> EMesh {
+        EMesh {
+            mesh,
+            cmesh: MeshNetwork::new(mesh, LinkMode::BytesPerCycle(params.link_bytes_per_cycle), params.hop_latency),
+            rmesh: MeshNetwork::new(mesh, LinkMode::TransactionPerCycle, params.hop_latency),
+            xmesh: MeshNetwork::new(mesh, LinkMode::BytesPerCycle(params.link_bytes_per_cycle), params.hop_latency),
+            elink: FifoResource::per_units(1, params.elink_bytes_per_cycle),
+            elink_node: mesh.elink_node(),
+        }
+    }
+
+    /// The topology this fabric spans.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Node hosting the off-chip eLink.
+    pub fn elink_node(&self) -> NodeId {
+        self.elink_node
+    }
+
+    /// Posted write of `bytes` payload from `src` into `dst`'s memory.
+    /// Returns the delivery completion time; the *sender* does not wait.
+    pub fn write_onchip(&mut self, at: Cycle, src: NodeId, dst: NodeId, bytes: u64) -> TransferResult {
+        self.cmesh.transfer(at, src, dst, bytes + 8)
+    }
+
+    /// Blocking read of `bytes` from `dst`'s memory by `src`. Returns the
+    /// time the data is back at `src` (request on rMesh, reply on cMesh).
+    pub fn read_onchip(&mut self, at: Cycle, src: NodeId, dst: NodeId, bytes: u64) -> TransferResult {
+        let req = self.rmesh.transfer(at, src, dst, 8);
+        let rep = self.cmesh.transfer(req.arrival, dst, src, bytes + 8);
+        TransferResult {
+            arrival: rep.arrival,
+            hops: req.hops + rep.hops,
+            queued: req.queued + rep.queued,
+        }
+    }
+
+    /// Posted write of `bytes` from `src` to off-chip memory: xMesh to
+    /// the eLink node, then serialization through the eLink. Returns the
+    /// time the payload has left the chip.
+    pub fn write_offchip(&mut self, at: Cycle, src: NodeId, bytes: u64) -> TransferResult {
+        let to_edge = self.xmesh.transfer(at, src, self.elink_node, bytes + 8);
+        let r = self.elink.request(to_edge.arrival, bytes + 8);
+        TransferResult {
+            arrival: r.end,
+            hops: to_edge.hops,
+            queued: to_edge.queued + r.wait(to_edge.arrival),
+        }
+    }
+
+    /// Blocking read of `bytes` from off-chip memory by `src`.
+    /// `memory_cycles` is the SDRAM access time supplied by the memory
+    /// model. Returns the time the data is back at `src`: request over
+    /// rMesh to the edge, eLink request slot, SDRAM access, reply data
+    /// serialised through the eLink and routed back over the cMesh.
+    pub fn read_offchip(&mut self, at: Cycle, src: NodeId, bytes: u64, memory_cycles: Cycle) -> TransferResult {
+        let req = self.rmesh.transfer(at, src, self.elink_node, 8);
+        let out = self.elink.request(req.arrival, 8);
+        let data_ready = out.end + memory_cycles;
+        let back = self.elink.request(data_ready, bytes + 8);
+        let rep = self.cmesh.transfer(back.end, self.elink_node, src, bytes + 8);
+        TransferResult {
+            arrival: rep.arrival,
+            hops: req.hops + rep.hops,
+            queued: req.queued + rep.queued + out.wait(req.arrival) + back.wait(data_ready),
+        }
+    }
+
+    /// Reserve the raw eLink (used by DMA models).
+    pub fn elink_request(&mut self, at: Cycle, bytes: u64) -> Reservation {
+        self.elink.request(at, bytes)
+    }
+
+    /// Reset all meshes and the eLink.
+    pub fn reset(&mut self) {
+        self.cmesh.reset();
+        self.rmesh.reset();
+        self.xmesh.reset();
+        self.elink.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> EMesh {
+        EMesh::new(Mesh2D::e16g3(), EMeshParams::default())
+    }
+
+    #[test]
+    fn neighbor_write_is_cheap() {
+        let mut f = fabric();
+        let r = f.write_onchip(Cycle(0), NodeId(0), NodeId(1), 8);
+        // 1 hop + serialization of 16 wire bytes at 8 B/cyc = 1 + 2.
+        assert_eq!(r.hops, 1);
+        assert_eq!(r.arrival, Cycle(3));
+    }
+
+    #[test]
+    fn distant_write_costs_more_hops() {
+        let mut f = fabric();
+        let near = f.write_onchip(Cycle(0), NodeId(0), NodeId(1), 64);
+        f.reset();
+        let far = f.write_onchip(Cycle(0), NodeId(0), NodeId(15), 64);
+        assert_eq!(far.hops, 6);
+        assert!(far.arrival > near.arrival);
+        // Same serialization, extra hops only.
+        assert_eq!(far.arrival.raw() - near.arrival.raw(), 5);
+    }
+
+    #[test]
+    fn read_costs_round_trip() {
+        let mut f = fabric();
+        let w = f.write_onchip(Cycle(0), NodeId(0), NodeId(5), 8);
+        f.reset();
+        let r = f.read_onchip(Cycle(0), NodeId(0), NodeId(5), 8);
+        assert!(r.arrival > w.arrival, "read {:?} should exceed posted write {:?}", r, w);
+        assert_eq!(r.hops, 2 * w.hops);
+    }
+
+    #[test]
+    fn contention_queues_on_shared_link() {
+        let mut f = fabric();
+        // Two large writes from the same source at the same time share
+        // the first eastbound link.
+        let a = f.write_onchip(Cycle(0), NodeId(0), NodeId(3), 800);
+        let b = f.write_onchip(Cycle(0), NodeId(0), NodeId(3), 800);
+        assert_eq!(a.queued, Cycle::ZERO);
+        assert!(b.queued > Cycle::ZERO);
+        assert!(b.arrival > a.arrival);
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interfere() {
+        let mut f = fabric();
+        let a = f.write_onchip(Cycle(0), NodeId(0), NodeId(1), 800);
+        // Row 3: node 12 -> 13 uses a different link entirely.
+        let b = f.write_onchip(Cycle(0), NodeId(12), NodeId(13), 800);
+        assert_eq!(a.queued, Cycle::ZERO);
+        assert_eq!(b.queued, Cycle::ZERO);
+        assert_eq!(a.arrival, b.arrival);
+    }
+
+    #[test]
+    fn offchip_read_includes_memory_and_elink() {
+        let mut f = fabric();
+        let r = f.read_offchip(Cycle(0), NodeId(0), 64, Cycle(50));
+        // Must include at least: route to edge + elink + 50 + data return.
+        assert!(r.arrival.raw() > 50 + 8);
+    }
+
+    #[test]
+    fn offchip_bandwidth_is_the_bottleneck() {
+        let mut f = fabric();
+        // Pump 10 KB off chip from one core; the eLink (8 B/cyc) should
+        // dominate: ~10*1024/8 cycles of serialization.
+        let mut t = Cycle(0);
+        let mut last = Cycle(0);
+        for _ in 0..10 {
+            let r = f.write_offchip(t, NodeId(0), 1024);
+            last = r.arrival;
+            t += Cycle(1);
+        }
+        assert!(last.raw() >= 10 * 1032 / 8);
+    }
+
+    #[test]
+    fn elink_is_shared_between_cores() {
+        let mut f = fabric();
+        let a = f.write_offchip(Cycle(0), NodeId(0), 1024);
+        let b = f.write_offchip(Cycle(0), NodeId(15), 1024);
+        // Whoever arrives second at the edge queues behind the first.
+        let (first, second) = if a.arrival < b.arrival { (a, b) } else { (b, a) };
+        assert!(second.queued > Cycle::ZERO || second.arrival > first.arrival);
+    }
+
+    #[test]
+    fn local_transfer_still_costs_a_cycle() {
+        let mut f = fabric();
+        let r = f.write_onchip(Cycle(10), NodeId(4), NodeId(4), 8);
+        assert_eq!(r.hops, 0);
+        assert!(r.arrival > Cycle(10));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut f = fabric();
+        f.write_onchip(Cycle(0), NodeId(0), NodeId(3), 32);
+        f.write_onchip(Cycle(0), NodeId(0), NodeId(3), 32);
+        assert_eq!(f.cmesh.transfers(), 2);
+        assert_eq!(f.cmesh.bytes(), 80);
+        assert!(f.cmesh.max_link_busy() > Cycle::ZERO);
+        assert_eq!(f.cmesh.latency().count(), 2);
+        f.reset();
+        assert_eq!(f.cmesh.transfers(), 0);
+        assert_eq!(f.cmesh.max_link_busy(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn rmesh_requests_are_one_per_cycle() {
+        let mut f = fabric();
+        // Ten read requests from the same node toward the same target:
+        // the first rMesh link admits one per cycle.
+        let mut arrivals = Vec::new();
+        for _ in 0..10 {
+            arrivals.push(f.rmesh.transfer(Cycle(0), NodeId(0), NodeId(3), 8).arrival);
+        }
+        for w in arrivals.windows(2) {
+            assert_eq!(w[1].raw() - w[0].raw(), 1);
+        }
+    }
+}

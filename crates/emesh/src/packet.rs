@@ -1,0 +1,65 @@
+//! Transaction (packet) descriptions.
+
+use crate::topology::NodeId;
+
+/// The class of a mesh transaction; selects which physical mesh carries
+/// it and its header overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Posted write to another core's memory (cMesh). Fire-and-forget:
+    /// the sender does not stall (single-cycle throughput at the source).
+    WriteOnChip,
+    /// Read request to another core or off-chip (rMesh). The requester
+    /// stalls until the reply write returns.
+    ReadRequest,
+    /// Reply data for a read, returned as a write (cMesh on chip).
+    ReadReply,
+    /// Write leaving the chip through the eLink (xMesh).
+    WriteOffChip,
+}
+
+impl PacketKind {
+    /// Header bytes added to the payload on the wire. The eMesh carries
+    /// address + control alongside data; we charge one 8-byte beat.
+    pub fn header_bytes(self) -> u64 {
+        8
+    }
+}
+
+/// A single mesh transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node (for off-chip packets, the eLink node).
+    pub dst: NodeId,
+    /// Payload size in bytes (0 for a pure read request).
+    pub payload: u64,
+    /// Transaction class.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Total bytes on the wire: payload plus header beat.
+    pub fn wire_bytes(&self) -> u64 {
+        self.payload + self.kind.header_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_header() {
+        let p = Packet {
+            src: NodeId(0),
+            dst: NodeId(5),
+            payload: 64,
+            kind: PacketKind::WriteOnChip,
+        };
+        assert_eq!(p.wire_bytes(), 72);
+        let rr = Packet { payload: 0, kind: PacketKind::ReadRequest, ..p };
+        assert_eq!(rr.wire_bytes(), 8);
+    }
+}

@@ -1,0 +1,132 @@
+//! Dimension-ordered (XY) routing.
+//!
+//! The eMesh routes a transaction fully along X (east/west) and then
+//! along Y (north/south); this is deadlock-free on a mesh and is what
+//! the distributed address-based routing of the Epiphany implements.
+
+use crate::topology::{Coord, Mesh2D};
+
+/// One of the five router directions (four neighbours plus the local
+/// core port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward decreasing x.
+    West,
+    /// Toward increasing x.
+    East,
+    /// Toward decreasing y.
+    North,
+    /// Toward increasing y.
+    South,
+    /// Into the node itself (ejection) or out of it (injection).
+    Local,
+}
+
+impl Direction {
+    /// All five directions, in arbitration order.
+    pub const ALL: [Direction; 5] = [
+        Direction::West,
+        Direction::East,
+        Direction::North,
+        Direction::South,
+        Direction::Local,
+    ];
+
+    /// Index into per-direction tables.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::West => 0,
+            Direction::East => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+            Direction::Local => 4,
+        }
+    }
+}
+
+/// A directed link in the mesh, identified by the router it leaves and
+/// the direction it leaves in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hop {
+    /// Coordinates of the router the link exits.
+    pub from: Coord,
+    /// Exit direction.
+    pub dir: Direction,
+}
+
+/// Compute the XY route from `src` to `dst` as the ordered list of
+/// directed links traversed. An empty route means `src == dst` (local
+/// delivery without touching the mesh).
+pub fn route_xy(mesh: &Mesh2D, src: Coord, dst: Coord) -> Vec<Hop> {
+    assert!(mesh.contains(src) && mesh.contains(dst), "route endpoints must be in mesh");
+    let mut hops = Vec::with_capacity(src.manhattan(dst) as usize);
+    let mut cur = src;
+    while cur.x != dst.x {
+        let dir = if dst.x > cur.x { Direction::East } else { Direction::West };
+        hops.push(Hop { from: cur, dir });
+        cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+    }
+    while cur.y != dst.y {
+        let dir = if dst.y > cur.y { Direction::South } else { Direction::North };
+        hops.push(Hop { from: cur, dir });
+        cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh2D {
+        Mesh2D::e16g3()
+    }
+
+    #[test]
+    fn route_length_is_manhattan_distance() {
+        let m = mesh();
+        for s in m.nodes() {
+            for d in m.nodes() {
+                let (sc, dc) = (m.coord(s), m.coord(d));
+                assert_eq!(route_xy(&m, sc, dc).len() as u32, sc.manhattan(dc));
+            }
+        }
+    }
+
+    #[test]
+    fn route_goes_x_first() {
+        let m = mesh();
+        let hops = route_xy(&m, Coord { x: 0, y: 0 }, Coord { x: 2, y: 2 });
+        assert_eq!(hops.len(), 4);
+        assert_eq!(hops[0].dir, Direction::East);
+        assert_eq!(hops[1].dir, Direction::East);
+        assert_eq!(hops[2].dir, Direction::South);
+        assert_eq!(hops[3].dir, Direction::South);
+        assert_eq!(hops[0].from, Coord { x: 0, y: 0 });
+        assert_eq!(hops[2].from, Coord { x: 2, y: 0 });
+    }
+
+    #[test]
+    fn reverse_route_uses_opposite_directions() {
+        let m = mesh();
+        let hops = route_xy(&m, Coord { x: 3, y: 3 }, Coord { x: 1, y: 1 });
+        assert!(hops.iter().take(2).all(|h| h.dir == Direction::West));
+        assert!(hops.iter().skip(2).all(|h| h.dir == Direction::North));
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let m = mesh();
+        let c = Coord { x: 2, y: 1 };
+        assert!(route_xy(&m, c, c).is_empty());
+    }
+
+    #[test]
+    fn direction_indices_are_distinct() {
+        let mut seen = [false; 5];
+        for d in Direction::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Mesh geometry: node identifiers, coordinates and adjacency.
+
+use std::fmt;
+
+/// A core/router index in row-major order (`y * cols + x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Raw index.
+    #[inline]
+    pub fn raw(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Integer mesh coordinates; `(0, 0)` is the north-west corner, x grows
+/// east and y grows south (matches the E16G3 core numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column (east-west position).
+    pub x: u16,
+    /// Row (north-south position).
+    pub y: u16,
+}
+
+impl Coord {
+    /// Manhattan distance to `other` — equals the XY-routed hop count
+    /// between routers (excluding injection/ejection).
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A rectangular 2D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2D {
+    cols: u16,
+    rows: u16,
+}
+
+impl Mesh2D {
+    /// Create a `cols x rows` mesh.
+    ///
+    /// # Panics
+    /// If either dimension is zero.
+    pub fn new(cols: u16, rows: u16) -> Mesh2D {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Mesh2D { cols, rows }
+    }
+
+    /// The 4x4 E16G3 mesh.
+    pub fn e16g3() -> Mesh2D {
+        Mesh2D::new(4, 4)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// Whether the mesh has zero nodes (never true — kept for clippy).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Node at `coord`.
+    ///
+    /// # Panics
+    /// If `coord` is outside the mesh.
+    pub fn node(&self, coord: Coord) -> NodeId {
+        assert!(self.contains(coord), "{coord} outside {self:?}");
+        NodeId(coord.y * self.cols + coord.x)
+    }
+
+    /// Coordinates of `node`.
+    ///
+    /// # Panics
+    /// If `node` is outside the mesh.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!((node.raw()) < self.len(), "{node} outside {self:?}");
+        Coord {
+            x: node.0 % self.cols,
+            y: node.0 / self.cols,
+        }
+    }
+
+    /// Whether `coord` lies inside the mesh.
+    pub fn contains(&self, coord: Coord) -> bool {
+        coord.x < self.cols && coord.y < self.rows
+    }
+
+    /// All nodes in row-major order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u16).map(NodeId)
+    }
+
+    /// In-mesh neighbours of `coord` (2 to 4 of them).
+    pub fn neighbors(&self, coord: Coord) -> Vec<Coord> {
+        let mut out = Vec::with_capacity(4);
+        if coord.x > 0 {
+            out.push(Coord { x: coord.x - 1, y: coord.y });
+        }
+        if coord.x + 1 < self.cols {
+            out.push(Coord { x: coord.x + 1, y: coord.y });
+        }
+        if coord.y > 0 {
+            out.push(Coord { x: coord.x, y: coord.y - 1 });
+        }
+        if coord.y + 1 < self.rows {
+            out.push(Coord { x: coord.x, y: coord.y + 1 });
+        }
+        out
+    }
+
+    /// The node whose east edge hosts the off-chip eLink on the E16G3
+    /// evaluation board: the east-most node of row 2 in a 4x4 array
+    /// (clamped for other sizes).
+    pub fn elink_node(&self) -> NodeId {
+        let y = (self.rows / 2).min(self.rows - 1);
+        self.node(Coord { x: self.cols - 1, y })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_coord_roundtrip() {
+        let m = Mesh2D::e16g3();
+        assert_eq!(m.len(), 16);
+        for n in m.nodes() {
+            assert_eq!(m.node(m.coord(n)), n);
+        }
+        assert_eq!(m.node(Coord { x: 3, y: 2 }), NodeId(11));
+        assert_eq!(m.coord(NodeId(11)), Coord { x: 3, y: 2 });
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord { x: 0, y: 0 };
+        let b = Coord { x: 3, y: 2 };
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn corner_has_two_neighbors_center_has_four() {
+        let m = Mesh2D::e16g3();
+        assert_eq!(m.neighbors(Coord { x: 0, y: 0 }).len(), 2);
+        assert_eq!(m.neighbors(Coord { x: 1, y: 1 }).len(), 4);
+        assert_eq!(m.neighbors(Coord { x: 1, y: 0 }).len(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_and_in_mesh() {
+        let m = Mesh2D::new(5, 3);
+        for n in m.nodes() {
+            let c = m.coord(n);
+            for nb in m.neighbors(c) {
+                assert!(m.contains(nb));
+                assert_eq!(c.manhattan(nb), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn elink_sits_on_east_edge() {
+        let m = Mesh2D::e16g3();
+        let c = m.coord(m.elink_node());
+        assert_eq!(c.x, 3);
+        let one = Mesh2D::new(1, 1);
+        assert_eq!(one.elink_node(), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_mesh_coord_panics() {
+        let m = Mesh2D::e16g3();
+        let _ = m.node(Coord { x: 4, y: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mesh_rejected() {
+        let _ = Mesh2D::new(0, 4);
+    }
+}

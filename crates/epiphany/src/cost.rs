@@ -1,0 +1,107 @@
+//! Abstract compute-cost blocks.
+//!
+//! Kernels report *what* they executed (counts of FPU ops, integer ops,
+//! local loads/stores, and special functions); each machine model
+//! prices those counts with its own constants. A [`CostBlock`] is the
+//! already-lowered form for the Epiphany core model: special functions
+//! have been expanded to FPU-instruction equivalents by
+//! [`CostBlock::lower`].
+
+use crate::params::EpiphanyParams;
+
+pub use desim::work::OpCounts;
+
+/// A compute region lowered to Epiphany issue slots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostBlock {
+    /// Instructions competing for the FPU issue slot.
+    pub fpu_instrs: u64,
+    /// Instructions competing for the IALU/load-store slot.
+    pub ialu_ls_instrs: u64,
+    /// Local-store accesses (for bank-energy accounting).
+    pub local_accesses: u64,
+}
+
+impl CostBlock {
+    /// Expand special functions into FPU instruction sequences using
+    /// the machine's software-implementation costs.
+    pub fn lower(ops: &OpCounts, p: &EpiphanyParams) -> CostBlock {
+        let fpu = ops.flops
+            + ops.fmas
+            + ops.sqrts * p.sqrt_flops
+            + ops.divs * p.div_flops
+            + ops.trigs * p.trig_flops;
+        let ls = ops.loads * p.local_load_cycles + ops.stores * p.local_store_cycles;
+        CostBlock {
+            fpu_instrs: fpu,
+            ialu_ls_instrs: ops.ialu + ls,
+            local_accesses: ops.loads + ops.stores,
+        }
+    }
+
+    /// Issue cycles under dual-issue pairing: the longer of the two
+    /// slots, divided by the pairing efficiency (imperfect scheduling
+    /// makes some cycles single-issue).
+    pub fn cycles(&self, p: &EpiphanyParams) -> u64 {
+        let dominant = self.fpu_instrs.max(self.ialu_ls_instrs);
+        ((dominant as f64) / p.pairing_efficiency).ceil() as u64
+    }
+
+    /// Merge another block into this one.
+    pub fn add(&mut self, other: &CostBlock) {
+        self.fpu_instrs += other.fpu_instrs;
+        self.ialu_ls_instrs += other.ialu_ls_instrs;
+        self.local_accesses += other.local_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_expands_special_functions() {
+        let p = EpiphanyParams::default();
+        let ops = OpCounts { sqrts: 2, trigs: 1, flops: 5, ..OpCounts::default() };
+        let cb = CostBlock::lower(&ops, &p);
+        assert_eq!(cb.fpu_instrs, 5 + 2 * p.sqrt_flops + p.trig_flops);
+    }
+
+    #[test]
+    fn dual_issue_hides_the_shorter_slot() {
+        let p = EpiphanyParams { pairing_efficiency: 1.0, ..EpiphanyParams::default() };
+        let balanced = CostBlock { fpu_instrs: 100, ialu_ls_instrs: 100, local_accesses: 0 };
+        assert_eq!(balanced.cycles(&p), 100);
+        let fpu_heavy = CostBlock { fpu_instrs: 100, ialu_ls_instrs: 10, local_accesses: 0 };
+        assert_eq!(fpu_heavy.cycles(&p), 100);
+    }
+
+    #[test]
+    fn pairing_efficiency_inflates_cycles() {
+        let p = EpiphanyParams { pairing_efficiency: 0.5, ..EpiphanyParams::default() };
+        let b = CostBlock { fpu_instrs: 100, ialu_ls_instrs: 0, local_accesses: 0 };
+        assert_eq!(b.cycles(&p), 200);
+    }
+
+    #[test]
+    fn fma_counts_one_instruction_two_flops() {
+        let ops = OpCounts { fmas: 10, ..OpCounts::default() };
+        assert_eq!(ops.flop_work(), 20);
+        let p = EpiphanyParams::default();
+        assert_eq!(CostBlock::lower(&ops, &p).fpu_instrs, 10);
+    }
+
+    #[test]
+    fn scaling_and_accumulation() {
+        let unit = OpCounts { flops: 3, loads: 2, ..OpCounts::default() };
+        let mut total = OpCounts::default();
+        total.add(&unit.scaled(4));
+        assert_eq!(total.flops, 12);
+        assert_eq!(total.loads, 8);
+
+        let p = EpiphanyParams::default();
+        let mut cb = CostBlock::lower(&unit, &p);
+        cb.add(&CostBlock::lower(&unit, &p));
+        assert_eq!(cb.local_accesses, 4);
+    }
+}

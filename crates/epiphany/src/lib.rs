@@ -1,0 +1,46 @@
+//! Execution-driven performance/energy model of the Adapteva Epiphany
+//! E16G3 manycore.
+//!
+//! The model is *transaction-level and execution-driven*: application
+//! kernels run natively (producing real numerical results) while
+//! emitting abstract operation counts; this crate prices those counts
+//! with datasheet-derived microarchitecture constants and plays all
+//! off-core interactions (remote reads, posted writes, DMA, barriers,
+//! core-to-core streams) against the shared [`emesh`] fabric and
+//! [`memsim`] SDRAM, where they contend with each other.
+//!
+//! What is modelled — because the paper's conclusions rest on it:
+//!
+//! * dual-issue cores: one FPU op (including fused multiply-add) can
+//!   pair with one IALU/load/store per cycle,
+//! * software sqrt/divide/trig (no hardware units on Epiphany),
+//! * *blocking* remote/off-chip reads vs *posted* writes ("write
+//!   without stalling", single-cycle issue throughput),
+//! * per-core DMA engines that overlap transfers with compute,
+//! * 4×8 KB single-ported local-store banks,
+//! * the 8 GB/s eLink shared by all cores vs the 512 GB/s aggregate
+//!   on-chip fabric,
+//! * activity-based energy with fine-grained clock gating (idle cores
+//!   burn only static power).
+//!
+//! Execution model: each core owns a monotone *time cursor*. Compute
+//! advances the cursor analytically; communication reserves shared FIFO
+//! resources. Mapping code is expected to interleave cores in phases
+//! (SPMD iterations, pipeline stages) so cursors stay close; shared
+//! resources then resolve contention in near-arrival order. This is the
+//! standard transaction-level trade: per-cycle interleaving fidelity is
+//! given up, aggregate bandwidth/latency/queueing behaviour is kept.
+
+pub mod chip;
+pub mod cost;
+pub mod dma;
+pub mod loader;
+pub mod energy;
+pub mod params;
+pub mod report;
+
+pub use chip::Chip;
+pub use cost::CostBlock;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use params::EpiphanyParams;
+pub use report::RunReport;

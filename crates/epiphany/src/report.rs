@@ -1,0 +1,113 @@
+//! Run reports: everything a harness needs to print a Table I row.
+
+use std::fmt;
+
+use desim::stats::Counters;
+use desim::{Cycle, TimeSpan};
+
+use crate::energy::EnergyBreakdown;
+
+/// Summary of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Cores the mapping actually used.
+    pub cores_used: usize,
+    /// Makespan.
+    pub elapsed: TimeSpan,
+    /// Modelled energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Aggregated operation counters across all cores.
+    pub counters: Counters,
+    /// Busy cycles of the most congested on-chip link.
+    pub busiest_link_cycles: Cycle,
+    /// Busy cycles of the off-chip eLink.
+    pub elink_busy_cycles: Cycle,
+    /// SDRAM open-row hit rate.
+    pub sdram_row_hit_rate: f64,
+}
+
+impl RunReport {
+    /// Execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.millis()
+    }
+
+    /// Average modelled power over the run, watts.
+    pub fn avg_power_w(&self) -> f64 {
+        self.energy.avg_power_w(self.elapsed.seconds())
+    }
+
+    /// Modelled energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+
+    /// eLink utilisation over the makespan.
+    pub fn elink_utilization(&self) -> f64 {
+        if self.elapsed.cycles == Cycle::ZERO {
+            0.0
+        } else {
+            (self.elink_busy_cycles.raw() as f64 / self.elapsed.cycles.raw() as f64).min(1.0)
+        }
+    }
+
+    /// Wall-time speedup of this run over `baseline`.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.elapsed.seconds() / self.elapsed.seconds()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.label)?;
+        writeln!(f, "  cores used     : {}", self.cores_used)?;
+        writeln!(f, "  execution time : {:.3} ms", self.millis())?;
+        writeln!(f, "  modelled energy: {:.4} J", self.energy_j())?;
+        writeln!(f, "  modelled power : {:.3} W", self.avg_power_w())?;
+        writeln!(f, "  eLink util     : {:.1}%", self.elink_utilization() * 100.0)?;
+        writeln!(f, "  SDRAM row hits : {:.1}%", self.sdram_row_hit_rate * 100.0)?;
+        write!(f, "{}", self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Frequency;
+
+    fn report(cycles: u64) -> RunReport {
+        RunReport {
+            label: "t".into(),
+            cores_used: 1,
+            elapsed: TimeSpan::new(Cycle(cycles), Frequency::ghz(1.0)),
+            energy: EnergyBreakdown::default(),
+            counters: Counters::new(),
+            busiest_link_cycles: Cycle::ZERO,
+            elink_busy_cycles: Cycle(cycles / 2),
+            sdram_row_hit_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_times() {
+        let fast = report(1_000_000);
+        let slow = report(4_250_000);
+        assert!((fast.speedup_over(&slow) - 4.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elink_utilization_is_fraction_of_makespan() {
+        let r = report(1000);
+        assert!((r.elink_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_label() {
+        let r = report(10);
+        let s = format!("{r}");
+        assert!(s.contains("== t =="));
+        assert!(s.contains("execution time"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Autofocus criterion on the reference CPU model (Table I row 4).
+//!
+//! The working set (two 6x6 blocks plus small intermediates) fits in
+//! the L1 cache, so this configuration is purely compute-bound — the
+//! paper notes its throughput is comparable to a single Epiphany core
+//! because the i7's clock advantage is offset by executing almost twice
+//! the instructions (no FMA) on a latency-bound dependence chain.
+
+use desim::OpCounts;
+use refcpu::{RefCpu, RefCpuParams, RefReport};
+use sar_core::autofocus::{best_shift, focus_criterion};
+
+use crate::workloads::AutofocusWorkload;
+
+/// Sustained IPC for the Neville dependence chains of this kernel:
+/// each interpolation level waits on the previous one, so the
+/// out-of-order window cannot fill its issue slots (the FFBP geometry
+/// kernel, by contrast, has two independent chains and sustains the
+/// [`RefCpuParams::default`] IPC).
+pub const AUTOFOCUS_SUSTAINED_IPC: f64 = 0.8;
+
+/// Reference-model parameters specialised to this kernel.
+pub fn params() -> RefCpuParams {
+    RefCpuParams {
+        sustained_ipc: AUTOFOCUS_SUSTAINED_IPC,
+        ..RefCpuParams::default()
+    }
+}
+
+/// Outcome of the reference run.
+pub struct AutofocusRefRun {
+    /// Machine report.
+    pub report: RefReport,
+    /// `(shift, criterion)` per hypothesis.
+    pub sweep: Vec<(f32, f32)>,
+    /// The winning compensation.
+    pub best: (f32, f32),
+}
+
+/// Execute the autofocus workload on the reference CPU model.
+pub fn run(w: &AutofocusWorkload, params: RefCpuParams) -> AutofocusRefRun {
+    let mut cpu = RefCpu::new(params);
+    let mut counts = OpCounts::default();
+    let mut charged = OpCounts::default();
+
+    // The two blocks stream in once (cold reads), then live in L1.
+    cpu.mem_read(0x1000, 288);
+    cpu.mem_read(0x2000, 288);
+
+    let mut sweep = Vec::with_capacity(w.hypotheses);
+    for h in 0..w.hypotheses {
+        let shift =
+            -w.max_shift + 2.0 * w.max_shift * h as f32 / (w.hypotheses - 1) as f32;
+        let v = focus_criterion(&w.f_minus, &w.f_plus, shift, &w.config, &mut counts);
+        let delta = counts.since(&charged);
+        charged = counts;
+        cpu.compute(&delta);
+        // Criterion result written out.
+        cpu.mem_write(0x3000 + 8 * h as u64, 8);
+        sweep.push((shift, v));
+    }
+
+    let best = best_shift(&sweep);
+    AutofocusRefRun {
+        report: cpu.report("Autofocus / Intel i7 model, 1 core @ 2.67 GHz"),
+        sweep,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_injected_path_error() {
+        let w = AutofocusWorkload::paper();
+        let r = run(&w, params());
+        assert!(
+            (r.best.0 - w.true_shift).abs() <= 0.15,
+            "found {} expected {}",
+            r.best.0,
+            w.true_shift
+        );
+    }
+
+    #[test]
+    fn compute_bound_not_memory_bound() {
+        let w = AutofocusWorkload::paper();
+        let r = run(&w, params());
+        assert!(
+            r.report.mem_stall_fraction < 0.05,
+            "autofocus must be compute bound, stalls {}",
+            r.report.mem_stall_fraction
+        );
+    }
+
+    #[test]
+    fn throughput_in_table_one_ballpark() {
+        // Table I: 21,600 criterion pixels/second on the i7. The model
+        // should land within ~2x of that — it is an architecture model,
+        // not a fit.
+        let w = AutofocusWorkload::paper();
+        let r = run(&w, params());
+        let px_per_s = w.pixels() as f64 / r.report.elapsed.seconds();
+        assert!(
+            (8_000.0..80_000.0).contains(&px_per_s),
+            "throughput {px_per_s:.0} px/s implausibly far from Table I"
+        );
+    }
+
+    #[test]
+    fn sweep_length_matches_hypotheses() {
+        let w = AutofocusWorkload::small();
+        let r = run(&w, params());
+        assert_eq!(r.sweep.len(), w.hypotheses);
+    }
+}

@@ -1,0 +1,115 @@
+//! Autofocus criterion on a single Epiphany core (Table I row 5).
+//!
+//! The whole working set fits the core's local store, so — unlike FFBP
+//! — memory latency never shows: the kernel runs at FPU speed, and the
+//! FMA-friendly Neville chains execute in roughly half the instructions
+//! the reference CPU needs. The paper measures 0.8x the i7 throughput
+//! at 1/2.67 the clock.
+
+use desim::OpCounts;
+use epiphany::{Chip, EpiphanyParams, RunReport};
+use memsim::GlobalAddr;
+use sar_core::autofocus::{best_shift, focus_criterion};
+
+use crate::layout::BANK_CHILD_A;
+use crate::workloads::AutofocusWorkload;
+
+/// Dual-issue pairing efficiency for this kernel: the hand-scheduled
+/// interpolation loop pairs FPU ops with its loads/stores well.
+pub const AUTOFOCUS_PAIRING: f64 = 0.9;
+
+/// Epiphany parameters specialised to this kernel.
+pub fn params() -> EpiphanyParams {
+    EpiphanyParams {
+        pairing_efficiency: AUTOFOCUS_PAIRING,
+        ..EpiphanyParams::default()
+    }
+}
+
+/// Outcome of the sequential Epiphany run.
+pub struct AutofocusSeqRun {
+    /// Machine report.
+    pub report: RunReport,
+    /// `(shift, criterion)` per hypothesis.
+    pub sweep: Vec<(f32, f32)>,
+    /// The winning compensation.
+    pub best: (f32, f32),
+}
+
+/// Execute the autofocus workload on one core of the Epiphany model.
+pub fn run(w: &AutofocusWorkload, params: EpiphanyParams) -> AutofocusSeqRun {
+    let mut chip = Chip::e16g3(params);
+    let core = 0usize;
+    let mut counts = OpCounts::default();
+    let mut charged = OpCounts::default();
+
+    // DMA the two blocks from SDRAM into a local bank once.
+    let d1 = chip.dma_start(
+        core,
+        epiphany::dma::DmaDirection::ExternalToLocal,
+        GlobalAddr::external(0),
+        BANK_CHILD_A,
+        2 * 288,
+    );
+    chip.dma_wait(core, d1);
+
+    let mut sweep = Vec::with_capacity(w.hypotheses);
+    for h in 0..w.hypotheses {
+        let shift =
+            -w.max_shift + 2.0 * w.max_shift * h as f32 / (w.hypotheses - 1) as f32;
+        let v = focus_criterion(&w.f_minus, &w.f_plus, shift, &w.config, &mut counts);
+        let delta = counts.since(&charged);
+        charged = counts;
+        chip.compute(core, &delta);
+        chip.write_external(core, GlobalAddr::external(0x10000 + 8 * h as u32), 8);
+        sweep.push((shift, v));
+    }
+
+    let best = best_shift(&sweep);
+    AutofocusSeqRun {
+        report: chip.report("Autofocus / Epiphany, 1 core @ 1 GHz (sequential)", 1),
+        sweep,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autofocus_ref;
+
+    #[test]
+    fn same_criterion_values_as_the_reference_machine() {
+        let w = AutofocusWorkload::small();
+        let a = run(&w, params());
+        let b = autofocus_ref::run(&w, autofocus_ref::params());
+        assert_eq!(a.sweep, b.sweep, "machines must compute identical numerics");
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn throughput_is_near_the_reference_cpu() {
+        // Table I: Epiphany sequential reaches 0.8x the i7 throughput.
+        // Accept a generous band around that shape.
+        let w = AutofocusWorkload::paper();
+        let seq = run(&w, params());
+        let reference = autofocus_ref::run(&w, autofocus_ref::params());
+        let ratio = reference.report.elapsed.seconds() / seq.report.elapsed.seconds();
+        assert!(
+            (0.4..1.2).contains(&ratio),
+            "Epiphany-seq/i7 throughput ratio {ratio:.2} far from the paper's 0.8"
+        );
+    }
+
+    #[test]
+    fn no_external_reads_after_the_initial_dma() {
+        let w = AutofocusWorkload::paper();
+        let r = run(&w, params());
+        assert_eq!(
+            r.report.counters.get("ext_read"),
+            0,
+            "the kernel fits on chip; only the initial DMA touches SDRAM"
+        );
+        assert_eq!(r.report.counters.get("dma_bytes"), 576);
+    }
+}

@@ -1,0 +1,103 @@
+//! Memory layout: external SDRAM buffers and local-store bank use.
+//!
+//! FFBP ping-pongs two full-image buffers in the 32 MB external
+//! window (each stage reads the previous stage's buffer and writes its
+//! own). Per core, the paper's implementation keeps code, stack and
+//! working variables in the two lower local banks and prefetches
+//! contributing subaperture data into the two *upper* 8 KB banks —
+//! one child beam per bank (a 1001-sample beam is 8,008 bytes).
+
+use memsim::GlobalAddr;
+use sar_core::complex::c32;
+
+/// Bytes per complex pixel.
+pub const PIXEL_BYTES: u64 = std::mem::size_of::<c32>() as u64;
+
+/// Local bank receiving child-A prefetches.
+pub const BANK_CHILD_A: usize = 2;
+/// Local bank receiving child-B prefetches.
+pub const BANK_CHILD_B: usize = 3;
+
+/// The two ping-pong image buffers in external memory.
+#[derive(Debug, Clone, Copy)]
+pub struct ExternalLayout {
+    /// Range bins per beam (row length).
+    pub num_bins: u32,
+    /// Base offset of buffer 0 in the external window.
+    pub base0: u32,
+    /// Base offset of buffer 1.
+    pub base1: u32,
+}
+
+impl ExternalLayout {
+    /// Layout for an image of `num_beams_total x num_bins` pixels
+    /// (the total beam count across all subapertures of a stage is
+    /// constant, so both buffers are image-sized).
+    pub fn new(num_beams_total: u32, num_bins: u32) -> ExternalLayout {
+        let image_bytes = num_beams_total as u64 * num_bins as u64 * PIXEL_BYTES;
+        let half = memsim::address::EXTERNAL_SIZE / 2;
+        assert!(
+            image_bytes <= half as u64,
+            "image of {image_bytes} B does not fit a {half} B ping-pong buffer"
+        );
+        ExternalLayout {
+            num_bins,
+            base0: 0,
+            base1: half,
+        }
+    }
+
+    /// Base of the buffer holding stage `stage` data (stage 0 = raw
+    /// pulses in buffer 0; each merge flips buffers).
+    pub fn stage_base(&self, stage: u32) -> u32 {
+        if stage.is_multiple_of(2) {
+            self.base0
+        } else {
+            self.base1
+        }
+    }
+
+    /// External address of `(global_beam, bin)` in the stage buffer,
+    /// where `global_beam` numbers beams across all subapertures of the
+    /// stage (subaperture-major).
+    pub fn addr(&self, stage: u32, global_beam: u32, bin: u32) -> GlobalAddr {
+        debug_assert!(bin < self.num_bins);
+        let off = self.stage_base(stage) as u64
+            + (global_beam as u64 * self.num_bins as u64 + bin as u64) * PIXEL_BYTES;
+        GlobalAddr::external(off as u32)
+    }
+
+    /// Bytes of one beam (one row).
+    pub fn beam_bytes(&self) -> u64 {
+        self.num_bins as u64 * PIXEL_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_image_fits_ping_pong() {
+        let l = ExternalLayout::new(1024, 1001);
+        assert_eq!(l.beam_bytes(), 8008);
+        assert_ne!(l.stage_base(0), l.stage_base(1));
+        assert_eq!(l.stage_base(0), l.stage_base(2));
+        let a = l.addr(0, 0, 0);
+        let b = l.addr(0, 1, 0);
+        assert_eq!((b.0 - a.0) as u64, l.beam_bytes());
+        assert!(l.addr(1, 1023, 1000).is_external());
+    }
+
+    #[test]
+    fn beam_fits_one_bank() {
+        let l = ExternalLayout::new(1024, 1001);
+        assert!(l.beam_bytes() <= 8 * 1024, "a beam must fit one 8 KB bank");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_image_rejected() {
+        let _ = ExternalLayout::new(4096, 4001);
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's contribution: mapping the two SAR kernels onto the
+//! Epiphany machine model, plus the reference-CPU runs and the Table I
+//! harness.
+//!
+//! Six configurations, mirroring Table I:
+//!
+//! | kernel | machine | driver |
+//! |---|---|---|
+//! | FFBP | Intel i7 model, 1 core | [`ffbp_ref`] |
+//! | FFBP | Epiphany, 1 core | [`ffbp_seq`] |
+//! | FFBP | Epiphany, 16 cores SPMD | [`ffbp_spmd`] |
+//! | autofocus | Intel i7 model, 1 core | [`autofocus_ref`] |
+//! | autofocus | Epiphany, 1 core | [`autofocus_seq`] |
+//! | autofocus | Epiphany, 13 cores MPMD | [`autofocus_mpmd`] |
+//!
+//! Every driver runs the *same functional kernels* from `sar-core`
+//! (results are identical across machines — the paper's Fig. 7c/7d
+//! observation) while feeding operation counts and memory traffic to
+//! the machine model under evaluation.
+
+pub mod autofocus_mpmd;
+pub mod autofocus_net;
+pub mod autofocus_ref;
+pub mod autofocus_seq;
+pub mod ffbp_ref;
+pub mod ffbp_seq;
+pub mod ffbp_spmd;
+pub mod layout;
+pub mod table1;
+pub mod workloads;
+
+pub use table1::{table1, Table1, Table1Row};
+pub use workloads::{AutofocusWorkload, FfbpWorkload};

@@ -1,0 +1,240 @@
+//! The Table I harness: run all six configurations and print the
+//! paper's table with measured-vs-published columns.
+
+use std::fmt;
+
+use epiphany::EpiphanyParams;
+use refcpu::RefCpuParams;
+use serde::Serialize;
+
+use crate::autofocus_mpmd::{self, Placement};
+use crate::workloads::{AutofocusWorkload, FfbpWorkload};
+use crate::{autofocus_ref, autofocus_seq, ffbp_ref, ffbp_seq, ffbp_spmd};
+
+/// Datasheet power figures the paper uses.
+pub const INTEL_POWER_W: f64 = 17.5;
+/// The Epiphany chip figure from its datasheet.
+pub const EPIPHANY_POWER_W: f64 = 2.0;
+
+/// One row of Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Configuration label.
+    pub label: String,
+    /// Cores used.
+    pub cores: usize,
+    /// Measured (simulated) execution time, milliseconds.
+    pub time_ms: f64,
+    /// Throughput in criterion pixels per second (autofocus rows).
+    pub throughput_px_s: Option<f64>,
+    /// Measured speedup over the Intel row of the same kernel.
+    pub speedup: f64,
+    /// Speedup the paper reports for this row.
+    pub paper_speedup: f64,
+    /// Datasheet power attributed to the configuration, watts.
+    pub power_w: f64,
+    /// Fine-grained modelled power (Epiphany rows only), watts.
+    pub modeled_power_w: Option<f64>,
+}
+
+/// The whole table plus the derived energy-efficiency ratios.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// FFBP rows: Intel, Epiphany x1, Epiphany x16.
+    pub ffbp: Vec<Table1Row>,
+    /// Autofocus rows: Intel, Epiphany x1, Epiphany x13.
+    pub autofocus: Vec<Table1Row>,
+    /// Throughput-per-watt advantage of parallel-Epiphany FFBP over
+    /// the Intel reference (paper: 38x).
+    pub ffbp_energy_ratio: f64,
+    /// Same for autofocus (paper: 78x).
+    pub autofocus_energy_ratio: f64,
+    /// FFBP parallel over sequential-Epiphany speedup (paper: 11.7x).
+    pub ffbp_parallel_vs_seq: f64,
+    /// Autofocus parallel over sequential-Epiphany (paper: 10.9x).
+    pub autofocus_parallel_vs_seq: f64,
+}
+
+/// Run all six configurations of Table I.
+pub fn table1(ffbp_w: &FfbpWorkload, af_w: &AutofocusWorkload) -> Table1 {
+    // --- FFBP ---
+    let f_ref = ffbp_ref::run(ffbp_w, RefCpuParams::default());
+    let f_seq = ffbp_seq::run(ffbp_w, EpiphanyParams::default());
+    let f_par = ffbp_spmd::run(ffbp_w, EpiphanyParams::default(), Default::default());
+    let t_ref = f_ref.report.elapsed.seconds();
+
+    let ffbp = vec![
+        Table1Row {
+            label: "Sequential on Intel i7 @ 2.67 GHz".into(),
+            cores: 1,
+            time_ms: f_ref.report.millis(),
+            throughput_px_s: None,
+            speedup: 1.0,
+            paper_speedup: 1.0,
+            power_w: INTEL_POWER_W,
+            modeled_power_w: None,
+        },
+        Table1Row {
+            label: "Sequential on Epiphany @ 1 GHz".into(),
+            cores: 1,
+            time_ms: f_seq.report.millis(),
+            throughput_px_s: None,
+            speedup: t_ref / f_seq.report.elapsed.seconds(),
+            paper_speedup: 0.36,
+            power_w: EPIPHANY_POWER_W,
+            modeled_power_w: Some(f_seq.report.avg_power_w()),
+        },
+        Table1Row {
+            label: "Parallel on Epiphany @ 1 GHz".into(),
+            cores: 16,
+            time_ms: f_par.report.millis(),
+            throughput_px_s: None,
+            speedup: t_ref / f_par.report.elapsed.seconds(),
+            paper_speedup: 4.25,
+            power_w: EPIPHANY_POWER_W,
+            modeled_power_w: Some(f_par.report.avg_power_w()),
+        },
+    ];
+
+    // --- Autofocus ---
+    let a_ref = autofocus_ref::run(af_w, autofocus_ref::params());
+    let a_seq = autofocus_seq::run(af_w, autofocus_seq::params());
+    let a_par = autofocus_mpmd::run(af_w, autofocus_mpmd::params(), Placement::neighbor());
+    let px = af_w.pixels() as f64;
+    let thr = |secs: f64| px / secs;
+    let t_aref = a_ref.report.elapsed.seconds();
+
+    let autofocus = vec![
+        Table1Row {
+            label: "Sequential on Intel i7 @ 2.67 GHz".into(),
+            cores: 1,
+            time_ms: a_ref.report.millis(),
+            throughput_px_s: Some(thr(t_aref)),
+            speedup: 1.0,
+            paper_speedup: 1.0,
+            power_w: INTEL_POWER_W,
+            modeled_power_w: None,
+        },
+        Table1Row {
+            label: "Sequential on Epiphany @ 1 GHz".into(),
+            cores: 1,
+            time_ms: a_seq.report.millis(),
+            throughput_px_s: Some(thr(a_seq.report.elapsed.seconds())),
+            speedup: t_aref / a_seq.report.elapsed.seconds(),
+            paper_speedup: 0.8,
+            power_w: EPIPHANY_POWER_W,
+            modeled_power_w: Some(a_seq.report.avg_power_w()),
+        },
+        Table1Row {
+            label: "Parallel on Epiphany @ 1 GHz".into(),
+            cores: 13,
+            time_ms: a_par.report.millis(),
+            throughput_px_s: Some(thr(a_par.report.elapsed.seconds())),
+            speedup: t_aref / a_par.report.elapsed.seconds(),
+            paper_speedup: 8.93,
+            power_w: EPIPHANY_POWER_W,
+            modeled_power_w: Some(a_par.report.avg_power_w()),
+        },
+    ];
+
+    // Energy efficiency as the paper computes it: throughput per watt
+    // from datasheet power.
+    let ffbp_energy_ratio = ffbp[2].speedup * (INTEL_POWER_W / EPIPHANY_POWER_W);
+    let autofocus_energy_ratio = autofocus[2].speedup * (INTEL_POWER_W / EPIPHANY_POWER_W);
+
+    Table1 {
+        ffbp_parallel_vs_seq: f_seq.report.elapsed.seconds() / f_par.report.elapsed.seconds(),
+        autofocus_parallel_vs_seq: a_seq.report.elapsed.seconds()
+            / a_par.report.elapsed.seconds(),
+        ffbp,
+        autofocus,
+        ffbp_energy_ratio,
+        autofocus_energy_ratio,
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TABLE I — Resources, Performance, and Estimated Power (measured by the model | paper)"
+        )?;
+        writeln!(f, "\nFFBP implementations")?;
+        writeln!(
+            f,
+            "{:<38} {:>5} {:>12} {:>9} {:>7} {:>8}",
+            "", "cores", "time (ms)", "speedup", "paper", "power W"
+        )?;
+        for row in &self.ffbp {
+            writeln!(
+                f,
+                "{:<38} {:>5} {:>12.1} {:>8.2}x {:>6.2}x {:>8.1}",
+                row.label, row.cores, row.time_ms, row.speedup, row.paper_speedup, row.power_w
+            )?;
+        }
+        writeln!(f, "\nAutofocus implementations")?;
+        writeln!(
+            f,
+            "{:<38} {:>5} {:>14} {:>9} {:>7} {:>8}",
+            "", "cores", "px/s", "speedup", "paper", "power W"
+        )?;
+        for row in &self.autofocus {
+            writeln!(
+                f,
+                "{:<38} {:>5} {:>14.0} {:>8.2}x {:>6.2}x {:>8.1}",
+                row.label,
+                row.cores,
+                row.throughput_px_s.unwrap_or(0.0),
+                row.speedup,
+                row.paper_speedup,
+                row.power_w
+            )?;
+        }
+        writeln!(f, "\nDerived figures (measured | paper)")?;
+        writeln!(
+            f,
+            "  FFBP parallel vs sequential Epiphany : {:>6.2}x | 11.7x",
+            self.ffbp_parallel_vs_seq
+        )?;
+        writeln!(
+            f,
+            "  AF   parallel vs sequential Epiphany : {:>6.2}x | 10.9x",
+            self.autofocus_parallel_vs_seq
+        )?;
+        writeln!(
+            f,
+            "  FFBP energy efficiency vs Intel      : {:>6.1}x | 38x",
+            self.ffbp_energy_ratio
+        )?;
+        writeln!(
+            f,
+            "  AF   energy efficiency vs Intel      : {:>6.1}x | 78x",
+            self.autofocus_energy_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table_has_the_paper_shape() {
+        // The small workload exercises the full harness quickly. The
+        // *shape* must match the paper: sequential Epiphany loses to
+        // Intel on FFBP, parallel wins on both kernels, and the energy
+        // advantage is large.
+        let t = table1(&FfbpWorkload::small(), &AutofocusWorkload::small());
+        assert_eq!(t.ffbp.len(), 3);
+        assert_eq!(t.autofocus.len(), 3);
+        assert!(t.ffbp[1].speedup < 1.0, "seq Epiphany must lose on FFBP");
+        assert!(t.ffbp[2].speedup > 1.0, "16 cores must win on FFBP");
+        assert!(t.autofocus[2].speedup > 1.0, "13 cores must win on autofocus");
+        assert!(t.ffbp_energy_ratio > 8.75, "energy ratio must exceed the pure power ratio");
+        assert!(t.ffbp_parallel_vs_seq > 4.0);
+        assert!(t.autofocus_parallel_vs_seq > 2.0);
+        let s = format!("{t}");
+        assert!(s.contains("TABLE I"));
+        assert!(s.contains("38x"));
+    }
+}

@@ -1,0 +1,122 @@
+//! The Epiphany 32-bit global address map.
+//!
+//! Every core's 32 KB local store, its registers and the external DRAM
+//! window live in a single flat 32-bit space. A global address encodes
+//! the owning mesh node in its top twelve bits: six bits of row and six
+//! bits of column (`addr[31:26] = row`, `addr[25:20] = col`), leaving a
+//! 1 MB window per node of which the low 32 KB is the local store.
+//! Row/col `(0,0)` (top bits zero) aliases the issuing core's own local
+//! space. External SDRAAM on the evaluation board is mapped through a
+//! dedicated window (we follow the common `0x8E00_0000` convention).
+
+/// A 32-bit Epiphany global address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalAddr(pub u32);
+
+/// Base of the external-memory window on the evaluation board.
+pub const EXTERNAL_BASE: u32 = 0x8E00_0000;
+/// Size of the external-memory window (32 MB on the EMEK3 board).
+pub const EXTERNAL_SIZE: u32 = 0x0200_0000;
+/// Bytes of local store per core.
+pub const LOCAL_STORE_BYTES: u32 = 32 * 1024;
+
+impl GlobalAddr {
+    /// Compose a global address for node `(row, col)` and byte `offset`
+    /// within its 1 MB window.
+    ///
+    /// # Panics
+    /// If `row`/`col` exceed six bits or `offset` exceeds 20 bits.
+    pub fn from_parts(row: u8, col: u8, offset: u32) -> GlobalAddr {
+        assert!(row < 64 && col < 64, "row/col must fit in 6 bits");
+        assert!(offset < (1 << 20), "offset must fit in 20 bits");
+        GlobalAddr(((row as u32) << 26) | ((col as u32) << 20) | offset)
+    }
+
+    /// An address inside the external (off-chip) window.
+    ///
+    /// # Panics
+    /// If `offset` exceeds the window.
+    pub fn external(offset: u32) -> GlobalAddr {
+        assert!(offset < EXTERNAL_SIZE, "offset outside external window");
+        GlobalAddr(EXTERNAL_BASE + offset)
+    }
+
+    /// Mesh row encoded in the address.
+    pub fn row(self) -> u8 {
+        (self.0 >> 26) as u8
+    }
+
+    /// Mesh column encoded in the address.
+    pub fn col(self) -> u8 {
+        ((self.0 >> 20) & 0x3F) as u8
+    }
+
+    /// Byte offset within the owning node's window.
+    pub fn offset(self) -> u32 {
+        self.0 & 0x000F_FFFF
+    }
+
+    /// Whether the top bits are zero: the address aliases the issuing
+    /// core's own local space.
+    pub fn is_core_local_alias(self) -> bool {
+        (self.0 >> 20) == 0
+    }
+
+    /// Whether the address falls in the external-memory window.
+    pub fn is_external(self) -> bool {
+        (EXTERNAL_BASE..EXTERNAL_BASE + EXTERNAL_SIZE).contains(&self.0)
+    }
+
+    /// Whether the offset lies within the 32 KB local store (as opposed
+    /// to the memory-mapped register space higher in the window).
+    pub fn in_local_store(self) -> bool {
+        self.offset() < LOCAL_STORE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_and_decompose() {
+        let a = GlobalAddr::from_parts(2, 3, 0x1234);
+        assert_eq!(a.row(), 2);
+        assert_eq!(a.col(), 3);
+        assert_eq!(a.offset(), 0x1234);
+        assert!(!a.is_core_local_alias());
+        assert!(!a.is_external());
+        assert!(a.in_local_store());
+    }
+
+    #[test]
+    fn zero_top_bits_alias_local() {
+        let a = GlobalAddr(0x0000_4000);
+        assert!(a.is_core_local_alias());
+        assert!(a.in_local_store());
+        let b = GlobalAddr(0x0000_8000); // 32 KB: past local store
+        assert!(!b.in_local_store());
+    }
+
+    #[test]
+    fn external_window() {
+        let a = GlobalAddr::external(0);
+        assert!(a.is_external());
+        let b = GlobalAddr::external(EXTERNAL_SIZE - 1);
+        assert!(b.is_external());
+        let c = GlobalAddr(EXTERNAL_BASE - 1);
+        assert!(!c.is_external());
+    }
+
+    #[test]
+    #[should_panic(expected = "6 bits")]
+    fn oversize_row_rejected() {
+        let _ = GlobalAddr::from_parts(64, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside external window")]
+    fn external_bounds_checked() {
+        let _ = GlobalAddr::external(EXTERNAL_SIZE);
+    }
+}

@@ -1,0 +1,249 @@
+//! The single-core execution model.
+
+use std::fmt;
+
+use desim::{Cycle, OpCounts, TimeSpan};
+use memsim::MemoryHierarchy;
+
+use crate::params::RefCpuParams;
+
+/// One core of the reference CPU.
+pub struct RefCpu {
+    params: RefCpuParams,
+    hierarchy: MemoryHierarchy,
+    cycles: f64,
+    ops: OpCounts,
+    mem_stall_cycles: f64,
+}
+
+impl RefCpu {
+    /// Fresh core with cold caches.
+    pub fn new(params: RefCpuParams) -> RefCpu {
+        RefCpu {
+            hierarchy: MemoryHierarchy::new(params.hierarchy),
+            params,
+            cycles: 0.0,
+            ops: OpCounts::default(),
+            mem_stall_cycles: 0.0,
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &RefCpuParams {
+        &self.params
+    }
+
+    /// Execute a compute region. Loads/stores here are priced as issue
+    /// slots (they hit the L1 as far as the pipeline is concerned);
+    /// *miss* penalties are charged by [`RefCpu::mem_read`] /
+    /// [`RefCpu::mem_write`] on the addresses the kernel actually
+    /// touches.
+    pub fn compute(&mut self, ops: &OpCounts) {
+        self.ops.add(ops);
+        // No FMA on Westmere: an FMA lowers to multiply + add.
+        let instrs = ops.instrs_no_fma();
+        let special = ops.sqrts * self.params.sqrt_cycles
+            + ops.divs * self.params.div_cycles
+            + ops.trigs * self.params.trig_cycles;
+        self.cycles += instrs as f64 / self.params.sustained_ipc + special as f64;
+    }
+
+    fn mem(&mut self, addr: u64, bytes: u64, write: bool) {
+        let latency = self.hierarchy.access_range(addr, bytes, write);
+        let l1 = self.params.hierarchy.l1_cycles;
+        let lines = latency.div_ceil(self.params.hierarchy.l1_cycles).max(1);
+        let _ = lines;
+        // L1-hit time is already covered by the issue-slot pricing in
+        // `compute`; only the portion beyond L1, divided by the MLP the
+        // out-of-order window extracts, stalls the core.
+        let beyond_l1 = latency.saturating_sub(l1) as f64;
+        let stall = beyond_l1 / self.params.mlp;
+        self.mem_stall_cycles += stall;
+        self.cycles += stall;
+    }
+
+    /// Demand read of `bytes` at `addr`.
+    pub fn mem_read(&mut self, addr: u64, bytes: u64) {
+        self.mem(addr, bytes, false);
+    }
+
+    /// Demand write of `bytes` at `addr` (write-allocate).
+    pub fn mem_write(&mut self, addr: u64, bytes: u64) {
+        self.mem(addr, bytes, true);
+    }
+
+    /// Cycles consumed so far.
+    pub fn elapsed(&self) -> Cycle {
+        Cycle(self.cycles.ceil() as u64)
+    }
+
+    /// Elapsed wall time.
+    pub fn elapsed_span(&self) -> TimeSpan {
+        TimeSpan::new(self.elapsed(), self.params.clock)
+    }
+
+    /// Cycles lost to memory stalls (beyond-L1, MLP-adjusted).
+    pub fn mem_stall_fraction(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.mem_stall_cycles / self.cycles
+        }
+    }
+
+    /// The cache hierarchy (statistics).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Finish the run into a report.
+    pub fn report(&self, label: &str) -> RefReport {
+        RefReport {
+            label: label.to_string(),
+            elapsed: self.elapsed_span(),
+            power_w: self.params.power_w,
+            ops: self.ops,
+            mem_stall_fraction: self.mem_stall_fraction(),
+            dram_accesses: self.hierarchy.dram_accesses(),
+        }
+    }
+
+    /// Restart with cold caches.
+    pub fn reset(&mut self) {
+        self.hierarchy.reset();
+        self.cycles = 0.0;
+        self.ops = OpCounts::default();
+        self.mem_stall_cycles = 0.0;
+    }
+}
+
+/// Run summary for the reference machine.
+#[derive(Debug, Clone)]
+pub struct RefReport {
+    /// Configuration label.
+    pub label: String,
+    /// Wall time.
+    pub elapsed: TimeSpan,
+    /// Datasheet power attributed to the core.
+    pub power_w: f64,
+    /// Operation totals.
+    pub ops: OpCounts,
+    /// Fraction of cycles stalled on memory.
+    pub mem_stall_fraction: f64,
+    /// DRAM demand accesses.
+    pub dram_accesses: u64,
+}
+
+impl RefReport {
+    /// Execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.millis()
+    }
+
+    /// Energy as the paper computes it: datasheet power x time.
+    pub fn energy_j(&self) -> f64 {
+        self.power_w * self.elapsed.seconds()
+    }
+}
+
+impl fmt::Display for RefReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.label)?;
+        writeln!(f, "  execution time : {:.3} ms", self.millis())?;
+        writeln!(f, "  datasheet power: {:.1} W", self.power_w)?;
+        writeln!(f, "  energy         : {:.4} J", self.energy_j())?;
+        writeln!(f, "  mem stalls     : {:.1}%", self.mem_stall_fraction * 100.0)?;
+        write!(f, "  DRAM accesses  : {}", self.dram_accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> RefCpu {
+        RefCpu::new(RefCpuParams::default())
+    }
+
+    #[test]
+    fn compute_prices_ipc_and_specials() {
+        let mut c = cpu();
+        c.compute(&OpCounts { flops: 180, ..OpCounts::default() });
+        assert_eq!(c.elapsed(), Cycle(100)); // 180 / 1.8
+        let mut c2 = cpu();
+        c2.compute(&OpCounts { sqrts: 10, ..OpCounts::default() });
+        assert_eq!(c2.elapsed(), Cycle(10 * c2.params().sqrt_cycles));
+    }
+
+    #[test]
+    fn fma_costs_two_instructions() {
+        let mut a = cpu();
+        a.compute(&OpCounts { fmas: 90, ..OpCounts::default() });
+        let mut b = cpu();
+        b.compute(&OpCounts { flops: 90, ..OpCounts::default() });
+        assert_eq!(a.elapsed().raw(), 2 * b.elapsed().raw());
+    }
+
+    #[test]
+    fn cached_reads_are_nearly_free_cold_reads_stall() {
+        let mut c = cpu();
+        c.mem_read(0x1000, 8);
+        let cold = c.elapsed();
+        c.mem_read(0x1000, 8);
+        let warm = c.elapsed() - cold;
+        assert!(warm.raw() * 10 < cold.raw(), "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn sequential_streams_beat_random_access() {
+        let mut seq = cpu();
+        for i in 0..10_000u64 {
+            seq.mem_read(i * 8, 8);
+        }
+        let mut rnd = cpu();
+        let mut x = 99u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rnd.mem_read((x >> 16) % (64 << 20), 8);
+        }
+        assert!(
+            seq.elapsed().raw() * 3 < rnd.elapsed().raw(),
+            "prefetcher should make streaming much cheaper: seq={}, rnd={}",
+            seq.elapsed(),
+            rnd.elapsed()
+        );
+    }
+
+    #[test]
+    fn mem_stall_fraction_reflects_traffic() {
+        let mut c = cpu();
+        c.compute(&OpCounts { flops: 1000, ..OpCounts::default() });
+        assert_eq!(c.mem_stall_fraction(), 0.0);
+        let mut x = 7u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            c.mem_read((x >> 12) % (128 << 20), 8);
+        }
+        assert!(c.mem_stall_fraction() > 0.5);
+    }
+
+    #[test]
+    fn report_energy_uses_datasheet_power() {
+        let mut c = cpu();
+        c.compute(&OpCounts { flops: 2_670_000, ..OpCounts::default() });
+        let r = c.report("ref");
+        // 2.67e6/1.8 cycles at 2.67 GHz = 0.5556 ms; energy = 17.5 W x t.
+        assert!((r.millis() - 0.5556).abs() < 0.01);
+        assert!((r.energy_j() - 17.5 * r.elapsed.seconds()).abs() < 1e-12);
+        assert!(format!("{r}").contains("datasheet power"));
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut c = cpu();
+        c.mem_read(0, 64);
+        c.reset();
+        assert_eq!(c.elapsed(), Cycle::ZERO);
+        assert_eq!(c.hierarchy().accesses(), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Reference uniprocessor timing model: one core of an Intel Core
+//! i7-M620 (Westmere, 2.67 GHz), the paper's baseline machine.
+//!
+//! The baseline's character in the paper comes from three things the
+//! Epiphany lacks: a deep cache hierarchy with hardware prefetching, an
+//! out-of-order superscalar pipeline, and a 2.67x faster clock — paid
+//! for with 17.5 W (half the chip's dissipation, as the paper counts
+//! it). The model prices instrumented [`desim::OpCounts`] with
+//! Westmere-like constants and plays every memory touch against the
+//! [`memsim::MemoryHierarchy`] (32 KB L1 / 256 KB L2 / 4 MB L3 /
+//! DDR3 + stream prefetcher).
+//!
+//! Energy follows the paper's own methodology: datasheet power times
+//! measured time (no activity model — the paper uses the spec figure).
+
+pub mod cpu;
+pub mod params;
+
+pub use cpu::{RefCpu, RefReport};
+pub use params::RefCpuParams;

@@ -1,0 +1,49 @@
+//! The full Figure-4 pipeline: a non-linear flight track defocuses the
+//! plain FFBP image; running the autofocus criterion before each
+//! subaperture merge recovers it.
+//!
+//! Run with: `cargo run --example autofocus_ffbp --release`
+
+use sar_repro::sar_core::autofocus::integrated::{ffbp_with_autofocus, IntegratedConfig};
+use sar_repro::sar_core::ffbp::{ffbp, FfbpConfig};
+use sar_repro::sar_core::geometry::SarGeometry;
+use sar_repro::sar_core::scene::{simulate_compressed_data, simulate_with_track, Scene};
+use sar_repro::sar_core::track::FlightTrack;
+
+fn main() {
+    let geom = SarGeometry::test_size();
+    let scene = Scene::single_target(geom);
+
+    // The aircraft weaves +/- 1 m around the nominal line.
+    let track = FlightTrack::step(geom.num_pulses, 1.5);
+    let perturbed = simulate_with_track(&scene, &track, 0.0, 0);
+    let clean = simulate_compressed_data(&scene, 0.0, 0);
+
+    let ideal = ffbp(&clean, &geom, &FfbpConfig::default());
+    let plain = ffbp(&perturbed, &geom, &FfbpConfig::default());
+    let auto_run = ffbp_with_autofocus(&perturbed, &geom, &IntegratedConfig::default());
+
+    let (p_ideal, _, _) = ideal.image.peak();
+    let (p_plain, _, _) = plain.image.peak();
+    let (p_auto, _, _) = auto_run.image.peak();
+
+    println!("flight-path error: {:.1} m step mid-aperture", 1.5);
+    println!("focus peak, straight track      : {p_ideal:.1} (reference)");
+    println!(
+        "focus peak, perturbed, plain    : {p_plain:.1} ({:.0}% of reference)",
+        100.0 * p_plain / p_ideal
+    );
+    println!(
+        "focus peak, perturbed, autofocus: {p_auto:.1} ({:.0}% of reference)",
+        100.0 * p_auto / p_ideal
+    );
+    println!("\ncorrections applied:");
+    for c in &auto_run.corrections {
+        println!(
+            "  merge iteration {} / pair {}: {:+.2} m",
+            c.iteration, c.pair, c.dx_meters
+        );
+    }
+    assert!(p_auto > p_plain, "autofocus must help");
+    println!("\nautofocus recovered the defocused image — example OK");
+}

@@ -1,0 +1,41 @@
+//! Autofocus demonstration: inject a known flight-path error into a
+//! pair of subimages, sweep candidate compensations, and recover the
+//! error by maximising the focus criterion (eq. 6 of the paper).
+//!
+//! Run with: `cargo run --example autofocus_search --release`
+
+use sar_repro::desim::OpCounts;
+use sar_repro::sar_core::autofocus::{best_shift, sweep_criterion, AutofocusConfig, Block6};
+
+fn main() {
+    let true_error = 0.35f32; // pixels of linear shift between the halves
+    println!("injected path error: {true_error:+.2} px\n");
+
+    // The two contributing subimages observe the same scene displaced
+    // by the path error.
+    let f_minus = Block6::gaussian_blob(0.0, true_error / 2.0);
+    let f_plus = Block6::gaussian_blob(0.0, -true_error / 2.0);
+
+    let cfg = AutofocusConfig::default();
+    let mut counts = OpCounts::default();
+    let sweep = sweep_criterion(&f_minus, &f_plus, 1.0, 21, &cfg, &mut counts);
+
+    println!("{:>9} {:>14}", "shift", "criterion");
+    let peak = best_shift(&sweep);
+    for (shift, value) in &sweep {
+        let marker = if (*shift, *value) == peak { "  <-- best" } else { "" };
+        println!("{shift:>+9.2} {value:>14.4}{marker}");
+    }
+
+    println!("\nrecovered compensation: {:+.2} px (true {true_error:+.2})", peak.0);
+    println!(
+        "criterion arithmetic: {} flops across {} hypotheses",
+        counts.flop_work(),
+        sweep.len()
+    );
+    assert!(
+        (peak.0 - true_error).abs() <= 0.15,
+        "autofocus failed to recover the injected error"
+    );
+    println!("autofocus recovered the path error — example OK");
+}

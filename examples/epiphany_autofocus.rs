@@ -1,0 +1,35 @@
+//! Run the autofocus criterion as the paper's 13-core MPMD streaming
+//! pipeline on the simulated Epiphany and compare against the
+//! single-core version.
+//!
+//! Run with: `cargo run --example epiphany_autofocus --release`
+
+use sar_repro::sar_epiphany::autofocus_mpmd::{self, Placement};
+use sar_repro::sar_epiphany::autofocus_seq;
+use sar_repro::sar_epiphany::workloads::AutofocusWorkload;
+
+fn main() {
+    let w = AutofocusWorkload::paper();
+
+    let seq = autofocus_seq::run(&w, autofocus_seq::params());
+    let mpmd = autofocus_mpmd::run(&w, autofocus_mpmd::params(), Placement::neighbor());
+
+    println!("{}", seq.report);
+    println!();
+    println!("{}", mpmd.report);
+    println!();
+
+    let px = w.pixels() as f64;
+    println!(
+        "throughput: sequential {:>10.0} px/s | pipeline {:>10.0} px/s | {:.2}x",
+        px / seq.report.elapsed.seconds(),
+        px / mpmd.report.elapsed.seconds(),
+        seq.report.elapsed.seconds() / mpmd.report.elapsed.seconds()
+    );
+    println!(
+        "recovered path compensation: {:+.2} px (injected {:+.2})",
+        mpmd.best.0, w.true_shift
+    );
+    assert_eq!(seq.sweep.len(), mpmd.sweep.len());
+    println!("pipeline and sequential criteria agree — example OK");
+}

@@ -1,0 +1,47 @@
+//! Run the SPMD FFBP mapping on the simulated 16-core Epiphany and
+//! print the machine report: simulated time, energy breakdown, eLink
+//! pressure, and the prefetch hit rate that drives the paper's story.
+//!
+//! Run with: `cargo run --example epiphany_ffbp --release`
+
+use sar_repro::epiphany::EpiphanyParams;
+use sar_repro::sar_epiphany::ffbp_spmd::{self, SpmdOptions};
+use sar_repro::sar_epiphany::{ffbp_seq, workloads::FfbpWorkload};
+
+fn main() {
+    // A reduced workload keeps the example quick; the full Table I run
+    // lives in `cargo run -p bench --bin table1 --release`.
+    let geom = sar_repro::sar_core::geometry::SarGeometry {
+        num_pulses: 256,
+        ..sar_repro::sar_core::geometry::SarGeometry::paper_size()
+    };
+    let scene = sar_repro::sar_core::scene::Scene::six_targets(geom);
+    let w = FfbpWorkload {
+        geom,
+        data: sar_repro::sar_core::scene::simulate_compressed_data(&scene, 0.0, 7),
+        config: Default::default(),
+    };
+
+    let seq = ffbp_seq::run(&w, EpiphanyParams::default());
+    let par = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
+
+    println!("{}", seq.report);
+    println!();
+    println!("{}", par.report);
+    println!();
+    println!(
+        "prefetch coverage: {} local / {} external ({:.1}% hit rate)",
+        par.local_hits,
+        par.external_misses,
+        100.0 * par.local_hits as f64 / (par.local_hits + par.external_misses) as f64
+    );
+    println!(
+        "16-core speedup over one Epiphany core: {:.2}x (paper, full size: 11.7x)",
+        seq.report.elapsed.seconds() / par.report.elapsed.seconds()
+    );
+    assert_eq!(
+        seq.image.as_slice(),
+        par.image.as_slice(),
+        "both mappings must form the same image"
+    );
+}

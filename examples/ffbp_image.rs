@@ -1,0 +1,46 @@
+//! Form images of the paper's six-point-target scene with both GBP and
+//! FFBP and write them as PGM files (a reduced-size Figure 7).
+//!
+//! Run with: `cargo run --example ffbp_image --release`
+
+use std::path::Path;
+
+use sar_repro::sar_core::ffbp::{ffbp, FfbpConfig, InterpKind};
+use sar_repro::sar_core::gbp::gbp;
+use sar_repro::sar_core::geometry::SarGeometry;
+use sar_repro::sar_core::quality::{image_entropy, normalized_rmse};
+use sar_repro::sar_core::scene::{simulate_compressed_data, Scene};
+
+fn main() {
+    let geometry = SarGeometry {
+        num_pulses: 256,
+        num_bins: 257,
+        ..SarGeometry::paper_size()
+    };
+    let scene = Scene::six_targets(geometry);
+    let data = simulate_compressed_data(&scene, 0.0, 7);
+    let out = Path::new("example_images");
+    std::fs::create_dir_all(out).expect("create output dir");
+
+    data.write_pgm(&out.join("raw_data.pgm"), -50.0).unwrap();
+    println!("raw pulse-compressed data -> example_images/raw_data.pgm");
+
+    let reference = gbp(&data, &geometry, geometry.num_pulses);
+    reference.image.write_pgm(&out.join("gbp.pgm"), -50.0).unwrap();
+    println!("GBP reference             -> example_images/gbp.pgm");
+
+    for (name, interp) in [("nearest", InterpKind::Nearest), ("cubic", InterpKind::Cubic)] {
+        let cfg = FfbpConfig { interp, ..FfbpConfig::default() };
+        let run = ffbp(&data, &geometry, &cfg);
+        let file = format!("ffbp_{name}.pgm");
+        run.image.write_pgm(&out.join(&file), -50.0).unwrap();
+        println!(
+            "FFBP ({name:>7})          -> example_images/{file}  (RMSE vs GBP {:.4}, entropy {:.2})",
+            normalized_rmse(&run.image, &reference.image),
+            image_entropy(&run.image)
+        );
+    }
+    println!("\nCompare the PGMs: six focused points in all formed images; the");
+    println!("nearest-neighbour FFBP panel is visibly noisier than GBP, the cubic");
+    println!("one close to it — Figure 7's story.");
+}

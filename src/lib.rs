@@ -1,0 +1,10 @@
+//! Umbrella crate: re-exports the workspace crates and hosts the
+//! cross-crate integration tests and runnable examples.
+pub use desim;
+pub use emesh;
+pub use epiphany;
+pub use memsim;
+pub use refcpu;
+pub use sar_core;
+pub use sar_epiphany;
+pub use streams;
