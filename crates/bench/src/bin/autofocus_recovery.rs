@@ -3,7 +3,7 @@
 //! autofocus (recovered), against the straight-track ideal. This is
 //! the system the paper's two kernels exist to serve.
 //!
-//! Usage: `cargo run -p bench --bin autofocus_recovery --release`
+//! Usage: `cargo run -p bench --bin autofocus_recovery --release [-- --json]`
 
 use sar_core::autofocus::integrated::{ffbp_with_autofocus, IntegratedConfig};
 use sar_core::ffbp::{ffbp, FfbpConfig};
@@ -11,8 +11,10 @@ use sar_core::geometry::SarGeometry;
 use sar_core::quality::{image_entropy, response_width, Axis};
 use sar_core::scene::{simulate_compressed_data, simulate_with_track, Scene};
 use sar_core::track::FlightTrack;
+use sim_harness::BenchHarness;
 
 fn main() {
+    let mut h = BenchHarness::new("autofocus_recovery");
     let geom = SarGeometry {
         num_pulses: 256,
         num_bins: 257,
@@ -23,25 +25,40 @@ fn main() {
     let ideal = ffbp(&clean, &geom, &FfbpConfig::default());
     let (ideal_peak, _, _) = ideal.image.peak();
 
-    println!("Autofocus recovery under non-linear flight tracks");
-    println!("({} pulses, single target; peaks relative to straight-track FFBP)", geom.num_pulses);
-    println!(
+    h.say("Autofocus recovery under non-linear flight tracks");
+    h.say(format_args!(
+        "({} pulses, single target; peaks relative to straight-track FFBP)",
+        geom.num_pulses
+    ));
+    h.say(format_args!(
         "\n{:<28} {:>11} {:>11} {:>11} {:>9} {:>12}",
         "track", "plain peak", "autof peak", "recovered", "fixes", "entropy +/-"
-    );
+    ));
     for (name, track) in [
         ("straight", FlightTrack::straight(geom.num_pulses)),
         ("step 1.5 m", FlightTrack::step(geom.num_pulses, 1.5)),
-        ("sinusoid 1.0 m / 96 p", FlightTrack::sinusoidal(geom.num_pulses, 1.0, 96.0)),
-        ("sinusoid 1.0 m / 128 p*", FlightTrack::sinusoidal(geom.num_pulses, 1.0, 128.0)),
-        ("random walk 0.10 m/p", FlightTrack::random_walk(geom.num_pulses, 0.10, 5)),
+        (
+            "sinusoid 1.0 m / 96 p",
+            FlightTrack::sinusoidal(geom.num_pulses, 1.0, 96.0),
+        ),
+        (
+            "sinusoid 1.0 m / 128 p*",
+            FlightTrack::sinusoidal(geom.num_pulses, 1.0, 128.0),
+        ),
+        (
+            "random walk 0.10 m/p",
+            FlightTrack::random_walk(geom.num_pulses, 0.10, 5),
+        ),
     ] {
         let data = simulate_with_track(&scene, &track, 0.0, 0);
         let plain = ffbp(&data, &geom, &FfbpConfig::default());
-        let auto_run = ffbp_with_autofocus(&data, &geom, &IntegratedConfig::default());
+        let (mut record, auto_run) = BenchHarness::host_record(
+            &format!("FFBP + per-merge autofocus — {name} track"),
+            || ffbp_with_autofocus(&data, &geom, &IntegratedConfig::default()),
+        );
         let (p_plain, _, _) = plain.image.peak();
         let (p_auto, _, _) = auto_run.image.peak();
-        println!(
+        h.say(format_args!(
             "{:<28} {:>10.1}% {:>10.1}% {:>10.1}% {:>9} {:>5.2}/{:<5.2}",
             name,
             100.0 * p_plain / ideal_peak,
@@ -50,17 +67,28 @@ fn main() {
             auto_run.corrections.len(),
             image_entropy(&plain.image),
             image_entropy(&auto_run.image),
+        ));
+        record.set_metric("plain_peak_pct", f64::from(100.0 * p_plain / ideal_peak));
+        record.set_metric("autofocus_peak_pct", f64::from(100.0 * p_auto / ideal_peak));
+        record.set_metric(
+            "recovered_pct",
+            f64::from(100.0 * (p_auto - p_plain) / ideal_peak),
         );
+        record.set_metric("corrections", auto_run.corrections.len() as f64);
+        record.set_metric("entropy_plain", image_entropy(&plain.image));
+        record.set_metric("entropy_autofocus", image_entropy(&auto_run.image));
+        h.record(record);
     }
-    println!(
+    h.say(format_args!(
         "\nideal -6 dB response widths: range {:.1} px, cross-range {:.1} px",
         response_width(&ideal.image, Axis::Range, 0.5),
         response_width(&ideal.image, Axis::CrossRange, 0.5)
-    );
-    println!("\nPer-merge autofocus recovers (or over-recovers — it also fixes the");
-    println!("NN pipeline's own sub-bin envelope misalignment) the peak a");
-    println!("perturbed track costs. (*) A sinusoid whose period divides the");
-    println!("subaperture lengths is the estimator's blind spot: every");
-    println!("subaperture's mean offset is zero, so pairwise shifts vanish —");
-    println!("intra-subaperture errors need finer-grained compensation (GPS).");
+    ));
+    h.say("\nPer-merge autofocus recovers (or over-recovers — it also fixes the");
+    h.say("NN pipeline's own sub-bin envelope misalignment) the peak a");
+    h.say("perturbed track costs. (*) A sinusoid whose period divides the");
+    h.say("subaperture lengths is the estimator's blind spot: every");
+    h.say("subaperture's mean offset is zero, so pairwise shifts vanish —");
+    h.say("intra-subaperture errors need finer-grained compensation (GPS).");
+    h.finish();
 }

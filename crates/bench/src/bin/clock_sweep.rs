@@ -4,42 +4,49 @@
 //! with clock; SDRAM latency is clock-domain-relative in the model, as
 //! it is for cycle counts measured on the board).
 //!
-//! Usage: `cargo run -p bench --bin clock_sweep --release`
+//! Usage: `cargo run -p bench --bin clock_sweep --release [-- --json]`
 
 use desim::Frequency;
 use epiphany::EpiphanyParams;
 use sar_epiphany::autofocus_seq;
 use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
 use sar_epiphany::workloads::AutofocusWorkload;
+use sim_harness::BenchHarness;
 
 fn main() {
+    let mut h = BenchHarness::new("clock_sweep");
     let fw = bench::reduced_ffbp(256, 1001);
     let aw = AutofocusWorkload::paper();
-    println!("Epiphany clock sweep");
-    println!(
+    h.say("Epiphany clock sweep");
+    h.say(format_args!(
         "{:>10} {:>16} {:>20} {:>14}",
         "clock", "FFBP-16 (ms)", "autofocus (px/s)", "AF energy (J)"
-    );
+    ));
     for mhz in [400.0f64, 600.0, 800.0, 1000.0] {
         let p = EpiphanyParams {
             clock: Frequency::mhz(mhz),
             ..EpiphanyParams::default()
         };
-        let f = ffbp_spmd::run(&fw, p, SpmdOptions::default());
+        let mut f = ffbp_spmd::run(&fw, p, SpmdOptions::default());
         let ap = EpiphanyParams {
             clock: Frequency::mhz(mhz),
             ..autofocus_seq::params()
         };
-        let a = autofocus_seq::run(&aw, ap);
-        println!(
+        let mut a = autofocus_seq::run(&aw, ap);
+        h.say(format_args!(
             "{:>7} MHz {:>16.2} {:>20.0} {:>14.6}",
             mhz,
-            f.report.millis(),
-            aw.pixels() as f64 / a.report.elapsed.seconds(),
-            a.report.energy_j()
-        );
+            f.record.millis(),
+            aw.pixels() as f64 / a.record.elapsed.seconds(),
+            a.record.energy_j()
+        ));
+        f.record.set_metric("clock_mhz", mhz);
+        a.record.set_metric("clock_mhz", mhz);
+        h.record(f.record);
+        h.record(a.record);
     }
-    println!("\nCycle counts are clock-invariant in the model, so wall time scales");
-    println!("inversely with frequency — the scaling the paper applies to its");
-    println!("400 MHz board measurements.");
+    h.say("\nCycle counts are clock-invariant in the model, so wall time scales");
+    h.say("inversely with frequency — the scaling the paper applies to its");
+    h.say("400 MHz board measurements.");
+    h.finish();
 }

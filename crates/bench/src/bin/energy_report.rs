@@ -5,22 +5,28 @@
 //! datasheet watt than FFBP: it never touches the expensive off-chip
 //! path.
 //!
-//! Usage: `cargo run -p bench --bin energy_report --release [-- --full]`
+//! Usage: `cargo run -p bench --bin energy_report --release [-- --full] [-- --json]`
 
-use epiphany::{EnergyBreakdown, RunReport};
+use desim::RunRecord;
 use sar_epiphany::autofocus_mpmd::{self, Placement};
 use sar_epiphany::autofocus_seq;
 use sar_epiphany::ffbp_seq;
 use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
 use sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload};
+use sim_harness::BenchHarness;
 
-fn show(report: &RunReport) {
-    let e: &EnergyBreakdown = &report.energy;
+fn show(h: &mut BenchHarness, record: RunRecord) {
+    let e = &record.energy;
     let total = e.total_j();
     let pct = |x: f64| 100.0 * x / total.max(f64::MIN_POSITIVE);
-    println!("\n{}", report.label);
-    println!("  time {:>10.3} ms | energy {:>10.4} J | power {:>6.3} W", report.millis(), total, report.avg_power_w());
-    println!(
+    h.say(format_args!("\n{}", record.label));
+    h.say(format_args!(
+        "  time {:>10.3} ms | energy {:>10.4} J | power {:>6.3} W",
+        record.millis(),
+        total,
+        record.avg_power_w()
+    ));
+    h.say(format_args!(
         "  datapath {:>5.1}% | SRAM {:>5.1}% | mesh {:>5.1}% | eLink {:>5.1}% | SDRAM {:>5.1}% | static {:>5.1}%",
         pct(e.compute_j),
         pct(e.sram_j),
@@ -28,21 +34,44 @@ fn show(report: &RunReport) {
         pct(e.elink_j),
         pct(e.sdram_j),
         pct(e.static_j)
-    );
+    ));
+    h.record(record);
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let fw = if full { FfbpWorkload::paper() } else { bench::reduced_ffbp(256, 1001) };
+    let mut h = BenchHarness::new("energy_report");
+    let fw = if h.flag("full") {
+        FfbpWorkload::paper()
+    } else {
+        bench::reduced_ffbp(256, 1001)
+    };
     let aw = AutofocusWorkload::paper();
 
-    println!("Component-level energy breakdowns (Epiphany model)");
-    show(&ffbp_seq::run(&fw, epiphany::EpiphanyParams::default()).report);
-    show(&ffbp_spmd::run(&fw, epiphany::EpiphanyParams::default(), SpmdOptions::default()).report);
-    show(&autofocus_seq::run(&aw, autofocus_seq::params()).report);
-    show(&autofocus_mpmd::run(&aw, autofocus_mpmd::params(), Placement::neighbor()).report);
+    h.say("Component-level energy breakdowns (Epiphany model)");
+    show(
+        &mut h,
+        ffbp_seq::run(&fw, epiphany::EpiphanyParams::default()).record,
+    );
+    show(
+        &mut h,
+        ffbp_spmd::run(
+            &fw,
+            epiphany::EpiphanyParams::default(),
+            SpmdOptions::default(),
+        )
+        .record,
+    );
+    show(
+        &mut h,
+        autofocus_seq::run(&aw, autofocus_seq::params()).record,
+    );
+    show(
+        &mut h,
+        autofocus_mpmd::run(&aw, autofocus_mpmd::params(), Placement::neighbor()).record,
+    );
 
-    println!("\nFFBP pays for every byte that crosses the eLink (drivers + SDRAM);");
-    println!("the autofocus pipeline keeps data on the mesh, so nearly all its");
-    println!("energy is useful arithmetic — the mechanism behind 38x vs 78x.");
+    h.say("\nFFBP pays for every byte that crosses the eLink (drivers + SDRAM);");
+    h.say("the autofocus pipeline keeps data on the mesh, so nearly all its");
+    h.say("energy is useful arithmetic — the mechanism behind 38x vs 78x.");
+    h.finish();
 }

@@ -3,34 +3,42 @@
 //! "avoids transactions with distant cores". Compare it against a
 //! deliberately scattered placement.
 //!
-//! Usage: `cargo run -p bench --bin mapping_ablation --release`
+//! Usage: `cargo run -p bench --bin mapping_ablation --release [-- --json]`
 
 use sar_epiphany::autofocus_mpmd::{self, Placement};
 use sar_epiphany::workloads::AutofocusWorkload;
+use sim_harness::BenchHarness;
 
 fn main() {
+    let mut h = BenchHarness::new("mapping_ablation");
     let w = AutofocusWorkload::paper();
-    println!("Autofocus MPMD placement ablation ({} hypotheses)", w.hypotheses);
-    println!(
+    h.say(format_args!(
+        "Autofocus MPMD placement ablation ({} hypotheses)",
+        w.hypotheses
+    ));
+    h.say(format_args!(
         "{:>12} {:>12} {:>16} {:>14} {:>16}",
         "placement", "time (ms)", "px/s", "mesh energy", "busiest link"
-    );
+    ));
     for (name, place) in [
         ("neighbor", Placement::neighbor()),
         ("scattered", Placement::scattered()),
     ] {
-        let r = autofocus_mpmd::run(&w, autofocus_mpmd::params(), place);
-        println!(
+        let mut r = autofocus_mpmd::run(&w, autofocus_mpmd::params(), place);
+        h.say(format_args!(
             "{:>12} {:>12.3} {:>16.0} {:>11.3e} J {:>13} cyc",
             name,
-            r.report.millis(),
-            w.pixels() as f64 / r.report.elapsed.seconds(),
-            r.report.energy.mesh_j,
-            r.report.busiest_link_cycles.raw()
-        );
+            r.record.millis(),
+            w.pixels() as f64 / r.record.elapsed.seconds(),
+            r.record.energy.mesh_j,
+            r.record.busiest_link_cycles.raw()
+        ));
+        r.record.label = format!("{} ({name} placement)", r.record.label);
+        h.record(r.record);
     }
-    println!("\nThroughput barely moves (posted writes pipeline across the mesh),");
-    println!("but the scattered mapping multiplies byte-hops: more fabric energy");
-    println!("and hotter links — why the paper bothers with a custom mapping on a");
-    println!("power-constrained part.");
+    h.say("\nThroughput barely moves (posted writes pipeline across the mesh),");
+    h.say("but the scattered mapping multiplies byte-hops: more fabric energy");
+    h.say("and hotter links — why the paper bothers with a custom mapping on a");
+    h.say("power-constrained part.");
+    h.finish();
 }

@@ -3,41 +3,54 @@
 //! each combine touches four children. Compare arithmetic cost and
 //! image quality.
 //!
-//! Usage: `cargo run -p bench --bin merge_base --release`
-
-use std::time::Instant;
+//! Usage: `cargo run -p bench --bin merge_base --release [-- --json]`
 
 use sar_core::ffbp::{ffbp, FfbpConfig};
 use sar_core::gbp::gbp;
 use sar_core::quality::{image_entropy, normalized_rmse};
+use sim_harness::BenchHarness;
 
 fn main() {
+    let mut h = BenchHarness::new("merge_base");
     let w = bench::reduced_ffbp(256, 513);
     let reference = gbp(&w.data, &w.geom, w.geom.num_pulses);
-    println!(
+    h.say(format_args!(
         "FFBP merge-base ablation ({} pulses x {} bins)",
         w.geom.num_pulses, w.geom.num_bins
-    );
-    println!(
+    ));
+    h.say(format_args!(
         "{:>5} {:>11} {:>14} {:>12} {:>12} {:>10}",
         "base", "iterations", "flop work", "host (ms)", "RMSE", "entropy"
-    );
+    ));
     for base in [2usize, 4] {
-        let cfg = FfbpConfig { merge_base: base, ..w.config };
-        let t = Instant::now();
-        let run = ffbp(&w.data, &w.geom, &cfg);
-        let host_ms = t.elapsed().as_secs_f64() * 1e3;
-        println!(
+        let cfg = FfbpConfig {
+            merge_base: base,
+            ..w.config
+        };
+        let (mut record, run) =
+            BenchHarness::host_record(&format!("FFBP / host, merge base {base}"), || {
+                ffbp(&w.data, &w.geom, &cfg)
+            });
+        let rmse = normalized_rmse(&run.image, &reference.image);
+        let entropy = image_entropy(&run.image);
+        h.say(format_args!(
             "{:>5} {:>11} {:>14} {:>12.1} {:>12.4} {:>10.2}",
             base,
             run.iterations,
             run.counts.flop_work(),
-            host_ms,
-            normalized_rmse(&run.image, &reference.image),
-            image_entropy(&run.image)
-        );
+            record.millis(),
+            rmse,
+            entropy
+        ));
+        record.set_metric("merge_base", base as f64);
+        record.set_metric("iterations", f64::from(run.iterations));
+        record.set_metric("flop_work", run.counts.flop_work() as f64);
+        record.set_metric("rmse_vs_gbp", rmse);
+        record.set_metric("entropy", entropy);
+        h.record(record);
     }
-    println!("\nBase 4 halves the passes over the data set (less off-chip traffic)");
-    println!("but pays more interpolation arithmetic per output sample; base 2 is");
-    println!("the paper's pick for the bandwidth-starved Epiphany.");
+    h.say("\nBase 4 halves the passes over the data set (less off-chip traffic)");
+    h.say("but pays more interpolation arithmetic per output sample; base 2 is");
+    h.say("the paper's pick for the bandwidth-starved Epiphany.");
+    h.finish();
 }

@@ -2,43 +2,57 @@
 //! DMA prefetch into the upper local banks, and non-stalling posted
 //! writes. The paper credits both (§VI); this bench isolates each.
 //!
-//! Usage: `cargo run -p bench --bin prefetch_ablation --release`
+//! Usage: `cargo run -p bench --bin prefetch_ablation --release [-- --json]`
 
 use epiphany::EpiphanyParams;
 use refcpu::RefCpuParams;
 use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
 use sar_epiphany::{ffbp_ref, ffbp_seq};
+use sim_harness::BenchHarness;
 
 fn main() {
+    let mut h = BenchHarness::new("prefetch_ablation");
     let w = bench::reduced_ffbp(256, 1001);
-    println!(
+    h.say(format_args!(
         "FFBP memory-system ablation ({} pulses x {} bins)",
         w.geom.num_pulses, w.geom.num_bins
-    );
+    ));
 
     let with = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
     let without = ffbp_spmd::run(
         &w,
         EpiphanyParams::default(),
-        SpmdOptions { prefetch: false, ..SpmdOptions::default() },
+        SpmdOptions {
+            prefetch: false,
+            ..SpmdOptions::default()
+        },
     );
-    println!("\nEpiphany SPMD (16 cores):");
-    println!(
+    h.say("\nEpiphany SPMD (16 cores):");
+    h.say(format_args!(
         "  prefetch ON : {:>10.2} ms   local {} / external {}",
-        with.report.millis(),
+        with.record.millis(),
         with.local_hits,
         with.external_misses
-    );
-    println!(
+    ));
+    h.say(format_args!(
         "  prefetch OFF: {:>10.2} ms   local {} / external {}",
-        without.report.millis(),
+        without.record.millis(),
         without.local_hits,
         without.external_misses
-    );
-    println!(
+    ));
+    h.say(format_args!(
         "  prefetch speedup: {}",
-        bench::fmt_x(without.report.elapsed.seconds() / with.report.elapsed.seconds())
-    );
+        bench::fmt_x(without.record.elapsed.seconds() / with.record.elapsed.seconds())
+    ));
+    let mut r_with = with.record;
+    r_with.label = format!("{} — prefetch ON", r_with.label);
+    let mut r_without = without.record;
+    r_without.label = format!("{} — prefetch OFF", r_without.label);
+    r_without.set_metric("slowdown_vs_prefetch", {
+        r_without.elapsed.seconds() / r_with.elapsed.seconds()
+    });
+    h.record(r_with);
+    h.record(r_without);
 
     // Sequential side: Epiphany's naive port vs the i7 with and
     // without *its* prefetcher — the other half of the paper's
@@ -46,12 +60,27 @@ fn main() {
     let seq = ffbp_seq::run(&w, EpiphanyParams::default());
     let i7 = ffbp_ref::run(&w, RefCpuParams::default());
     let i7_nopf = ffbp_ref::run(&w, RefCpuParams::without_prefetch());
-    println!("\nSequential configurations:");
-    println!("  Epiphany 1 core (no cache)     : {:>10.2} ms", seq.report.millis());
-    println!("  i7 model (caches + prefetcher) : {:>10.2} ms", i7.report.millis());
-    println!("  i7 model (prefetcher disabled) : {:>10.2} ms", i7_nopf.report.millis());
-    println!(
+    h.say("\nSequential configurations:");
+    h.say(format_args!(
+        "  Epiphany 1 core (no cache)     : {:>10.2} ms",
+        seq.record.millis()
+    ));
+    h.say(format_args!(
+        "  i7 model (caches + prefetcher) : {:>10.2} ms",
+        i7.record.millis()
+    ));
+    h.say(format_args!(
+        "  i7 model (prefetcher disabled) : {:>10.2} ms",
+        i7_nopf.record.millis()
+    ));
+    h.say(format_args!(
         "  i7 prefetcher contribution     : {}",
-        bench::fmt_x(i7_nopf.report.elapsed.seconds() / i7.report.elapsed.seconds())
-    );
+        bench::fmt_x(i7_nopf.record.elapsed.seconds() / i7.record.elapsed.seconds())
+    ));
+    h.record(seq.record);
+    h.record(i7.record);
+    let mut r_nopf = i7_nopf.record;
+    r_nopf.label = format!("{} — prefetcher disabled", r_nopf.label);
+    h.record(r_nopf);
+    h.finish();
 }

@@ -1,0 +1,93 @@
+//! The unified experiment runner: any registered Mapping × Platform ×
+//! Workload triple through the single harness entry point.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
+//!     [--workload ffbp|autofocus] [--small] [--json] [--list]
+//! ```
+//!
+//! Omitted selectors mean "all": with no flags the runner executes
+//! every supported mapping × platform pair on its kernel's workload.
+//! `--list` prints the registries and exits.
+
+use sar_epiphany::harness_impls::{all_mappings, mapping_named};
+use sim_harness::{all_platforms, platform_named, run, BenchHarness, Platform, Workload};
+
+fn main() {
+    let mut h = BenchHarness::new("run");
+
+    let mappings = match h.value("mapping") {
+        Some(name) => vec![mapping_named(name).unwrap_or_else(|| {
+            eprintln!("unknown mapping '{name}'; try --list");
+            std::process::exit(2);
+        })],
+        None => all_mappings(),
+    };
+    let platforms: Vec<Box<dyn Platform>> = match h.value("platform") {
+        Some(name) => vec![platform_named(name).unwrap_or_else(|| {
+            eprintln!("unknown platform '{name}'; try --list");
+            std::process::exit(2);
+        })],
+        None => all_platforms(),
+    };
+    let kernel = h.value("workload").map(str::to_string);
+    if let Some(k) = &kernel {
+        if Workload::named(k, true).is_none() {
+            eprintln!("unknown workload '{k}'; try --list");
+            std::process::exit(2);
+        }
+    }
+
+    if h.flag("list") {
+        println!("mappings  :");
+        for m in all_mappings() {
+            println!("  {:<16} kernel {}", m.name(), m.kernel());
+        }
+        println!("platforms :");
+        for p in all_platforms() {
+            println!("  {}", p.label());
+        }
+        println!("workloads : ffbp, autofocus");
+        return;
+    }
+
+    h.say(format_args!(
+        "unified runner — {} scale",
+        if h.small() { "small" } else { "paper" }
+    ));
+    h.say(format_args!(
+        "\n{:<16} {:>10} {:>6} {:>12} {:>9} {:>12}",
+        "mapping", "platform", "cores", "time (ms)", "power W", "energy (J)"
+    ));
+    let mut ran = 0usize;
+    for m in &mappings {
+        if kernel.as_deref().is_some_and(|k| k != m.kernel()) {
+            continue;
+        }
+        let workload = Workload::named(m.kernel(), h.small()).expect("registered kernel");
+        for p in &platforms {
+            let r = match run(m.as_ref(), &workload, p.as_ref()) {
+                Ok(r) => r,
+                Err(_) => continue, // unsupported pair — skip, don't fail
+            };
+            h.say(format_args!(
+                "{:<16} {:>10} {:>6} {:>12.3} {:>9.1} {:>12.6}",
+                r.record.mapping,
+                r.record.platform,
+                r.record.cores_used,
+                r.record.millis(),
+                r.record.power_w,
+                r.record.energy_j()
+            ));
+            h.record(r.record);
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no supported mapping x platform pair matched the selection");
+        std::process::exit(1);
+    }
+    h.finish();
+}

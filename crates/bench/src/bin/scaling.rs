@@ -1,48 +1,55 @@
 //! A1 — FFBP core-count scaling (the paper's "natural scalability"
 //! claim and its 64-core outlook in §VII).
 //!
-//! Usage: `cargo run -p bench --bin scaling --release [-- --full]`
+//! Usage: `cargo run -p bench --bin scaling --release [-- --full] [-- --json]`
 //! (default uses a 256-pulse workload; `--full` runs the paper size).
 
 use epiphany::EpiphanyParams;
 use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
 use sar_epiphany::workloads::FfbpWorkload;
+use sim_harness::BenchHarness;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let w = if full {
+    let mut h = BenchHarness::new("scaling");
+    let w = if h.flag("full") {
         FfbpWorkload::paper()
     } else {
         bench::reduced_ffbp(256, 1001)
     };
-    println!(
+    h.say(format_args!(
         "FFBP SPMD core scaling ({} pulses x {} bins)",
         w.geom.num_pulses, w.geom.num_bins
-    );
-    println!(
+    ));
+    h.say(format_args!(
         "{:>6} {:>12} {:>9} {:>11} {:>12} {:>10}",
         "cores", "time (ms)", "speedup", "efficiency", "eLink util", "misses"
-    );
+    ));
     let mut base_ms = None;
     for cores in [1usize, 2, 4, 8, 16, 32, 64] {
-        let r = ffbp_spmd::run(
+        let mut r = ffbp_spmd::run(
             &w,
             EpiphanyParams::default(),
-            SpmdOptions { cores, ..SpmdOptions::default() },
+            SpmdOptions {
+                cores,
+                ..SpmdOptions::default()
+            },
         );
-        let ms = r.report.millis();
+        let ms = r.record.millis();
         let base = *base_ms.get_or_insert(ms);
         let speedup = base / ms;
-        println!(
+        h.say(format_args!(
             "{:>6} {:>12.2} {:>8.2}x {:>10.1}% {:>11.1}% {:>10}",
             cores,
             ms,
             speedup,
             100.0 * speedup / cores as f64,
-            100.0 * r.report.elink_utilization(),
+            100.0 * r.record.elink_utilization(),
             r.external_misses
-        );
+        ));
+        r.record.set_metric("speedup_vs_1", speedup);
+        h.record(r.record);
     }
-    println!("\nThe eLink becomes the scaling wall: watch utilisation approach");
-    println!("100% while efficiency falls — the paper's off-chip-bandwidth story.");
+    h.say("\nThe eLink becomes the scaling wall: watch utilisation approach");
+    h.say("100% while efficiency falls — the paper's off-chip-bandwidth story.");
+    h.finish();
 }

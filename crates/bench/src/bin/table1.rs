@@ -2,23 +2,25 @@
 //!
 //! Usage: `cargo run -p bench --bin table1 --release [-- --small] [-- --json]`
 //!
-//! `--json` emits the table as machine-readable JSON (for regression
-//! tracking) instead of the human-readable rendering.
+//! The bench document carries the six per-configuration [`desim::RunRecord`]s
+//! plus a `"table"` key with the rendered rows — the same shape as the
+//! checked-in golden baseline `results/table1_baseline.json`.
 
 use sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload};
+use sim_harness::BenchHarness;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let json = std::env::args().any(|a| a == "--json");
-    let (fw, aw) = if small {
+    let mut h = BenchHarness::new("table1");
+    let (fw, aw) = if h.small() {
         (FfbpWorkload::small(), AutofocusWorkload::small())
     } else {
         (FfbpWorkload::paper(), AutofocusWorkload::paper())
     };
     let t = sar_epiphany::table1(&fw, &aw);
-    if json {
-        println!("{}", serde_json::to_string_pretty(&t).expect("serialise table"));
-    } else {
-        println!("{t}");
+    h.say(&t);
+    h.attach("table", t.to_json());
+    for r in t.records {
+        h.record(r);
     }
+    h.finish();
 }

@@ -16,7 +16,13 @@
 //!   tracks (A7),
 //! * `loader_cost` — SPMD vs MPMD program-load cost (A8),
 //! * `vs_multicore` — real host threads vs the simulated Epiphany on
-//!   throughput per watt (A9).
+//!   throughput per watt (A9),
+//! * `run` — the unified runner: any registered Mapping × Platform ×
+//!   Workload triple through `sim_harness::run`.
+//!
+//! Every binary sits on [`sim_harness::BenchHarness`]: the shared
+//! `--small` / `--json` / `--out P` / `--no-write` flags, and one
+//! versioned record document written under `results/`.
 
 use sar_core::geometry::SarGeometry;
 use sar_core::scene::{simulate_compressed_data, Scene};

@@ -91,7 +91,12 @@ pub fn range_stage(
     let mut out: RangeStageOut = Default::default();
     for (row_idx, out_row) in out.iter_mut().enumerate() {
         let row = block.row(row_idx);
-        let p = [row[window], row[window + 1], row[window + 2], row[window + 3]];
+        let p = [
+            row[window],
+            row[window + 1],
+            row[window + 2],
+            row[window + 3],
+        ];
         counts.loads += 4;
         // The tilted path: each row's sampling position slides by
         // `shift * tilt` per row off-centre.
@@ -219,7 +224,11 @@ mod tests {
         let mut c = OpCounts::default();
         let r0 = range_stage(&b, 0, 0.0, 0, &cfg(), &mut c);
         assert_eq!(r0[0].len(), cfg().samples_per_iteration());
-        let r = [r0, range_stage(&b, 1, 0.0, 0, &cfg(), &mut c), range_stage(&b, 2, 0.0, 0, &cfg(), &mut c)];
+        let r = [
+            r0,
+            range_stage(&b, 1, 0.0, 0, &cfg(), &mut c),
+            range_stage(&b, 2, 0.0, 0, &cfg(), &mut c),
+        ];
         let bo = beam_stage(&r, 0, 0.0, 0, &cfg(), &mut c);
         assert_eq!(bo[2].len(), cfg().samples_per_iteration());
         assert!(c.fmas > 0 && c.loads > 0);
@@ -302,14 +311,17 @@ mod tests {
         // Nevilles: 2 blocks x 3 iterations x (3 range windows x 6 rows
         // + 3 beam windows x 3) x 16 samples
         let nevilles = 2 * 3 * ((3 * 6) + (3 * 3)) * 16;
-        assert_eq!(c.fmas / 18 >= nevilles as u64 / 2, true);
+        assert!(c.fmas / 18 >= nevilles as u64 / 2);
         assert!(c.flop_work() > 100_000);
     }
 
     #[test]
     #[should_panic(expected = "multiple of 3")]
     fn oversample_must_divide_by_three() {
-        let bad = AutofocusConfig { oversample: 16, ..AutofocusConfig::default() };
+        let bad = AutofocusConfig {
+            oversample: 16,
+            ..AutofocusConfig::default()
+        };
         let _ = bad.samples_per_iteration();
     }
 }

@@ -184,7 +184,10 @@ pub fn estimate_pair_shift(
         counts,
     );
     let peak_v = sweep.iter().map(|&(_, v)| v).fold(f32::MIN, f32::max);
-    let edge_v = sweep[0].1.max(sweep[sweep.len() - 1].1).max(f32::MIN_POSITIVE);
+    let edge_v = sweep[0]
+        .1
+        .max(sweep[sweep.len() - 1].1)
+        .max(f32::MIN_POSITIVE);
     if peak_v < cfg.min_contrast * edge_v {
         return 0.0; // flat sweep: no alignment information
     }
@@ -215,7 +218,10 @@ pub fn ffbp_with_autofocus(
     geom: &SarGeometry,
     cfg: &IntegratedConfig,
 ) -> IntegratedRun {
-    assert_eq!(cfg.ffbp.merge_base, 2, "autofocus assumes a merge base of two");
+    assert_eq!(
+        cfg.ffbp.merge_base, 2,
+        "autofocus assumes a merge base of two"
+    );
     let mut counts = OpCounts::default();
     let mut stage = stage0(data, geom);
     let mut iterations = 0u32;
@@ -231,8 +237,7 @@ pub fn ffbp_with_autofocus(
             let a = &pair[0];
             let mut b = pair[1].clone();
             if run_autofocus {
-                let delta_bins =
-                    estimate_pair_shift(a, &b, geom, &out_grid, cfg, &mut counts);
+                let delta_bins = estimate_pair_shift(a, &b, geom, &out_grid, cfg, &mut counts);
                 // The leading child's responses sit `delta` bins late:
                 // it flew `delta * dr` farther out, i.e. `-delta * dr`
                 // closer; compensate accordingly.
@@ -296,7 +301,10 @@ mod tests {
         let plain = ffbp(&data, &geom(), &FfbpConfig::default());
         let (p_auto, _, _) = run.image.peak();
         let (p_plain, _, _) = plain.image.peak();
-        assert!(p_auto > 0.8 * p_plain, "autofocus hurt clean data: {p_auto} vs {p_plain}");
+        assert!(
+            p_auto > 0.8 * p_plain,
+            "autofocus hurt clean data: {p_auto} vs {p_plain}"
+        );
     }
 
     #[test]
@@ -329,8 +337,7 @@ mod tests {
         let last = auto
             .corrections
             .iter()
-            .filter(|c| c.iteration == auto.iterations)
-            .last()
+            .rfind(|c| c.iteration == auto.iterations)
             .expect("final merge must be corrected");
         assert!(
             (last.dx_meters - 1.5).abs() <= 0.75,
@@ -350,9 +357,7 @@ mod tests {
         while stage[0].grid.n_beams < 8 {
             stage = stage
                 .chunks_exact(2)
-                .map(|p| {
-                    merge_pair(&p[0], &p[1], &g, InterpKind::Nearest, true, &mut counts)
-                })
+                .map(|p| merge_pair(&p[0], &p[1], &g, InterpKind::Nearest, true, &mut counts))
                 .collect();
         }
         let mid = stage.len() / 2;

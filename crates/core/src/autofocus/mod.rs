@@ -24,8 +24,6 @@ pub mod integrated;
 pub mod search;
 
 pub use block::Block6;
-pub use criterion::{
-    beam_stage, correlate_partial, focus_criterion, range_stage, AutofocusConfig,
-};
+pub use criterion::{beam_stage, correlate_partial, focus_criterion, range_stage, AutofocusConfig};
 pub use integrated::{ffbp_with_autofocus, IntegratedConfig, IntegratedRun};
 pub use search::{best_shift, sweep_criterion};

@@ -62,13 +62,19 @@ impl c32 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> c32 {
-        c32 { re: self.re, im: -self.im }
+        c32 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, k: f32) -> c32 {
-        c32 { re: self.re * k, im: self.im * k }
+        c32 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Fused-style multiply-accumulate: `self + a * b`.
@@ -87,7 +93,10 @@ impl Add for c32 {
     type Output = c32;
     #[inline]
     fn add(self, rhs: c32) -> c32 {
-        c32 { re: self.re + rhs.re, im: self.im + rhs.im }
+        c32 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -103,7 +112,10 @@ impl Sub for c32 {
     type Output = c32;
     #[inline]
     fn sub(self, rhs: c32) -> c32 {
-        c32 { re: self.re - rhs.re, im: self.im - rhs.im }
+        c32 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -157,7 +169,10 @@ impl Div<f32> for c32 {
     type Output = c32;
     #[inline]
     fn div(self, rhs: f32) -> c32 {
-        c32 { re: self.re / rhs, im: self.im / rhs }
+        c32 {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
@@ -165,7 +180,10 @@ impl Neg for c32 {
     type Output = c32;
     #[inline]
     fn neg(self) -> c32 {
-        c32 { re: -self.re, im: -self.im }
+        c32 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

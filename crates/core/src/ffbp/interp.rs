@@ -176,7 +176,14 @@ mod tests {
     fn out_of_grid_is_zero_and_none() {
         let (sub, geom) = test_sub();
         let mut c = OpCounts::default();
-        let v = sample(&sub, &geom, geom.r0 - 100.0, 1.0, InterpKind::Nearest, &mut c);
+        let v = sample(
+            &sub,
+            &geom,
+            geom.r0 - 100.0,
+            1.0,
+            InterpKind::Nearest,
+            &mut c,
+        );
         assert_eq!(v, c32::ZERO);
         assert_eq!(nearest_indices(&sub, &geom, geom.r0 - 100.0, 1.0), None);
         assert_eq!(

@@ -97,7 +97,10 @@ pub fn merge_pair(
     phase_correct: bool,
     counts: &mut OpCounts,
 ) -> Subaperture {
-    assert!(a.center_y < b.center_y, "children must be ordered along track");
+    assert!(
+        a.center_y < b.center_y,
+        "children must be ordered along track"
+    );
     assert_eq!(a.grid, b.grid, "children must share a grid");
     assert!(
         (a.length - b.length).abs() < 1e-3,
@@ -144,8 +147,7 @@ pub fn merge_group(
         assert!(w[0].center_y < w[1].center_y, "children must be ordered");
         assert_eq!(w[0].grid, w[1].grid, "children must share a grid");
     }
-    let center =
-        children.iter().map(|c| c.center_y).sum::<f32>() / m as f32;
+    let center = children.iter().map(|c| c.center_y).sum::<f32>() / m as f32;
     let total_len: f32 = children.iter().map(|c| c.length).sum();
     let out_grid = children[0].grid.refined_by(m);
     let mut out = Subaperture::zeros(center, total_len, out_grid, geom.num_bins);
@@ -216,7 +218,14 @@ mod tests {
         // should grow the peak beyond either child's (coherent sum).
         let (subs, geom) = two_pulse_children();
         let mut c = OpCounts::default();
-        let merged = merge_pair(&subs[30], &subs[31], &geom, InterpKind::Nearest, true, &mut c);
+        let merged = merge_pair(
+            &subs[30],
+            &subs[31],
+            &geom,
+            InterpKind::Nearest,
+            true,
+            &mut c,
+        );
         let (pm, _, _) = merged.data.peak();
         let (p0, _, _) = subs[30].data.peak();
         assert!(pm > 1.5 * p0, "merged peak {pm} vs child {p0}");
@@ -228,8 +237,22 @@ mod tests {
         // the peak is lower.
         let (subs, geom) = two_pulse_children();
         let mut c = OpCounts::default();
-        let with = merge_pair(&subs[30], &subs[31], &geom, InterpKind::Nearest, true, &mut c);
-        let without = merge_pair(&subs[30], &subs[31], &geom, InterpKind::Nearest, false, &mut c);
+        let with = merge_pair(
+            &subs[30],
+            &subs[31],
+            &geom,
+            InterpKind::Nearest,
+            true,
+            &mut c,
+        );
+        let without = merge_pair(
+            &subs[30],
+            &subs[31],
+            &geom,
+            InterpKind::Nearest,
+            false,
+            &mut c,
+        );
         // At a 1 m wavelength with metre-scale bins, dropping the
         // correction cannot beat the aligned sum.
         assert!(with.data.peak().0 >= 0.9 * without.data.peak().0);
@@ -240,7 +263,14 @@ mod tests {
         let (subs, geom) = two_pulse_children();
         let mut c1 = OpCounts::default();
         let mut c2 = OpCounts::default();
-        let a = merge_pair(&subs[10], &subs[11], &geom, InterpKind::Linear, true, &mut c1);
+        let a = merge_pair(
+            &subs[10],
+            &subs[11],
+            &geom,
+            InterpKind::Linear,
+            true,
+            &mut c1,
+        );
         let b = merge_group(
             &[subs[10].clone(), subs[11].clone()],
             &geom,
@@ -286,7 +316,10 @@ mod tests {
         let (subs, geom) = two_pulse_children();
         let mut c = OpCounts::default();
         let mut b = subs[1].clone();
-        b.grid = PolarGrid { n_beams: 2, ..b.grid };
+        b.grid = PolarGrid {
+            n_beams: 2,
+            ..b.grid
+        };
         b.data = crate::image::ComplexImage::zeros(2, geom.num_bins);
         let _ = merge_pair(&subs[0], &b, &geom, InterpKind::Nearest, true, &mut c);
     }

@@ -44,17 +44,17 @@ pub struct FfbpRun {
 /// covering the whole sector, data equal to that pulse's compressed
 /// range line.
 pub fn stage0(data: &ComplexImage, geom: &SarGeometry) -> Vec<Subaperture> {
-    assert_eq!(data.rows(), geom.num_pulses, "data rows must equal pulse count");
+    assert_eq!(
+        data.rows(),
+        geom.num_pulses,
+        "data rows must equal pulse count"
+    );
     assert_eq!(data.cols(), geom.num_bins, "data cols must equal bin count");
     let grid = PolarGrid::spanning(geom, 1);
     (0..geom.num_pulses)
         .map(|k| {
-            let mut sub = Subaperture::zeros(
-                geom.platform_y(k),
-                geom.pulse_spacing,
-                grid,
-                geom.num_bins,
-            );
+            let mut sub =
+                Subaperture::zeros(geom.platform_y(k), geom.pulse_spacing, grid, geom.num_bins);
             sub.data.row_mut(0).copy_from_slice(data.row(k));
             sub
         })
@@ -82,7 +82,14 @@ pub fn ffbp(data: &ComplexImage, geom: &SarGeometry, cfg: &FfbpConfig) -> FfbpRu
         let mut next = Vec::with_capacity(stage.len() / cfg.merge_base);
         for group in stage.chunks(cfg.merge_base) {
             let merged = if cfg.merge_base == 2 {
-                merge_pair(&group[0], &group[1], geom, cfg.interp, cfg.phase_correct, &mut counts)
+                merge_pair(
+                    &group[0],
+                    &group[1],
+                    geom,
+                    cfg.interp,
+                    cfg.phase_correct,
+                    &mut counts,
+                )
             } else {
                 merge_group(group, geom, cfg.interp, cfg.phase_correct, &mut counts)
             };

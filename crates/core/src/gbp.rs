@@ -25,7 +25,11 @@ pub struct GbpRun {
 /// the compressed data at that range, rotate by the matched phase
 /// `exp(+j 4 pi R / lambda)` and accumulate.
 pub fn gbp(data: &ComplexImage, geom: &SarGeometry, n_beams: usize) -> GbpRun {
-    assert_eq!(data.rows(), geom.num_pulses, "data rows must equal pulse count");
+    assert_eq!(
+        data.rows(),
+        geom.num_pulses,
+        "data rows must equal pulse count"
+    );
     assert_eq!(data.cols(), geom.num_bins, "data cols must equal bin count");
     let mut counts = OpCounts::default();
     let mut image = ComplexImage::zeros(n_beams, geom.num_bins);

@@ -157,7 +157,12 @@ pub fn merge_geometry(r: f32, theta: f32, l: f32, counts: &mut OpCounts) -> Merg
     counts.flops += 4; // products and clamps
     counts.ialu += 2;
 
-    MergeLookup { r1, theta1, r2, theta2 }
+    MergeLookup {
+        r1,
+        theta1,
+        r2,
+        theta2,
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +244,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two")]
     fn non_pow2_pulses_rejected_for_merging() {
-        let g = SarGeometry { num_pulses: 1000, ..SarGeometry::paper_size() };
+        let g = SarGeometry {
+            num_pulses: 1000,
+            ..SarGeometry::paper_size()
+        };
         let _ = g.merge_iterations();
     }
 }

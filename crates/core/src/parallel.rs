@@ -4,9 +4,9 @@
 //! idea the Epiphany SPMD mapping uses, but with threads on the host.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use desim::OpCounts;
-use parking_lot::Mutex;
 
 use crate::ffbp::grid::Subaperture;
 use crate::ffbp::merge::merge_pair_row;
@@ -30,10 +30,8 @@ pub fn ffbp_parallel(
     let total_counts = Mutex::new(OpCounts::default());
 
     while stage.len() > 1 {
-        let pairs: Vec<(&Subaperture, &Subaperture)> = stage
-            .chunks(2)
-            .map(|pair| (&pair[0], &pair[1]))
-            .collect();
+        let pairs: Vec<(&Subaperture, &Subaperture)> =
+            stage.chunks(2).map(|pair| (&pair[0], &pair[1])).collect();
         let out_grid = stage[0].grid.refined();
         let n_beams = out_grid.n_beams;
 
@@ -64,16 +62,16 @@ pub fn ffbp_parallel(
 
         let next_unit = AtomicUsize::new(0);
         let slots = Mutex::new(row_slots);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut local = OpCounts::default();
                     loop {
                         let idx = next_unit.fetch_add(1, Ordering::Relaxed);
                         // Take ownership of slot `idx` (each index is
                         // claimed exactly once).
                         let unit = {
-                            let mut guard = slots.lock();
+                            let mut guard = slots.lock().unwrap();
                             if idx >= guard.len() {
                                 None
                             } else {
@@ -99,11 +97,10 @@ pub fn ffbp_parallel(
                             &mut local,
                         );
                     }
-                    total_counts.lock().add(&local);
+                    total_counts.lock().unwrap().add(&local);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
         stage = outputs;
         iterations += 1;
@@ -112,7 +109,7 @@ pub fn ffbp_parallel(
     let full = stage.into_iter().next().expect("non-empty stage");
     FfbpRun {
         image: full.data,
-        counts: total_counts.into_inner(),
+        counts: total_counts.into_inner().unwrap(),
         iterations,
     }
 }

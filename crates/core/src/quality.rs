@@ -68,11 +68,7 @@ pub fn normalized_rmse(img: &ComplexImage, reference: &ComplexImage) -> f64 {
 
 /// Fraction of total image energy inside `guard`-pixel boxes around
 /// the `expected` (row, col) positions — a multi-target focus measure.
-pub fn energy_concentration(
-    img: &ComplexImage,
-    expected: &[(usize, usize)],
-    guard: usize,
-) -> f64 {
+pub fn energy_concentration(img: &ComplexImage, expected: &[(usize, usize)], guard: usize) -> f64 {
     let total = img.energy();
     if total <= 0.0 {
         return 0.0;
@@ -104,8 +100,12 @@ pub fn response_width(img: &ComplexImage, axis: Axis, level: f32) -> f32 {
     let threshold = peak * level;
     let value = |offset: i64| -> f32 {
         match axis {
-            Axis::Range => img.at_or_zero(pr as isize, pc as isize + offset as isize).abs(),
-            Axis::CrossRange => img.at_or_zero(pr as isize + offset as isize, pc as isize).abs(),
+            Axis::Range => img
+                .at_or_zero(pr as isize, pc as isize + offset as isize)
+                .abs(),
+            Axis::CrossRange => img
+                .at_or_zero(pr as isize + offset as isize, pc as isize)
+                .abs(),
         }
     };
     // Walk outward from the peak to the first crossing on each side.
@@ -115,7 +115,11 @@ pub fn response_width(img: &ComplexImage, axis: Axis, level: f32) -> f32 {
             let v = value(dir * step);
             if v <= threshold {
                 // Linear interpolation between prev (above) and v.
-                let frac = if prev > v { (prev - threshold) / (prev - v) } else { 1.0 };
+                let frac = if prev > v {
+                    (prev - threshold) / (prev - v)
+                } else {
+                    1.0
+                };
                 return (step - 1) as f32 + frac;
             }
             prev = v;
@@ -210,8 +214,7 @@ mod tests {
             *broad.at_mut(4, (4 + d) as usize) = c32::new(1.0 - 0.1 * d.abs() as f32, 0.0);
         }
         assert!(
-            response_width(&sharp, Axis::Range, 0.5)
-                < response_width(&broad, Axis::Range, 0.5)
+            response_width(&sharp, Axis::Range, 0.5) < response_width(&broad, Axis::Range, 0.5)
         );
     }
 

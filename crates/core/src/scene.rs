@@ -9,8 +9,7 @@
 //! target. A full chirp + matched-filter path is also provided so the
 //! signal chain can be exercised end to end.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use desim::rng::SmallRng;
 
 use crate::complex::c32;
 use crate::geometry::SarGeometry;
@@ -47,12 +46,36 @@ impl Scene {
         let r_hi = g.r0 + 0.85 * (g.r_max() - g.r0);
         let w = 0.6 * g.theta_half_span; // stay inside the sector
         let targets = vec![
-            PointTarget { x: r_lo, y: -w * r_lo, amplitude: 1.0 },
-            PointTarget { x: r_lo, y: w * r_lo, amplitude: 1.0 },
-            PointTarget { x: r_mid, y: -0.5 * w * r_mid, amplitude: 1.0 },
-            PointTarget { x: r_mid, y: 0.5 * w * r_mid, amplitude: 1.0 },
-            PointTarget { x: r_hi, y: 0.0, amplitude: 1.0 },
-            PointTarget { x: r_hi, y: w * r_hi, amplitude: 1.0 },
+            PointTarget {
+                x: r_lo,
+                y: -w * r_lo,
+                amplitude: 1.0,
+            },
+            PointTarget {
+                x: r_lo,
+                y: w * r_lo,
+                amplitude: 1.0,
+            },
+            PointTarget {
+                x: r_mid,
+                y: -0.5 * w * r_mid,
+                amplitude: 1.0,
+            },
+            PointTarget {
+                x: r_mid,
+                y: 0.5 * w * r_mid,
+                amplitude: 1.0,
+            },
+            PointTarget {
+                x: r_hi,
+                y: 0.0,
+                amplitude: 1.0,
+            },
+            PointTarget {
+                x: r_hi,
+                y: w * r_hi,
+                amplitude: 1.0,
+            },
         ];
         Scene { geometry, targets }
     }
@@ -62,14 +85,18 @@ impl Scene {
         let r_mid = geometry.r0 + 0.5 * (geometry.r_max() - geometry.r0);
         Scene {
             geometry,
-            targets: vec![PointTarget { x: r_mid, y: 0.0, amplitude: 1.0 }],
+            targets: vec![PointTarget {
+                x: r_mid,
+                y: 0.0,
+                amplitude: 1.0,
+            }],
         }
     }
 
     /// `n` targets scattered uniformly over the swath and sector
     /// (deterministic for a given `seed`).
     pub fn random_targets(geometry: SarGeometry, n: usize, seed: u64) -> Scene {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let g = &geometry;
         let targets = (0..n)
             .map(|_| {
@@ -154,11 +181,11 @@ pub fn simulate_with_track(
         }
     }
     if noise_sigma > 0.0 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         for z in data.as_mut_slice() {
             // Box-Muller pairs for Gaussian noise.
             let u1: f32 = rng.gen_range(1e-7f32..1.0);
-            let u2: f32 = rng.gen_range(0.0f32..1.0);
+            let u2: f32 = rng.next_f32();
             let mag = noise_sigma * (-2.0 * u1.ln()).sqrt();
             let ang = 2.0 * std::f32::consts::PI * u2;
             *z += c32::new(mag * ang.cos(), mag * ang.sin());
@@ -234,8 +261,7 @@ mod tests {
         let t = scene.targets[0];
         let first = peak_bin(data.row(0));
         let mid = peak_bin(data.row(g.num_pulses / 2));
-        let expected_mid = ((g.slant_range(g.platform_y(g.num_pulses / 2), t.x, t.y) - g.r0)
-            / g.dr)
+        let expected_mid = ((g.slant_range(g.platform_y(g.num_pulses / 2), t.x, t.y) - g.r0) / g.dr)
             .round() as usize;
         assert!((mid as i64 - expected_mid as i64).abs() <= 1);
         assert!(first > mid, "path should curve: first={first}, mid={mid}");
@@ -303,7 +329,10 @@ mod tests {
         let direct = simulate_compressed_data(&scene, 0.0, 0);
         let via_chirp = simulate_via_chirp(
             &scene,
-            ChirpParams { samples: 64, fractional_bandwidth: 0.9 },
+            ChirpParams {
+                samples: 64,
+                fractional_bandwidth: 0.9,
+            },
         );
         // Peak bins should coincide per pulse (within a bin).
         for k in 0..g.num_pulses {

@@ -69,11 +69,17 @@ mod tests {
     fn chirp_sweeps_frequency() {
         // Instantaneous frequency (phase difference) should increase
         // monotonically for an up-chirp.
-        let c = lfm_chirp(ChirpParams { samples: 256, fractional_bandwidth: 0.5 });
+        let c = lfm_chirp(ChirpParams {
+            samples: 256,
+            fractional_bandwidth: 0.5,
+        });
         let freq: Vec<f32> = c.windows(2).map(|w| (w[1] * w[0].conj()).arg()).collect();
         let early: f32 = freq[..64].iter().sum();
         let late: f32 = freq[192..].iter().sum();
-        assert!(late > early, "chirp frequency should rise: {early} vs {late}");
+        assert!(
+            late > early,
+            "chirp frequency should rise: {early} vs {late}"
+        );
     }
 
     #[test]
@@ -89,6 +95,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "fractional bandwidth")]
     fn bad_bandwidth_rejected() {
-        let _ = lfm_chirp(ChirpParams { samples: 16, fractional_bandwidth: 0.0 });
+        let _ = lfm_chirp(ChirpParams {
+            samples: 16,
+            fractional_bandwidth: 0.0,
+        });
     }
 }

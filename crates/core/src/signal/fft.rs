@@ -32,7 +32,10 @@ fn bit_reverse_permute(data: &mut [c32]) {
 
 fn fft_core(data: &mut [c32], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -147,7 +150,9 @@ mod tests {
     #[test]
     fn parseval_energy_is_preserved() {
         let n = 128;
-        let x: Vec<c32> = (0..n).map(|i| c32::new(i as f32 % 7.0 - 3.0, 0.5)).collect();
+        let x: Vec<c32> = (0..n)
+            .map(|i| c32::new(i as f32 % 7.0 - 3.0, 0.5))
+            .collect();
         let time_energy: f32 = x.iter().map(|z| z.norm_sqr()).sum();
         let mut y = x;
         fft_inplace(&mut y);
@@ -159,7 +164,9 @@ mod tests {
     fn linearity() {
         let n = 16;
         let a: Vec<c32> = (0..n).map(|i| c32::new(i as f32, 0.0)).collect();
-        let b: Vec<c32> = (0..n).map(|i| c32::new(0.0, (i * i) as f32 % 5.0)).collect();
+        let b: Vec<c32> = (0..n)
+            .map(|i| c32::new(0.0, (i * i) as f32 % 5.0))
+            .collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         fft_inplace(&mut fa);

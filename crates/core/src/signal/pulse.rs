@@ -29,7 +29,11 @@ impl MatchedFilter {
         assert!(!waveform.is_empty(), "waveform must be non-empty");
         let ref_len = waveform.len();
         let fft_len = next_pow2(max_signal_len + ref_len - 1);
-        let win = if ref_len > 1 { hamming_window(ref_len) } else { vec![1.0] };
+        let win = if ref_len > 1 {
+            hamming_window(ref_len)
+        } else {
+            vec![1.0]
+        };
         let mut reference = vec![c32::ZERO; fft_len];
         for (i, (w, z)) in win.iter().zip(waveform).enumerate() {
             reference[i] = z.scale(*w);
@@ -83,7 +87,10 @@ mod tests {
     use crate::signal::chirp::{lfm_chirp, ChirpParams};
 
     fn chirp() -> Vec<c32> {
-        lfm_chirp(ChirpParams { samples: 64, fractional_bandwidth: 0.8 })
+        lfm_chirp(ChirpParams {
+            samples: 64,
+            fractional_bandwidth: 0.8,
+        })
     }
 
     /// An echo with a scaled copy of the waveform at `delay`.

@@ -8,9 +8,8 @@
 //! subaperture) correction — from GPS when available, from the
 //! autofocus estimate when not (Figure 4).
 
+use desim::rng::SmallRng;
 use desim::OpCounts;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::complex::c32;
 use crate::ffbp::grid::Subaperture;
@@ -27,7 +26,9 @@ pub struct FlightTrack {
 impl FlightTrack {
     /// A perfectly linear track.
     pub fn straight(num_pulses: usize) -> FlightTrack {
-        FlightTrack { offsets: vec![0.0; num_pulses] }
+        FlightTrack {
+            offsets: vec![0.0; num_pulses],
+        }
     }
 
     /// A slow sinusoidal weave: `amplitude * sin(2 pi k / period)`.
@@ -44,7 +45,7 @@ impl FlightTrack {
     /// white noise of standard deviation `sigma` per pulse, then
     /// removes the mean so the average track is the nominal one.
     pub fn random_walk(num_pulses: usize, sigma: f32, seed: u64) -> FlightTrack {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let mut offsets = Vec::with_capacity(num_pulses);
         let mut x = 0.0f32;
         for _ in 0..num_pulses {

@@ -33,13 +33,19 @@
 //! assert_eq!(fired, vec![(Cycle(5), 3), (Cycle(10), 7)]);
 //! ```
 
+pub mod json;
 pub mod queue;
+pub mod record;
 pub mod resource;
+pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod work;
 
+pub use json::Json;
 pub use queue::{EventQueue, Simulator};
+pub use record::{EnergyRecord, PhaseRecord, RunRecord, RUN_RECORD_VERSION};
 pub use resource::{FifoResource, Reservation};
+pub use rng::SmallRng;
 pub use time::{Cycle, Frequency, TimeSpan};
 pub use work::OpCounts;

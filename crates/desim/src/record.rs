@@ -1,0 +1,491 @@
+//! The unified run record: one serialisable result shape for every
+//! kernel × machine pair.
+//!
+//! Every machine model (`epiphany`, `refcpu`, the host-thread baseline)
+//! reports a [`RunRecord`]; the harness stamps the kernel/mapping/
+//! platform identity and the bench binaries serialise it with
+//! [`crate::json`]. Per-phase observability — one [`PhaseRecord`] per
+//! FFBP merge iteration or per autofocus pipeline stage — replaces the
+//! aggregate-only reports the drivers used to emit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::Json;
+use crate::stats::Counters;
+use crate::time::{Cycle, Frequency, TimeSpan};
+
+/// Bump when the serialised shape changes incompatibly.
+pub const RUN_RECORD_VERSION: u32 = 1;
+
+/// Modelled energy in joules, by component. All-zero means the
+/// platform has no activity-based energy model (datasheet power × time
+/// is used instead; see [`RunRecord::energy_j`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyRecord {
+    /// Core datapath (FPU + IALU + register file).
+    pub compute_j: f64,
+    /// Local-store accesses.
+    pub sram_j: f64,
+    /// On-chip mesh traffic.
+    pub mesh_j: f64,
+    /// Off-chip link drivers.
+    pub elink_j: f64,
+    /// External SDRAM device traffic.
+    pub sdram_j: f64,
+    /// Leakage + ungated clock tree over the makespan.
+    pub static_j: f64,
+}
+
+impl EnergyRecord {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.sram_j + self.mesh_j + self.elink_j + self.sdram_j + self.static_j
+    }
+
+    /// Average power over `seconds`.
+    pub fn avg_power_w(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_j() / seconds
+        }
+    }
+
+    /// Whether any component carries modelled energy.
+    pub fn is_modelled(&self) -> bool {
+        self.total_j() > 0.0
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("compute_j", self.compute_j)
+            .with("sram_j", self.sram_j)
+            .with("mesh_j", self.mesh_j)
+            .with("elink_j", self.elink_j)
+            .with("sdram_j", self.sdram_j)
+            .with("static_j", self.static_j)
+    }
+
+    fn from_json(json: &Json) -> Option<EnergyRecord> {
+        let f = |key: &str| json.get(key).and_then(Json::as_f64);
+        Some(EnergyRecord {
+            compute_j: f("compute_j")?,
+            sram_j: f("sram_j")?,
+            mesh_j: f("mesh_j")?,
+            elink_j: f("elink_j")?,
+            sdram_j: f("sdram_j")?,
+            static_j: f("static_j")?,
+        })
+    }
+}
+
+/// Busy fraction `busy / span`. Over-unity indicates an accounting bug
+/// (a component cannot be busy longer than the run), so it trips a
+/// debug assertion instead of being silently clamped.
+pub fn utilization(busy: Cycle, span: Cycle) -> f64 {
+    if span == Cycle::ZERO {
+        return 0.0;
+    }
+    let u = busy.raw() as f64 / span.raw() as f64;
+    debug_assert!(
+        u <= 1.0,
+        "over-unity utilisation: {busy} busy within a {span} span — accounting bug"
+    );
+    u
+}
+
+/// One observed phase of a run: a merge iteration, a pipeline stage, a
+/// sweep chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRecord {
+    /// Phase family, e.g. `"merge"` or `"beam_stage"`.
+    pub name: String,
+    /// Occurrence number within the family (merge iteration index,
+    /// stage slot, …).
+    pub index: u32,
+    /// Start offset from the beginning of the run, milliseconds.
+    pub start_ms: f64,
+    /// Phase duration, milliseconds.
+    pub time_ms: f64,
+    /// Modelled energy spent within the phase (0 when not modelled).
+    pub energy_j: f64,
+    /// Off-chip eLink busy fraction within the phase (0 when n/a).
+    pub elink_utilization: f64,
+    /// Free-form per-phase gauges: occupancy, queue depths, hit rates.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl PhaseRecord {
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut metrics = Json::obj();
+        for (k, v) in &self.metrics {
+            metrics.set(k, *v);
+        }
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("index", self.index)
+            .with("start_ms", self.start_ms)
+            .with("time_ms", self.time_ms)
+            .with("energy_j", self.energy_j)
+            .with("elink_utilization", self.elink_utilization)
+            .with("metrics", metrics)
+    }
+
+    /// Parse back from [`PhaseRecord::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<PhaseRecord> {
+        let f = |key: &str| json.get(key).and_then(Json::as_f64);
+        let mut metrics = BTreeMap::new();
+        if let Some(members) = json.get("metrics").and_then(Json::as_object) {
+            for (k, v) in members {
+                metrics.insert(k.clone(), v.as_f64()?);
+            }
+        }
+        Some(PhaseRecord {
+            name: json.get("name")?.as_str()?.to_string(),
+            index: json.get("index")?.as_u64()? as u32,
+            start_ms: f("start_ms")?,
+            time_ms: f("time_ms")?,
+            energy_j: f("energy_j")?,
+            elink_utilization: f("elink_utilization")?,
+            metrics,
+        })
+    }
+}
+
+/// Summary of one simulated (or measured) run — the single result
+/// shape shared by every platform and mapping.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Serialisation format version ([`RUN_RECORD_VERSION`]).
+    pub version: u32,
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Kernel identity (`"ffbp"`, `"autofocus"`); stamped by the harness.
+    pub kernel: String,
+    /// Mapping identity (`"ffbp_spmd"`, …); stamped by the harness.
+    pub mapping: String,
+    /// Platform identity (`"epiphany"`, `"refcpu"`, `"host"`).
+    pub platform: String,
+    /// Cores the mapping actually used.
+    pub cores_used: usize,
+    /// Makespan.
+    pub elapsed: TimeSpan,
+    /// Datasheet power of the platform, watts (energy fallback when no
+    /// activity-based model exists).
+    pub power_w: f64,
+    /// Modelled energy breakdown (all-zero when not modelled).
+    pub energy: EnergyRecord,
+    /// Aggregated operation counters across all cores.
+    pub counters: Counters,
+    /// Free-form run-level gauges (`mem_stall_fraction`, `local_hits`, …).
+    pub metrics: BTreeMap<String, f64>,
+    /// Busy cycles of the most congested on-chip link.
+    pub busiest_link_cycles: Cycle,
+    /// Busy cycles of the off-chip eLink.
+    pub elink_busy_cycles: Cycle,
+    /// SDRAM open-row hit rate.
+    pub sdram_row_hit_rate: f64,
+    /// Per-phase breakdown in execution order.
+    pub phases: Vec<PhaseRecord>,
+}
+
+impl RunRecord {
+    /// A blank record for `label` spanning `elapsed`; the producer
+    /// fills in whatever it models.
+    pub fn new(label: impl Into<String>, elapsed: TimeSpan) -> RunRecord {
+        RunRecord {
+            version: RUN_RECORD_VERSION,
+            label: label.into(),
+            kernel: String::new(),
+            mapping: String::new(),
+            platform: String::new(),
+            cores_used: 1,
+            elapsed,
+            power_w: 0.0,
+            energy: EnergyRecord::default(),
+            counters: Counters::new(),
+            metrics: BTreeMap::new(),
+            busiest_link_cycles: Cycle::ZERO,
+            elink_busy_cycles: Cycle::ZERO,
+            sdram_row_hit_rate: 0.0,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.millis()
+    }
+
+    /// Execution time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed.seconds()
+    }
+
+    /// Energy in joules: the activity model when present, otherwise
+    /// datasheet power × time (the paper's method for the i7 rows).
+    pub fn energy_j(&self) -> f64 {
+        if self.energy.is_modelled() {
+            self.energy.total_j()
+        } else {
+            self.power_w * self.seconds()
+        }
+    }
+
+    /// Average power over the run, watts.
+    pub fn avg_power_w(&self) -> f64 {
+        let s = self.seconds();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.energy_j() / s
+        }
+    }
+
+    /// eLink utilisation over the makespan (debug-asserts on
+    /// over-unity; see [`utilization`]).
+    pub fn elink_utilization(&self) -> f64 {
+        utilization(self.elink_busy_cycles, self.elapsed.cycles)
+    }
+
+    /// Wall-time speedup of this run over `baseline`.
+    pub fn speedup_over(&self, baseline: &RunRecord) -> f64 {
+        baseline.seconds() / self.seconds()
+    }
+
+    /// A run-level gauge, if recorded.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.get(key).copied()
+    }
+
+    /// Record a run-level gauge.
+    pub fn set_metric(&mut self, key: &str, value: f64) {
+        self.metrics.insert(key.to_string(), value);
+    }
+
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in self.counters.iter() {
+            counters.set(k, v);
+        }
+        let mut metrics = Json::obj();
+        for (k, v) in &self.metrics {
+            metrics.set(k, *v);
+        }
+        Json::obj()
+            .with("version", self.version)
+            .with("label", self.label.as_str())
+            .with("kernel", self.kernel.as_str())
+            .with("mapping", self.mapping.as_str())
+            .with("platform", self.platform.as_str())
+            .with("cores_used", self.cores_used)
+            .with("cycles", self.elapsed.cycles.raw())
+            .with("clock_hz", self.elapsed.clock.hz())
+            .with("time_ms", self.millis())
+            .with("power_w", self.power_w)
+            .with("energy_j", self.energy_j())
+            .with("energy", self.energy.to_json())
+            .with("counters", counters)
+            .with("metrics", metrics)
+            .with("busiest_link_cycles", self.busiest_link_cycles.raw())
+            .with("elink_busy_cycles", self.elink_busy_cycles.raw())
+            .with("sdram_row_hit_rate", self.sdram_row_hit_rate)
+            .with(
+                "phases",
+                Json::Arr(self.phases.iter().map(PhaseRecord::to_json).collect()),
+            )
+    }
+
+    /// Parse back from [`RunRecord::to_json`] output. Counter names are
+    /// interned (leaked) — records hold a small, bounded name set.
+    pub fn from_json(json: &Json) -> Option<RunRecord> {
+        let s = |key: &str| Some(json.get(key)?.as_str()?.to_string());
+        let f = |key: &str| json.get(key).and_then(Json::as_f64);
+        let u = |key: &str| json.get(key).and_then(Json::as_u64);
+        let mut counters = Counters::new();
+        if let Some(members) = json.get("counters").and_then(Json::as_object) {
+            for (k, v) in members {
+                counters.add(Box::leak(k.clone().into_boxed_str()), v.as_u64()?);
+            }
+        }
+        let mut metrics = BTreeMap::new();
+        if let Some(members) = json.get("metrics").and_then(Json::as_object) {
+            for (k, v) in members {
+                metrics.insert(k.clone(), v.as_f64()?);
+            }
+        }
+        let mut phases = Vec::new();
+        for p in json.get("phases").and_then(Json::as_array).unwrap_or(&[]) {
+            phases.push(PhaseRecord::from_json(p)?);
+        }
+        Some(RunRecord {
+            version: u("version")? as u32,
+            label: s("label")?,
+            kernel: s("kernel")?,
+            mapping: s("mapping")?,
+            platform: s("platform")?,
+            cores_used: u("cores_used")? as usize,
+            elapsed: TimeSpan::new(Cycle(u("cycles")?), Frequency::hz_new(f("clock_hz")?)),
+            power_w: f("power_w")?,
+            energy: EnergyRecord::from_json(json.get("energy")?)?,
+            counters,
+            metrics,
+            busiest_link_cycles: Cycle(u("busiest_link_cycles")?),
+            elink_busy_cycles: Cycle(u("elink_busy_cycles")?),
+            sdram_row_hit_rate: f("sdram_row_hit_rate")?,
+            phases,
+        })
+    }
+}
+
+impl fmt::Display for RunRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.label)?;
+        if !self.mapping.is_empty() || !self.platform.is_empty() {
+            writeln!(
+                f,
+                "  mapping        : {} on {}",
+                self.mapping, self.platform
+            )?;
+        }
+        writeln!(f, "  cores used     : {}", self.cores_used)?;
+        writeln!(f, "  execution time : {:.3} ms", self.millis())?;
+        writeln!(f, "  energy         : {:.4} J", self.energy_j())?;
+        writeln!(f, "  avg power      : {:.3} W", self.avg_power_w())?;
+        writeln!(
+            f,
+            "  eLink util     : {:.1}%",
+            self.elink_utilization() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  SDRAM row hits : {:.1}%",
+            self.sdram_row_hit_rate * 100.0
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  phase {:>12}[{}]: {:.4} ms, {:.5} J, eLink {:.1}%",
+                p.name,
+                p.index,
+                p.time_ms,
+                p.energy_j,
+                p.elink_utilization * 100.0
+            )?;
+        }
+        write!(f, "{}", self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cycles: u64) -> RunRecord {
+        let mut r = RunRecord::new("t", TimeSpan::new(Cycle(cycles), Frequency::ghz(1.0)));
+        r.elink_busy_cycles = Cycle(cycles / 2);
+        r.sdram_row_hit_rate = 0.5;
+        r
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_times() {
+        let fast = record(1_000_000);
+        let slow = record(4_250_000);
+        assert!((fast.speedup_over(&slow) - 4.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elink_utilization_is_fraction_of_makespan() {
+        let r = record(1000);
+        assert!((r.elink_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "over-unity utilisation")]
+    fn over_unity_utilisation_is_an_accounting_bug() {
+        let mut r = record(1000);
+        r.elink_busy_cycles = Cycle(1001);
+        let _ = r.elink_utilization();
+    }
+
+    #[test]
+    fn energy_falls_back_to_datasheet_power() {
+        // 1e6 cycles @ 1 GHz = 1 ms at 17.5 W -> 17.5 mJ.
+        let mut r = record(1_000_000);
+        r.power_w = 17.5;
+        assert!((r.energy_j() - 17.5e-3).abs() < 1e-12);
+        assert!((r.avg_power_w() - 17.5).abs() < 1e-9);
+        // A modelled breakdown takes precedence.
+        r.energy.compute_j = 2e-3;
+        assert!((r.energy_j() - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut r = record(12345);
+        r.kernel = "ffbp".into();
+        r.mapping = "ffbp_spmd".into();
+        r.platform = "epiphany".into();
+        r.cores_used = 16;
+        r.power_w = 2.0;
+        r.energy = EnergyRecord {
+            compute_j: 1e-3,
+            sram_j: 2e-4,
+            mesh_j: 3e-5,
+            elink_j: 4e-6,
+            sdram_j: 5e-7,
+            static_j: 6e-8,
+        };
+        r.counters.add("flop", 123);
+        r.counters.add("dma_bytes", 456);
+        r.set_metric("local_hits", 99.0);
+        r.busiest_link_cycles = Cycle(777);
+        r.phases.push(PhaseRecord {
+            name: "merge".into(),
+            index: 2,
+            start_ms: 0.5,
+            time_ms: 0.25,
+            energy_j: 1e-4,
+            elink_utilization: 0.75,
+            metrics: BTreeMap::from([("occupancy".to_string(), 0.9)]),
+        });
+
+        let text = r.to_json().to_string_pretty();
+        let back = RunRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.version, RUN_RECORD_VERSION);
+        assert_eq!(back.label, r.label);
+        assert_eq!(back.mapping, "ffbp_spmd");
+        assert_eq!(back.cores_used, 16);
+        assert_eq!(back.elapsed.cycles, r.elapsed.cycles);
+        assert_eq!(back.elapsed.clock.hz(), r.elapsed.clock.hz());
+        assert_eq!(back.energy, r.energy);
+        assert_eq!(back.counters.get("flop"), 123);
+        assert_eq!(back.metric("local_hits"), Some(99.0));
+        assert_eq!(back.busiest_link_cycles, Cycle(777));
+        assert_eq!(back.phases, r.phases);
+        assert!((back.energy_j() - r.energy_j()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_includes_label_and_phases() {
+        let mut r = record(10);
+        r.phases.push(PhaseRecord {
+            name: "merge".into(),
+            index: 0,
+            start_ms: 0.0,
+            time_ms: 1.0,
+            energy_j: 0.0,
+            elink_utilization: 0.0,
+            metrics: BTreeMap::new(),
+        });
+        let s = format!("{r}");
+        assert!(s.contains("== t =="));
+        assert!(s.contains("execution time"));
+        assert!(s.contains("phase"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Small deterministic PRNG (xoshiro256++ seeded via splitmix64).
+//!
+//! The workspace builds offline with no external crates, so the few
+//! places that need reproducible pseudo-randomness — scene synthesis,
+//! perturbed flight tracks, property tests — use this generator
+//! instead of the `rand` crate. Determinism per seed is part of the
+//! contract: simulations and tests rely on bit-identical streams.
+
+use std::ops::Range;
+
+/// A small, fast, seedable PRNG. Not cryptographic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Expand a 64-bit seed into the full state with splitmix64 (the
+    /// initialisation recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of mantissa entropy.
+    pub fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of mantissa entropy.
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[range.start, range.end)`.
+    pub fn gen_range(&mut self, range: Range<f32>) -> f32 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.next_f32() * (range.end - range.start)
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)` (multiply-shift;
+    /// bias is negligible for the small ranges used in tests).
+    pub fn gen_index(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u128;
+        range.start + ((self.next_u64() as u128 * span) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_stay_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y = rng.next_f64();
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (mut lo_half, mut hi_half) = (0u32, 0u32);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.0..6.0);
+            assert!((-2.0..6.0).contains(&x));
+            if x < 2.0 {
+                lo_half += 1;
+            } else {
+                hi_half += 1;
+            }
+        }
+        // Roughly uniform: both halves get a sizeable share.
+        assert!(lo_half > 3_000 && hi_half > 3_000, "{lo_half}/{hi_half}");
+    }
+
+    #[test]
+    fn gen_index_hits_every_bucket() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let i = rng.gen_index(10..15);
+            assert!((10..15).contains(&i));
+            seen[i - 10] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

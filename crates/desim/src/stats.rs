@@ -53,6 +53,21 @@ impl Counters {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Difference against an earlier snapshot of the same accumulator:
+    /// every counter's growth since `snapshot`, omitting zero deltas.
+    /// Counters are monotone, so each value must be `>=` the snapshot's.
+    pub fn since(&self, snapshot: &Counters) -> Counters {
+        let mut delta = Counters::new();
+        for (k, v) in self.iter() {
+            let before = snapshot.get(k);
+            debug_assert!(v >= before, "counter {k} went backwards ({before} -> {v})");
+            if v > before {
+                delta.add(k, v - before);
+            }
+        }
+        delta
+    }
 }
 
 impl fmt::Display for Counters {
@@ -61,6 +76,115 @@ impl fmt::Display for Counters {
             writeln!(f, "{k:>24}: {v}")?;
         }
         Ok(())
+    }
+}
+
+/// One closed phase on a [`PhaseTimeline`]: a named interval of the
+/// simulation with the counter growth and gauges observed inside it.
+#[derive(Debug, Clone)]
+pub struct PhaseSpan {
+    /// Phase family (e.g. `"merge"`).
+    pub name: String,
+    /// Occurrence number within the family (0, 1, 2, … per name).
+    pub index: u32,
+    /// Phase start on the simulation timeline.
+    pub start: Cycle,
+    /// Phase end on the simulation timeline.
+    pub end: Cycle,
+    /// Counter deltas accumulated within the phase.
+    pub counters: Counters,
+    /// Free-form gauges sampled by the machine model (energy, busy
+    /// cycles, queue depths, …).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl PhaseSpan {
+    /// Phase length in cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Phase-scoped statistics: machine models bracket interesting regions
+/// (`begin` / `end`) and attach gauges; the run report turns the closed
+/// spans into per-phase records.
+///
+/// The timeline is strictly sequential — phases cannot nest or overlap,
+/// matching how the transaction-level machines execute (one mapping
+/// drives the whole chip through one region at a time).
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimeline {
+    spans: Vec<PhaseSpan>,
+    open: Option<PhaseSpan>,
+    occurrences: BTreeMap<String, u32>,
+}
+
+impl PhaseTimeline {
+    /// Empty timeline.
+    pub fn new() -> PhaseTimeline {
+        PhaseTimeline::default()
+    }
+
+    /// Open a phase at `now`. `counters` is the model's current counter
+    /// snapshot; the delta to the `end` snapshot becomes the phase's
+    /// counters. Panics if a phase is already open.
+    pub fn begin(&mut self, name: &str, now: Cycle, counters: Counters) {
+        assert!(
+            self.open.is_none(),
+            "phase '{}' still open when beginning '{name}'",
+            self.open.as_ref().unwrap().name
+        );
+        let index = self.occurrences.entry(name.to_string()).or_insert(0);
+        self.open = Some(PhaseSpan {
+            name: name.to_string(),
+            index: *index,
+            start: now,
+            end: now,
+            counters,
+            metrics: BTreeMap::new(),
+        });
+        *index += 1;
+    }
+
+    /// Attach (or overwrite) a gauge on the open phase.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        let span = self
+            .open
+            .as_mut()
+            .expect("no open phase to attach a metric to");
+        span.metrics.insert(key.to_string(), value);
+    }
+
+    /// Close the open phase at `now`, storing counter deltas against
+    /// the `begin` snapshot. Returns the closed span.
+    pub fn end(&mut self, now: Cycle, counters: &Counters) -> &PhaseSpan {
+        let mut span = self.open.take().expect("no open phase to end");
+        debug_assert!(
+            now >= span.start,
+            "phase '{}' ended before it began",
+            span.name
+        );
+        span.end = now;
+        span.counters = counters.since(&span.counters);
+        self.spans.push(span);
+        self.spans.last().unwrap()
+    }
+
+    /// Whether a phase is currently open.
+    pub fn is_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// All closed phases in execution order.
+    pub fn spans(&self) -> &[PhaseSpan] {
+        &self.spans
+    }
+
+    /// Drop every span and occurrence count (open phase included).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.open = None;
+        self.occurrences.clear();
     }
 }
 
@@ -97,7 +221,11 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        let idx = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v;
@@ -240,7 +368,7 @@ mod tests {
         // Median of 0..1000 is ~500; exponential buckets give the bucket
         // upper bound, so p50 must be within [500, 1024].
         assert!((500..=1024).contains(&p50), "p50={p50}");
-        assert_eq!(h.quantile(1.0).unwrap() >= 999, true);
+        assert!(h.quantile(1.0).unwrap() >= 999);
         assert_eq!(Histogram::new().quantile(0.5), None);
     }
 
@@ -250,6 +378,66 @@ mod tests {
         h.record(0);
         h.record(1);
         assert_eq!(h.quantile(0.01), Some(1));
+    }
+
+    #[test]
+    fn counters_since_reports_growth_only() {
+        let mut snap = Counters::new();
+        snap.add("flop", 10);
+        snap.add("load", 4);
+        let mut now = snap.clone();
+        now.add("flop", 5);
+        now.add("store", 2);
+        let delta = now.since(&snap);
+        assert_eq!(delta.get("flop"), 5);
+        assert_eq!(delta.get("store"), 2);
+        assert_eq!(delta.get("load"), 0);
+        assert_eq!(delta.iter().count(), 2, "zero deltas are omitted");
+    }
+
+    #[test]
+    fn phase_timeline_tracks_sequential_phases() {
+        let mut tl = PhaseTimeline::new();
+        let mut c = Counters::new();
+
+        tl.begin("merge", Cycle(0), c.clone());
+        c.add("flop", 100);
+        tl.metric("occupancy", 0.5);
+        tl.metric("occupancy", 0.75); // overwrite wins
+        tl.end(Cycle(40), &c);
+
+        tl.begin("merge", Cycle(40), c.clone());
+        c.add("flop", 50);
+        c.add("dma_bytes", 8);
+        tl.end(Cycle(100), &c);
+
+        tl.begin("drain", Cycle(100), c.clone());
+        assert!(tl.is_open());
+        tl.end(Cycle(100), &c);
+        assert!(!tl.is_open());
+
+        let spans = tl.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!((spans[0].name.as_str(), spans[0].index), ("merge", 0));
+        assert_eq!((spans[1].name.as_str(), spans[1].index), ("merge", 1));
+        assert_eq!((spans[2].name.as_str(), spans[2].index), ("drain", 0));
+        assert_eq!(spans[0].cycles(), Cycle(40));
+        assert_eq!(spans[0].counters.get("flop"), 100);
+        assert_eq!(spans[0].metrics["occupancy"], 0.75);
+        assert_eq!(spans[1].counters.get("flop"), 50);
+        assert_eq!(spans[1].counters.get("dma_bytes"), 8);
+        assert_eq!(spans[2].cycles(), Cycle::ZERO);
+
+        tl.clear();
+        assert!(tl.spans().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn phase_timeline_rejects_nesting() {
+        let mut tl = PhaseTimeline::new();
+        tl.begin("a", Cycle(0), Counters::new());
+        tl.begin("b", Cycle(1), Counters::new());
     }
 
     #[test]

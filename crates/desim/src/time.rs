@@ -130,7 +130,10 @@ pub struct Frequency(f64);
 impl Frequency {
     /// Construct from Hertz. Panics on non-positive or non-finite input.
     pub fn hz_new(hz: f64) -> Frequency {
-        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive, got {hz}");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "frequency must be positive, got {hz}"
+        );
         Frequency(hz)
     }
 
@@ -210,7 +213,13 @@ impl TimeSpan {
 
 impl fmt::Display for TimeSpan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3} ms ({} @ {})", self.millis(), self.cycles, self.clock)
+        write!(
+            f,
+            "{:.3} ms ({} @ {})",
+            self.millis(),
+            self.cycles,
+            self.clock
+        )
     }
 }
 

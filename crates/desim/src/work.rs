@@ -90,7 +90,12 @@ mod tests {
 
     #[test]
     fn accumulate_scale_and_diff() {
-        let unit = OpCounts { flops: 3, fmas: 1, loads: 2, ..OpCounts::default() };
+        let unit = OpCounts {
+            flops: 3,
+            fmas: 1,
+            loads: 2,
+            ..OpCounts::default()
+        };
         let mut acc = OpCounts::default();
         acc.add(&unit.scaled(4));
         assert_eq!(acc.flops, 12);
@@ -103,7 +108,11 @@ mod tests {
 
     #[test]
     fn flop_work_counts_fma_twice() {
-        let o = OpCounts { flops: 5, fmas: 10, ..OpCounts::default() };
+        let o = OpCounts {
+            flops: 5,
+            fmas: 10,
+            ..OpCounts::default()
+        };
         assert_eq!(o.flop_work(), 25);
         assert_eq!(o.instrs_no_fma(), 25);
     }

@@ -83,7 +83,13 @@ impl MeshNetwork {
     /// the tail arrives one serialization interval after the header.
     /// `src == dst` models a local (router-bypass) delivery costing one
     /// hop latency.
-    pub fn transfer(&mut self, at: Cycle, src: NodeId, dst: NodeId, wire_bytes: u64) -> TransferResult {
+    pub fn transfer(
+        &mut self,
+        at: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: u64,
+    ) -> TransferResult {
         let (sc, dc) = (self.mesh.coord(src), self.mesh.coord(dst));
         let route = route_xy(&self.mesh, sc, dc);
         let units = self.units_for(wire_bytes);
@@ -220,9 +226,17 @@ impl EMesh {
     pub fn new(mesh: Mesh2D, params: EMeshParams) -> EMesh {
         EMesh {
             mesh,
-            cmesh: MeshNetwork::new(mesh, LinkMode::BytesPerCycle(params.link_bytes_per_cycle), params.hop_latency),
+            cmesh: MeshNetwork::new(
+                mesh,
+                LinkMode::BytesPerCycle(params.link_bytes_per_cycle),
+                params.hop_latency,
+            ),
             rmesh: MeshNetwork::new(mesh, LinkMode::TransactionPerCycle, params.hop_latency),
-            xmesh: MeshNetwork::new(mesh, LinkMode::BytesPerCycle(params.link_bytes_per_cycle), params.hop_latency),
+            xmesh: MeshNetwork::new(
+                mesh,
+                LinkMode::BytesPerCycle(params.link_bytes_per_cycle),
+                params.hop_latency,
+            ),
             elink: FifoResource::per_units(1, params.elink_bytes_per_cycle),
             elink_node: mesh.elink_node(),
         }
@@ -240,13 +254,25 @@ impl EMesh {
 
     /// Posted write of `bytes` payload from `src` into `dst`'s memory.
     /// Returns the delivery completion time; the *sender* does not wait.
-    pub fn write_onchip(&mut self, at: Cycle, src: NodeId, dst: NodeId, bytes: u64) -> TransferResult {
+    pub fn write_onchip(
+        &mut self,
+        at: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> TransferResult {
         self.cmesh.transfer(at, src, dst, bytes + 8)
     }
 
     /// Blocking read of `bytes` from `dst`'s memory by `src`. Returns the
     /// time the data is back at `src` (request on rMesh, reply on cMesh).
-    pub fn read_onchip(&mut self, at: Cycle, src: NodeId, dst: NodeId, bytes: u64) -> TransferResult {
+    pub fn read_onchip(
+        &mut self,
+        at: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> TransferResult {
         let req = self.rmesh.transfer(at, src, dst, 8);
         let rep = self.cmesh.transfer(req.arrival, dst, src, bytes + 8);
         TransferResult {
@@ -274,12 +300,20 @@ impl EMesh {
     /// model. Returns the time the data is back at `src`: request over
     /// rMesh to the edge, eLink request slot, SDRAM access, reply data
     /// serialised through the eLink and routed back over the cMesh.
-    pub fn read_offchip(&mut self, at: Cycle, src: NodeId, bytes: u64, memory_cycles: Cycle) -> TransferResult {
+    pub fn read_offchip(
+        &mut self,
+        at: Cycle,
+        src: NodeId,
+        bytes: u64,
+        memory_cycles: Cycle,
+    ) -> TransferResult {
         let req = self.rmesh.transfer(at, src, self.elink_node, 8);
         let out = self.elink.request(req.arrival, 8);
         let data_ready = out.end + memory_cycles;
         let back = self.elink.request(data_ready, bytes + 8);
-        let rep = self.cmesh.transfer(back.end, self.elink_node, src, bytes + 8);
+        let rep = self
+            .cmesh
+            .transfer(back.end, self.elink_node, src, bytes + 8);
         TransferResult {
             arrival: rep.arrival,
             hops: req.hops + rep.hops,
@@ -336,7 +370,12 @@ mod tests {
         let w = f.write_onchip(Cycle(0), NodeId(0), NodeId(5), 8);
         f.reset();
         let r = f.read_onchip(Cycle(0), NodeId(0), NodeId(5), 8);
-        assert!(r.arrival > w.arrival, "read {:?} should exceed posted write {:?}", r, w);
+        assert!(
+            r.arrival > w.arrival,
+            "read {:?} should exceed posted write {:?}",
+            r,
+            w
+        );
         assert_eq!(r.hops, 2 * w.hops);
     }
 
@@ -392,7 +431,11 @@ mod tests {
         let a = f.write_offchip(Cycle(0), NodeId(0), 1024);
         let b = f.write_offchip(Cycle(0), NodeId(15), 1024);
         // Whoever arrives second at the edge queues behind the first.
-        let (first, second) = if a.arrival < b.arrival { (a, b) } else { (b, a) };
+        let (first, second) = if a.arrival < b.arrival {
+            (a, b)
+        } else {
+            (b, a)
+        };
         assert!(second.queued > Cycle::ZERO || second.arrival > first.arrival);
     }
 

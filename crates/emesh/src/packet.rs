@@ -59,7 +59,11 @@ mod tests {
             kind: PacketKind::WriteOnChip,
         };
         assert_eq!(p.wire_bytes(), 72);
-        let rr = Packet { payload: 0, kind: PacketKind::ReadRequest, ..p };
+        let rr = Packet {
+            payload: 0,
+            kind: PacketKind::ReadRequest,
+            ..p
+        };
         assert_eq!(rr.wire_bytes(), 8);
     }
 }

@@ -58,16 +58,27 @@ pub struct Hop {
 /// directed links traversed. An empty route means `src == dst` (local
 /// delivery without touching the mesh).
 pub fn route_xy(mesh: &Mesh2D, src: Coord, dst: Coord) -> Vec<Hop> {
-    assert!(mesh.contains(src) && mesh.contains(dst), "route endpoints must be in mesh");
+    assert!(
+        mesh.contains(src) && mesh.contains(dst),
+        "route endpoints must be in mesh"
+    );
     let mut hops = Vec::with_capacity(src.manhattan(dst) as usize);
     let mut cur = src;
     while cur.x != dst.x {
-        let dir = if dst.x > cur.x { Direction::East } else { Direction::West };
+        let dir = if dst.x > cur.x {
+            Direction::East
+        } else {
+            Direction::West
+        };
         hops.push(Hop { from: cur, dir });
         cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
     }
     while cur.y != dst.y {
-        let dir = if dst.y > cur.y { Direction::South } else { Direction::North };
+        let dir = if dst.y > cur.y {
+            Direction::South
+        } else {
+            Direction::North
+        };
         hops.push(Hop { from: cur, dir });
         cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
     }

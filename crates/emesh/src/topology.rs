@@ -121,16 +121,28 @@ impl Mesh2D {
     pub fn neighbors(&self, coord: Coord) -> Vec<Coord> {
         let mut out = Vec::with_capacity(4);
         if coord.x > 0 {
-            out.push(Coord { x: coord.x - 1, y: coord.y });
+            out.push(Coord {
+                x: coord.x - 1,
+                y: coord.y,
+            });
         }
         if coord.x + 1 < self.cols {
-            out.push(Coord { x: coord.x + 1, y: coord.y });
+            out.push(Coord {
+                x: coord.x + 1,
+                y: coord.y,
+            });
         }
         if coord.y > 0 {
-            out.push(Coord { x: coord.x, y: coord.y - 1 });
+            out.push(Coord {
+                x: coord.x,
+                y: coord.y - 1,
+            });
         }
         if coord.y + 1 < self.rows {
-            out.push(Coord { x: coord.x, y: coord.y + 1 });
+            out.push(Coord {
+                x: coord.x,
+                y: coord.y + 1,
+            });
         }
         out
     }
@@ -140,7 +152,10 @@ impl Mesh2D {
     /// (clamped for other sizes).
     pub fn elink_node(&self) -> NodeId {
         let y = (self.rows / 2).min(self.rows - 1);
-        self.node(Coord { x: self.cols - 1, y })
+        self.node(Coord {
+            x: self.cols - 1,
+            y,
+        })
     }
 }
 

@@ -62,30 +62,56 @@ mod tests {
     #[test]
     fn lowering_expands_special_functions() {
         let p = EpiphanyParams::default();
-        let ops = OpCounts { sqrts: 2, trigs: 1, flops: 5, ..OpCounts::default() };
+        let ops = OpCounts {
+            sqrts: 2,
+            trigs: 1,
+            flops: 5,
+            ..OpCounts::default()
+        };
         let cb = CostBlock::lower(&ops, &p);
         assert_eq!(cb.fpu_instrs, 5 + 2 * p.sqrt_flops + p.trig_flops);
     }
 
     #[test]
     fn dual_issue_hides_the_shorter_slot() {
-        let p = EpiphanyParams { pairing_efficiency: 1.0, ..EpiphanyParams::default() };
-        let balanced = CostBlock { fpu_instrs: 100, ialu_ls_instrs: 100, local_accesses: 0 };
+        let p = EpiphanyParams {
+            pairing_efficiency: 1.0,
+            ..EpiphanyParams::default()
+        };
+        let balanced = CostBlock {
+            fpu_instrs: 100,
+            ialu_ls_instrs: 100,
+            local_accesses: 0,
+        };
         assert_eq!(balanced.cycles(&p), 100);
-        let fpu_heavy = CostBlock { fpu_instrs: 100, ialu_ls_instrs: 10, local_accesses: 0 };
+        let fpu_heavy = CostBlock {
+            fpu_instrs: 100,
+            ialu_ls_instrs: 10,
+            local_accesses: 0,
+        };
         assert_eq!(fpu_heavy.cycles(&p), 100);
     }
 
     #[test]
     fn pairing_efficiency_inflates_cycles() {
-        let p = EpiphanyParams { pairing_efficiency: 0.5, ..EpiphanyParams::default() };
-        let b = CostBlock { fpu_instrs: 100, ialu_ls_instrs: 0, local_accesses: 0 };
+        let p = EpiphanyParams {
+            pairing_efficiency: 0.5,
+            ..EpiphanyParams::default()
+        };
+        let b = CostBlock {
+            fpu_instrs: 100,
+            ialu_ls_instrs: 0,
+            local_accesses: 0,
+        };
         assert_eq!(b.cycles(&p), 200);
     }
 
     #[test]
     fn fma_counts_one_instruction_two_flops() {
-        let ops = OpCounts { fmas: 10, ..OpCounts::default() };
+        let ops = OpCounts {
+            fmas: 10,
+            ..OpCounts::default()
+        };
         assert_eq!(ops.flop_work(), 20);
         let p = EpiphanyParams::default();
         assert_eq!(CostBlock::lower(&ops, &p).fpu_instrs, 10);
@@ -93,7 +119,11 @@ mod tests {
 
     #[test]
     fn scaling_and_accumulation() {
-        let unit = OpCounts { flops: 3, loads: 2, ..OpCounts::default() };
+        let unit = OpCounts {
+            flops: 3,
+            loads: 2,
+            ..OpCounts::default()
+        };
         let mut total = OpCounts::default();
         total.add(&unit.scaled(4));
         assert_eq!(total.flops, 12);

@@ -10,38 +10,9 @@
 use crate::chip::Chip;
 use crate::params::EpiphanyParams;
 
-/// Joules by component.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct EnergyBreakdown {
-    /// Core datapath (FPU + IALU + register file).
-    pub compute_j: f64,
-    /// Local-store accesses.
-    pub sram_j: f64,
-    /// On-chip mesh traffic.
-    pub mesh_j: f64,
-    /// Off-chip link drivers.
-    pub elink_j: f64,
-    /// External SDRAM device traffic.
-    pub sdram_j: f64,
-    /// Leakage + ungated clock tree over the makespan.
-    pub static_j: f64,
-}
-
-impl EnergyBreakdown {
-    /// Total joules.
-    pub fn total_j(&self) -> f64 {
-        self.compute_j + self.sram_j + self.mesh_j + self.elink_j + self.sdram_j + self.static_j
-    }
-
-    /// Average power over `seconds`.
-    pub fn avg_power_w(&self, seconds: f64) -> f64 {
-        if seconds <= 0.0 {
-            0.0
-        } else {
-            self.total_j() / seconds
-        }
-    }
-}
+/// Joules by component — the shared record type, so chip reports embed
+/// the breakdown directly.
+pub use desim::record::EnergyRecord as EnergyBreakdown;
 
 /// Prices a chip's activity counters.
 pub struct EnergyModel {
@@ -78,8 +49,7 @@ impl EnergyModel {
         let mesh = byte_hops as f64 * p.pj_per_mesh_byte_hop;
 
         let seconds = chip.elapsed_span().seconds();
-        let static_j =
-            (p.static_w_per_core * chip.cores() as f64 + p.static_w_chip) * seconds;
+        let static_j = (p.static_w_per_core * chip.cores() as f64 + p.static_w_chip) * seconds;
 
         EnergyBreakdown {
             compute_j: compute * pj,
@@ -101,7 +71,14 @@ mod tests {
     #[test]
     fn compute_dominates_for_local_kernels() {
         let mut chip = Chip::e16g3(EpiphanyParams::default());
-        chip.compute(0, &OpCounts { fmas: 1_000_000, loads: 500_000, ..OpCounts::default() });
+        chip.compute(
+            0,
+            &OpCounts {
+                fmas: 1_000_000,
+                loads: 500_000,
+                ..OpCounts::default()
+            },
+        );
         let e = chip.energy();
         assert!(e.compute_j > 0.0);
         assert!(e.elink_j == 0.0);
@@ -131,9 +108,21 @@ mod tests {
     fn static_energy_grows_with_makespan() {
         let p = EpiphanyParams::default();
         let mut fast = Chip::e16g3(p);
-        fast.compute(0, &OpCounts { flops: 1000, ..OpCounts::default() });
+        fast.compute(
+            0,
+            &OpCounts {
+                flops: 1000,
+                ..OpCounts::default()
+            },
+        );
         let mut slow = Chip::e16g3(p);
-        slow.compute(0, &OpCounts { flops: 1_000_000, ..OpCounts::default() });
+        slow.compute(
+            0,
+            &OpCounts {
+                flops: 1_000_000,
+                ..OpCounts::default()
+            },
+        );
         assert!(slow.energy().static_j > fast.energy().static_j);
     }
 
@@ -145,7 +134,12 @@ mod tests {
         for core in 0..16 {
             chip.compute(
                 core,
-                &OpCounts { fmas: 800_000, loads: 700_000, ialu: 100_000, ..OpCounts::default() },
+                &OpCounts {
+                    fmas: 800_000,
+                    loads: 700_000,
+                    ialu: 100_000,
+                    ..OpCounts::default()
+                },
             );
         }
         let e = chip.energy();
@@ -159,7 +153,13 @@ mod tests {
     #[test]
     fn breakdown_sums_to_total() {
         let mut chip = Chip::e16g3(EpiphanyParams::default());
-        chip.compute(0, &OpCounts { flops: 100, ..OpCounts::default() });
+        chip.compute(
+            0,
+            &OpCounts {
+                flops: 100,
+                ..OpCounts::default()
+            },
+        );
         chip.write_external(0, GlobalAddr::external(0), 64);
         let e = chip.energy();
         let sum = e.compute_j + e.sram_j + e.mesh_j + e.elink_j + e.sdram_j + e.static_j;

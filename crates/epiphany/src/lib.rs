@@ -34,13 +34,12 @@
 pub mod chip;
 pub mod cost;
 pub mod dma;
-pub mod loader;
 pub mod energy;
+pub mod loader;
 pub mod params;
-pub mod report;
 
 pub use chip::Chip;
 pub use cost::CostBlock;
+pub use desim::record::{PhaseRecord, RunRecord};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use params::EpiphanyParams;
-pub use report::RunReport;

@@ -27,7 +27,10 @@ pub struct ProgramImage {
 impl ProgramImage {
     /// A named image of `bytes` bytes.
     pub fn new(name: &str, bytes: u64) -> ProgramImage {
-        ProgramImage { name: name.to_string(), bytes }
+        ProgramImage {
+            name: name.to_string(),
+            bytes,
+        }
     }
 }
 

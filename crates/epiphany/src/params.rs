@@ -168,7 +168,8 @@ mod tests {
         // plus statics, should land in the neighbourhood of the 2 W
         // datasheet figure (within a factor ~1.5 either way).
         let p = EpiphanyParams::default();
-        let per_core_w = (p.pj_per_flop + p.pj_per_ialu + 0.5 * p.pj_per_local_access) * 1e-12 * 1e9;
+        let per_core_w =
+            (p.pj_per_flop + p.pj_per_ialu + 0.5 * p.pj_per_local_access) * 1e-12 * 1e9;
         let chip_w = 16.0 * (per_core_w + p.static_w_per_core) + p.static_w_chip;
         assert!(
             (1.0..3.0).contains(&chip_w),

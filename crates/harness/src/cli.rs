@@ -1,0 +1,212 @@
+//! The shared bench-binary runner: one flag grammar, one JSON document
+//! shape, one results directory for all fourteen report binaries.
+//!
+//! Flags every binary accepts:
+//!
+//! * `--small`  — run the reduced test-scale workloads,
+//! * `--json`   — print the versioned record document instead of prose,
+//! * `--out P`  — write the document to `P` (default
+//!   `results/<bench>.json`),
+//! * `--no-write` — skip writing the document to disk.
+//!
+//! Binaries keep their own extra flags; [`BenchHarness::flag`] and
+//! [`BenchHarness::value`] read them from the same argument list.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use desim::{Cycle, Frequency, Json, RunRecord, TimeSpan, RUN_RECORD_VERSION};
+
+/// Where bench documents land unless `--out` overrides it.
+pub const RESULTS_DIR: &str = "results";
+
+/// Per-binary runner: collects [`RunRecord`]s, mirrors human-readable
+/// prose to stdout (suppressed under `--json`), and serialises one
+/// versioned document at [`BenchHarness::finish`].
+pub struct BenchHarness {
+    name: &'static str,
+    args: Vec<String>,
+    records: Vec<RunRecord>,
+    extra: Vec<(String, Json)>,
+}
+
+impl BenchHarness {
+    /// A runner for bench `name`, reading flags from the process
+    /// arguments.
+    pub fn new(name: &'static str) -> BenchHarness {
+        BenchHarness::with_args(name, std::env::args().skip(1).collect())
+    }
+
+    /// A runner with explicit arguments (tests).
+    pub fn with_args(name: &'static str, args: Vec<String>) -> BenchHarness {
+        BenchHarness {
+            name,
+            args,
+            records: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Whether boolean flag `--name` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == &format!("--{name}"))
+    }
+
+    /// The operand following `--name`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let key = format!("--{name}");
+        self.args
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Whether the reduced workload scale was requested.
+    pub fn small(&self) -> bool {
+        self.flag("small")
+    }
+
+    /// Whether machine-readable output was requested.
+    pub fn json(&self) -> bool {
+        self.flag("json")
+    }
+
+    /// Print prose output (suppressed under `--json` so the document
+    /// stays parseable).
+    pub fn say(&self, text: impl std::fmt::Display) {
+        if !self.json() {
+            println!("{text}");
+        }
+    }
+
+    /// Collect a record into the bench document.
+    pub fn record(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// Records collected so far.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Attach an extra top-level key to the bench document (e.g. the
+    /// Table I rows next to the raw records). Later keys win.
+    pub fn attach(&mut self, key: impl Into<String>, value: Json) {
+        self.extra.push((key.into(), value));
+    }
+
+    /// Wall-clock a host-side closure into a record labelled `label`
+    /// (1 cycle = 1 ns, i.e. a 1 GHz reference clock). The record is
+    /// returned — attach metrics, then pass it to
+    /// [`BenchHarness::record`].
+    pub fn host_record<T>(label: &str, f: impl FnOnce() -> T) -> (RunRecord, T) {
+        let start = Instant::now();
+        let value = f();
+        let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let span = TimeSpan::new(Cycle(nanos), Frequency::ghz(1.0));
+        let mut record = RunRecord::new(label, span);
+        record.platform = "host".to_string();
+        (record, value)
+    }
+
+    /// The versioned document all collected records serialise into.
+    pub fn document(&self) -> Json {
+        let mut doc = Json::obj()
+            .with("bench", self.name)
+            .with("version", RUN_RECORD_VERSION)
+            .with(
+                "records",
+                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+            );
+        for (k, v) in &self.extra {
+            doc = doc.with(k.as_str(), v.clone());
+        }
+        doc
+    }
+
+    /// Emit the document: print it under `--json`, and write it to
+    /// `--out` (default `results/<bench>.json`) unless `--no-write`.
+    pub fn finish(self) {
+        let doc = self.document();
+        if self.json() {
+            print!("{}", doc.to_string_pretty());
+        }
+        if self.flag("no-write") {
+            return;
+        }
+        let path = self
+            .value("out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(RESULTS_DIR).join(format!("{}.json", self.name)));
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+        match std::fs::write(&path, doc.to_string_pretty()) {
+            Ok(()) => self.say(format_args!("\nwrote {}", path.display())),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_values_parse() {
+        let h = BenchHarness::with_args("t", args(&["--small", "--json", "--out", "x.json"]));
+        assert!(h.small() && h.json());
+        assert_eq!(h.value("out"), Some("x.json"));
+        assert_eq!(h.value("missing"), None);
+        assert!(!h.flag("no-write"));
+    }
+
+    #[test]
+    fn document_carries_name_version_and_records() {
+        let mut h = BenchHarness::with_args("t", Vec::new());
+        let span = TimeSpan::new(Cycle(10), Frequency::ghz(1.0));
+        h.record(RunRecord::new("a", span));
+        h.record(RunRecord::new("b", span));
+        let doc = h.document();
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("t"));
+        assert_eq!(
+            doc.get("version").and_then(Json::as_u64),
+            Some(u64::from(RUN_RECORD_VERSION))
+        );
+        assert_eq!(
+            doc.get("records")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn attached_keys_land_in_the_document() {
+        let mut h = BenchHarness::with_args("t", Vec::new());
+        h.attach("table", Json::obj().with("rows", 3u64));
+        let doc = h.document();
+        assert_eq!(
+            doc.get("table")
+                .and_then(|t| t.get("rows"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn host_record_measures_wall_time() {
+        let (r, sum) = BenchHarness::host_record("spin", || (0..1000u64).sum::<u64>());
+        assert_eq!(sum, 499_500);
+        assert_eq!(r.platform, "host");
+        assert!(r.elapsed.cycles > Cycle::ZERO);
+    }
+}

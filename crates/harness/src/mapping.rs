@@ -1,0 +1,170 @@
+//! The kernel side of the harness: one object-safe trait every driver
+//! (SPMD, MPMD, sequential, reference, host-parallel) implements.
+
+use std::fmt;
+
+use desim::RunRecord;
+use sar_core::image::ComplexImage;
+
+use crate::platform::{Platform, PlatformKind};
+use crate::workload::Workload;
+
+/// What a mapping returns: the machine record plus whichever functional
+/// outputs the kernel produces (used by the cross-machine identity
+/// tests — the paper's "results are identical on every machine").
+pub struct MappingRun {
+    /// The priced run.
+    pub record: RunRecord,
+    /// The formed image (FFBP mappings).
+    pub image: Option<ComplexImage>,
+    /// `(shift, criterion)` per hypothesis (autofocus mappings).
+    pub sweep: Option<Vec<(f32, f32)>>,
+    /// The winning compensation (autofocus mappings).
+    pub best: Option<(f32, f32)>,
+}
+
+impl MappingRun {
+    /// A run carrying only a record (ablation-style outputs).
+    pub fn record_only(record: RunRecord) -> MappingRun {
+        MappingRun {
+            record,
+            image: None,
+            sweep: None,
+            best: None,
+        }
+    }
+}
+
+/// Why a `run()` request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// The workload variant does not match the mapping's kernel.
+    KernelMismatch {
+        /// The mapping's kernel.
+        mapping: String,
+        /// The workload's kernel.
+        workload: String,
+    },
+    /// The mapping cannot run on the requested machine family.
+    UnsupportedPlatform {
+        /// The mapping's name.
+        mapping: String,
+        /// The rejected platform label.
+        platform: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::KernelMismatch { mapping, workload } => {
+                write!(f, "mapping '{mapping}' cannot run a '{workload}' workload")
+            }
+            HarnessError::UnsupportedPlatform { mapping, platform } => {
+                write!(
+                    f,
+                    "mapping '{mapping}' does not support platform '{platform}'"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// One way of running a kernel on a machine family. Implementations
+/// live next to their drivers (in `sar-epiphany`); the harness only
+/// needs the trait.
+pub trait Mapping {
+    /// Identity stamped into [`RunRecord::mapping`] and resolved by the
+    /// `--mapping` flag (e.g. `"ffbp_spmd"`).
+    fn name(&self) -> &'static str;
+    /// The kernel this runs: `"ffbp"` or `"autofocus"`.
+    fn kernel(&self) -> &'static str;
+    /// Whether the mapping can execute on `kind`.
+    fn supports(&self, kind: PlatformKind) -> bool;
+    /// Run the workload. Called through [`crate::run`], which validates
+    /// kernel/platform compatibility first and stamps record identity
+    /// after.
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError>;
+}
+
+/// The single entry point: validate the kernel × machine pair, execute,
+/// and stamp the record with its full identity.
+pub fn run(
+    mapping: &dyn Mapping,
+    workload: &Workload,
+    platform: &dyn Platform,
+) -> Result<MappingRun, HarnessError> {
+    if workload.kernel() != mapping.kernel() {
+        return Err(HarnessError::KernelMismatch {
+            mapping: mapping.name().to_string(),
+            workload: workload.kernel().to_string(),
+        });
+    }
+    if !mapping.supports(platform.kind()) {
+        return Err(HarnessError::UnsupportedPlatform {
+            mapping: mapping.name().to_string(),
+            platform: platform.label().to_string(),
+        });
+    }
+    let mut out = mapping.execute(workload, platform)?;
+    out.record.kernel = mapping.kernel().to_string();
+    out.record.mapping = mapping.name().to_string();
+    out.record.platform = platform.label().to_string();
+    out.record.power_w = platform.datasheet_power_w();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{EpiphanyPlatform, RefCpuPlatform};
+    use desim::{Cycle, Frequency, TimeSpan};
+
+    struct NullFfbp;
+    impl Mapping for NullFfbp {
+        fn name(&self) -> &'static str {
+            "ffbp_null"
+        }
+        fn kernel(&self) -> &'static str {
+            "ffbp"
+        }
+        fn supports(&self, kind: PlatformKind) -> bool {
+            kind == PlatformKind::Epiphany
+        }
+        fn execute(&self, _w: &Workload, _p: &dyn Platform) -> Result<MappingRun, HarnessError> {
+            let span = TimeSpan::new(Cycle(1000), Frequency::ghz(1.0));
+            Ok(MappingRun::record_only(RunRecord::new("null", span)))
+        }
+    }
+
+    #[test]
+    fn run_stamps_full_identity() {
+        let w = Workload::named("ffbp", true).unwrap();
+        let out = run(&NullFfbp, &w, &EpiphanyPlatform::default()).unwrap();
+        assert_eq!(out.record.kernel, "ffbp");
+        assert_eq!(out.record.mapping, "ffbp_null");
+        assert_eq!(out.record.platform, "epiphany");
+        assert_eq!(out.record.power_w, crate::platform::EPIPHANY_POWER_W);
+    }
+
+    #[test]
+    fn run_rejects_kernel_and_platform_mismatches() {
+        let af = Workload::named("autofocus", true).unwrap();
+        let err = run(&NullFfbp, &af, &EpiphanyPlatform::default())
+            .err()
+            .unwrap();
+        assert!(matches!(err, HarnessError::KernelMismatch { .. }));
+        let ffbp = Workload::named("ffbp", true).unwrap();
+        let err = run(&NullFfbp, &ffbp, &RefCpuPlatform::default())
+            .err()
+            .unwrap();
+        assert!(matches!(err, HarnessError::UnsupportedPlatform { .. }));
+        assert!(format!("{err}").contains("refcpu"));
+    }
+}

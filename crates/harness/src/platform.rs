@@ -1,0 +1,180 @@
+//! The machine side of the harness: every machine model the repo can
+//! price a kernel on, behind one object-safe trait.
+
+use epiphany::EpiphanyParams;
+use refcpu::RefCpuParams;
+
+/// Datasheet power of one i7-M620 core, watts (the paper's figure).
+pub const INTEL_POWER_W: f64 = 17.5;
+/// Datasheet power of the Epiphany E16G3 chip, watts.
+pub const EPIPHANY_POWER_W: f64 = 2.0;
+
+/// The machine families a mapping can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// The Epiphany chip model ([`epiphany::Chip`]).
+    Epiphany,
+    /// The reference uniprocessor model ([`refcpu::RefCpu`]).
+    RefCpu,
+    /// The host machine itself (wall-clock measured threads).
+    Host,
+}
+
+/// One machine a kernel can run on. Object-safe: the harness moves
+/// `&dyn Platform` around; mappings downcast via the `*_params`
+/// accessors for the family they support.
+pub trait Platform {
+    /// Which machine family this is.
+    fn kind(&self) -> PlatformKind;
+    /// Identity stamped into [`desim::RunRecord::platform`].
+    fn label(&self) -> &'static str;
+    /// Datasheet power attributed to the configuration, watts (the
+    /// energy fallback when no activity model exists; 0 when unknown).
+    fn datasheet_power_w(&self) -> f64;
+    /// Chip parameters, when this is an Epiphany platform.
+    fn epiphany_params(&self) -> Option<EpiphanyParams> {
+        None
+    }
+    /// CPU parameters, when this is a reference-CPU platform.
+    fn refcpu_params(&self) -> Option<RefCpuParams> {
+        None
+    }
+    /// Worker threads, when this is a host platform.
+    fn host_threads(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// The Epiphany chip model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpiphanyPlatform {
+    /// Microarchitecture constants for the run.
+    pub params: EpiphanyParams,
+}
+
+impl Platform for EpiphanyPlatform {
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Epiphany
+    }
+
+    fn label(&self) -> &'static str {
+        "epiphany"
+    }
+
+    fn datasheet_power_w(&self) -> f64 {
+        EPIPHANY_POWER_W
+    }
+
+    fn epiphany_params(&self) -> Option<EpiphanyParams> {
+        Some(self.params)
+    }
+}
+
+/// The reference-CPU model (one i7 core).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RefCpuPlatform {
+    /// Pipeline and memory-hierarchy constants for the run.
+    pub params: RefCpuParams,
+}
+
+impl Platform for RefCpuPlatform {
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::RefCpu
+    }
+
+    fn label(&self) -> &'static str {
+        "refcpu"
+    }
+
+    fn datasheet_power_w(&self) -> f64 {
+        self.params.power_w
+    }
+
+    fn refcpu_params(&self) -> Option<RefCpuParams> {
+        Some(self.params)
+    }
+}
+
+/// The host machine: kernels run natively on `threads` std threads and
+/// are wall-clock timed. No power model — records fall back to 0 J.
+#[derive(Debug, Clone, Copy)]
+pub struct HostPlatform {
+    /// Worker threads to use.
+    pub threads: usize,
+}
+
+impl Default for HostPlatform {
+    fn default() -> HostPlatform {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        HostPlatform { threads }
+    }
+}
+
+impl Platform for HostPlatform {
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Host
+    }
+
+    fn label(&self) -> &'static str {
+        "host"
+    }
+
+    fn datasheet_power_w(&self) -> f64 {
+        0.0
+    }
+
+    fn host_threads(&self) -> Option<usize> {
+        Some(self.threads)
+    }
+}
+
+/// Look a platform up by its record label (the `--platform` flag of the
+/// unified runner).
+pub fn platform_named(name: &str) -> Option<Box<dyn Platform>> {
+    match name {
+        "epiphany" => Some(Box::new(EpiphanyPlatform::default())),
+        "refcpu" => Some(Box::new(RefCpuPlatform::default())),
+        "host" => Some(Box::new(HostPlatform::default())),
+        _ => None,
+    }
+}
+
+/// Every platform, for exhaustive cross-machine sweeps.
+pub fn all_platforms() -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(EpiphanyPlatform::default()),
+        Box::new(RefCpuPlatform::default()),
+        Box::new(HostPlatform::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_the_registry() {
+        for p in all_platforms() {
+            let named = platform_named(p.label()).expect("label must resolve");
+            assert_eq!(named.kind(), p.kind());
+        }
+        assert!(platform_named("vax").is_none());
+    }
+
+    #[test]
+    fn param_accessors_match_kinds() {
+        assert!(EpiphanyPlatform::default().epiphany_params().is_some());
+        assert!(EpiphanyPlatform::default().refcpu_params().is_none());
+        assert!(RefCpuPlatform::default().refcpu_params().is_some());
+        assert!(HostPlatform::default().host_threads().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn datasheet_power_follows_the_paper() {
+        assert_eq!(
+            EpiphanyPlatform::default().datasheet_power_w(),
+            EPIPHANY_POWER_W
+        );
+        assert_eq!(RefCpuPlatform::default().datasheet_power_w(), INTEL_POWER_W);
+    }
+}

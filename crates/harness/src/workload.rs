@@ -1,0 +1,198 @@
+//! Workload definitions shared by every mapping × platform pair, plus
+//! the registry the unified runner resolves `--workload` names against.
+
+use sar_core::autofocus::{AutofocusConfig, Block6};
+use sar_core::ffbp::FfbpConfig;
+use sar_core::geometry::SarGeometry;
+use sar_core::image::ComplexImage;
+use sar_core::scene::{simulate_compressed_data, Scene};
+
+/// The FFBP workload: pulse-compressed data plus algorithm settings.
+#[derive(Clone)]
+pub struct FfbpWorkload {
+    /// Collection geometry.
+    pub geom: SarGeometry,
+    /// Pulse-compressed input (rows = pulses).
+    pub data: ComplexImage,
+    /// Algorithm configuration (the paper: NN interpolation, base 2).
+    pub config: FfbpConfig,
+}
+
+impl FfbpWorkload {
+    /// The paper's workload: six targets, 1024 pulses x 1001 bins,
+    /// merge base 2, nearest-neighbour interpolation.
+    pub fn paper() -> FfbpWorkload {
+        let geom = SarGeometry::paper_size();
+        let scene = Scene::six_targets(geom);
+        FfbpWorkload {
+            geom,
+            data: simulate_compressed_data(&scene, 0.0, 7),
+            config: FfbpConfig::default(),
+        }
+    }
+
+    /// A small workload for tests (64 pulses x 129 bins).
+    pub fn small() -> FfbpWorkload {
+        let geom = SarGeometry::test_size();
+        let scene = Scene::six_targets(geom);
+        FfbpWorkload {
+            geom,
+            data: simulate_compressed_data(&scene, 0.0, 7),
+            config: FfbpConfig::default(),
+        }
+    }
+
+    /// Pixels in the output image.
+    pub fn pixels(&self) -> u64 {
+        self.geom.num_pulses as u64 * self.geom.num_bins as u64
+    }
+}
+
+/// The autofocus workload: two 6x6 blocks and the hypothesis sweep the
+/// criterion is evaluated over.
+#[derive(Clone)]
+pub struct AutofocusWorkload {
+    /// Block from the trailing contributing image.
+    pub f_minus: Block6,
+    /// Block from the leading contributing image.
+    pub f_plus: Block6,
+    /// Criterion parameters.
+    pub config: AutofocusConfig,
+    /// Number of candidate compensations tested per merge.
+    pub hypotheses: usize,
+    /// Largest tested shift (pixels).
+    pub max_shift: f32,
+    /// The path error baked into the block pair (for validation).
+    pub true_shift: f32,
+}
+
+impl AutofocusWorkload {
+    /// The paper-scale workload: a smooth target pair displaced by a
+    /// known sub-pixel path error, 24 candidate compensations.
+    pub fn paper() -> AutofocusWorkload {
+        let truth = 0.4;
+        AutofocusWorkload {
+            f_minus: Block6::gaussian_blob(0.0, truth / 2.0),
+            f_plus: Block6::gaussian_blob(0.0, -truth / 2.0),
+            config: AutofocusConfig::default(),
+            hypotheses: 24,
+            max_shift: 1.0,
+            true_shift: truth,
+        }
+    }
+
+    /// A reduced sweep for tests.
+    pub fn small() -> AutofocusWorkload {
+        AutofocusWorkload {
+            hypotheses: 5,
+            ..AutofocusWorkload::paper()
+        }
+    }
+
+    /// The tested compensation for hypothesis `h` of `self.hypotheses`.
+    pub fn shift(&self, h: usize) -> f32 {
+        -self.max_shift + 2.0 * self.max_shift * h as f32 / (self.hypotheses - 1) as f32
+    }
+
+    /// Pixels the criterion is computed on (the Table I throughput
+    /// denominator: one 6x6 block pair = 36 output pixels).
+    pub fn pixels(&self) -> u64 {
+        36
+    }
+}
+
+/// A kernel input a mapping can be handed: the sum over the two paper
+/// kernels. Mappings match on the variant for their kernel and reject
+/// the other via [`crate::HarnessError::KernelMismatch`].
+// Both payloads are heavyweight and the enum only crosses APIs by
+// reference, so boxing the large variant would add indirection for no
+// saved copies.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+pub enum Workload {
+    /// Image formation input.
+    Ffbp(FfbpWorkload),
+    /// Autofocus criterion input.
+    Autofocus(AutofocusWorkload),
+}
+
+impl Workload {
+    /// Kernel identity, as stamped into records.
+    pub fn kernel(&self) -> &'static str {
+        match self {
+            Workload::Ffbp(_) => "ffbp",
+            Workload::Autofocus(_) => "autofocus",
+        }
+    }
+
+    /// The FFBP input, if that is the variant.
+    pub fn ffbp(&self) -> Option<&FfbpWorkload> {
+        match self {
+            Workload::Ffbp(w) => Some(w),
+            Workload::Autofocus(_) => None,
+        }
+    }
+
+    /// The autofocus input, if that is the variant.
+    pub fn autofocus(&self) -> Option<&AutofocusWorkload> {
+        match self {
+            Workload::Autofocus(w) => Some(w),
+            Workload::Ffbp(_) => None,
+        }
+    }
+
+    /// Output pixels (the throughput denominator).
+    pub fn pixels(&self) -> u64 {
+        match self {
+            Workload::Ffbp(w) => w.pixels(),
+            Workload::Autofocus(w) => w.pixels(),
+        }
+    }
+
+    /// Resolve a `--workload` name at either scale. Names are the
+    /// kernel identities: `"ffbp"` and `"autofocus"`.
+    pub fn named(kernel: &str, small: bool) -> Option<Workload> {
+        match (kernel, small) {
+            ("ffbp", true) => Some(Workload::Ffbp(FfbpWorkload::small())),
+            ("ffbp", false) => Some(Workload::Ffbp(FfbpWorkload::paper())),
+            ("autofocus", true) => Some(Workload::Autofocus(AutofocusWorkload::small())),
+            ("autofocus", false) => Some(Workload::Autofocus(AutofocusWorkload::paper())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ffbp_matches_table_dimensions() {
+        let w = FfbpWorkload::paper();
+        assert_eq!(w.data.rows(), 1024);
+        assert_eq!(w.data.cols(), 1001);
+        assert_eq!(w.pixels(), 1024 * 1001);
+    }
+
+    #[test]
+    fn autofocus_workload_is_consistent() {
+        let w = AutofocusWorkload::paper();
+        assert_eq!(w.pixels(), 36);
+        assert!(w.hypotheses >= 2);
+        assert!(w.true_shift.abs() <= w.max_shift);
+        assert!(w.f_minus.energy() > 0.0);
+        assert_eq!(w.shift(0), -w.max_shift);
+        assert_eq!(w.shift(w.hypotheses - 1), w.max_shift);
+    }
+
+    #[test]
+    fn registry_resolves_both_kernels() {
+        let w = Workload::named("ffbp", true).expect("ffbp resolves");
+        assert_eq!(w.kernel(), "ffbp");
+        assert!(w.ffbp().is_some() && w.autofocus().is_none());
+        let w = Workload::named("autofocus", false).expect("autofocus resolves");
+        assert_eq!(w.kernel(), "autofocus");
+        assert!(w.autofocus().is_some());
+        assert!(Workload::named("sift", true).is_none());
+    }
+}

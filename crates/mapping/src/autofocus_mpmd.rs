@@ -13,14 +13,12 @@
 //! on-chip/off-chip bandwidth ratio) for the pipeline not bottlenecking
 //! at the correlator.
 
-use desim::{Cycle, OpCounts};
+use desim::{Cycle, OpCounts, RunRecord};
 use epiphany::dma::DmaDirection;
-use epiphany::{Chip, EpiphanyParams, RunReport};
+use epiphany::{Chip, EpiphanyParams};
 use memsim::GlobalAddr;
-use sar_core::autofocus::{
-    beam_stage, best_shift, correlate_partial, range_stage,
-};
 use sar_core::autofocus::criterion::{BeamStageOut, RangeStageOut};
+use sar_core::autofocus::{beam_stage, best_shift, correlate_partial, range_stage};
 
 use crate::autofocus_seq::AUTOFOCUS_PAIRING;
 use crate::layout::BANK_CHILD_A;
@@ -53,9 +51,9 @@ impl Placement {
     pub fn neighbor() -> Placement {
         // Node ids are row-major on the 4x4 mesh: id = y * 4 + x.
         Placement {
-            range: [[0, 4, 8], [3, 7, 11]],  // columns x=0 and x=3
-            beam: [[1, 5, 9], [2, 6, 10]],   // columns x=1 and x=2
-            corr: 13,                        // (x=1, y=3)
+            range: [[0, 4, 8], [3, 7, 11]], // columns x=0 and x=3
+            beam: [[1, 5, 9], [2, 6, 10]],  // columns x=1 and x=2
+            corr: 13,                       // (x=1, y=3)
         }
     }
 
@@ -87,8 +85,9 @@ impl Placement {
 
 /// Outcome of the MPMD run.
 pub struct AutofocusMpmdRun {
-    /// Machine report.
-    pub report: RunReport,
+    /// Machine record (one phase per hypothesis, with per-stage
+    /// occupancy and correlator wait/queue-depth metrics).
+    pub record: RunRecord,
     /// `(shift, criterion)` per hypothesis.
     pub sweep: Vec<(f32, f32)>,
     /// The winning compensation.
@@ -123,13 +122,30 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
     let mut charged = [OpCounts::default(); 13];
     let core_slot = |core: usize| cores.iter().position(|&c| c == core).expect("mapped core");
 
+    // Stage occupancy: share of the phase's span each stage's cores
+    // spent busy. All snapshots are pure reads of the chip's cursors —
+    // the instrumentation never advances time.
+    let stage_busy = |chip: &Chip, stage_cores: &[usize]| -> u64 {
+        stage_cores.iter().map(|&c| chip.busy(c).0).sum()
+    };
+    let range_cores: Vec<usize> = place.range.iter().flatten().copied().collect();
+    let beam_cores: Vec<usize> = place.beam.iter().flatten().copied().collect();
+
     let mut sweep = Vec::with_capacity(w.hypotheses);
     for h in 0..w.hypotheses {
-        let shift = -w.max_shift + 2.0 * w.max_shift * h as f32 / (w.hypotheses - 1) as f32;
+        chip.phase_begin("hypothesis");
+        let t0 = chip.elapsed();
+        let range_busy0 = stage_busy(&chip, &range_cores);
+        let beam_busy0 = stage_busy(&chip, &beam_cores);
+        let corr_busy0 = chip.busy(place.corr).0;
+        let mut corr_wait_cycles = 0u64;
+        let mut corr_queue_peak = 0u64;
+        let shift = w.shift(h);
         let mut criterion = 0.0f32;
         for it in 0..3 {
             let mut beam_out: [[Option<BeamStageOut>; 3]; 2] = Default::default();
             let mut corr_ready = Cycle::ZERO;
+            let mut corr_arrivals: Vec<Cycle> = Vec::with_capacity(6);
             #[allow(clippy::needless_range_loop)] // blk selects block-specific tables
             for blk in 0..2 {
                 let (block, s) = if blk == 0 {
@@ -168,6 +184,7 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
                     chip.compute(bc, &delta);
                     let arr = chip.write_remote(bc, place.corr, beam_msg_bytes);
                     corr_ready = corr_ready.max(arr);
+                    corr_arrivals.push(arr);
                     beam_out[blk][bi] = Some(out);
                 }
             }
@@ -178,6 +195,13 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
             let plus: [BeamStageOut; 3] =
                 std::array::from_fn(|i| beam_out[1][i].take().expect("beam output"));
             let slot = core_slot(place.corr);
+            // Queue depth seen by the correlator: messages already
+            // delivered when it reaches the wait (backlog), and how
+            // long it idles for the last one.
+            let consume_at = chip.now(place.corr);
+            let backlog = corr_arrivals.iter().filter(|&&a| a <= consume_at).count() as u64;
+            corr_queue_peak = corr_queue_peak.max(backlog);
+            corr_wait_cycles += corr_ready.saturating_sub(consume_at).0;
             chip.wait_flag(place.corr, corr_ready);
             criterion += correlate_partial(&minus, &plus, &mut counts[slot]);
             let delta = counts[slot].since(&charged[slot]);
@@ -185,12 +209,29 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
             chip.compute(place.corr, &delta);
         }
         chip.write_external(place.corr, GlobalAddr::external(0x10000 + 8 * h as u32), 8);
+        let span = (chip.elapsed() - t0).0.max(1);
+        let occupancy = |busy0: u64, busy1: u64, n: u64| (busy1 - busy0) as f64 / (n * span) as f64;
+        chip.phase_metric(
+            "range_occupancy",
+            occupancy(range_busy0, stage_busy(&chip, &range_cores), 6),
+        );
+        chip.phase_metric(
+            "beam_occupancy",
+            occupancy(beam_busy0, stage_busy(&chip, &beam_cores), 6),
+        );
+        chip.phase_metric(
+            "corr_occupancy",
+            occupancy(corr_busy0, chip.busy(place.corr).0, 1),
+        );
+        chip.phase_metric("corr_wait_cycles", corr_wait_cycles as f64);
+        chip.phase_metric("corr_queue_peak", corr_queue_peak as f64);
+        chip.phase_end();
         sweep.push((shift, criterion));
     }
 
     let best = best_shift(&sweep);
     AutofocusMpmdRun {
-        report: chip.report("Autofocus / Epiphany, 13 cores @ 1 GHz (MPMD pipeline)", 13),
+        record: chip.report("Autofocus / Epiphany, 13 cores @ 1 GHz (MPMD pipeline)", 13),
         sweep,
         best,
     }
@@ -221,12 +262,15 @@ mod tests {
         let w = AutofocusWorkload::paper();
         let mpmd = run(&w, params(), Placement::neighbor());
         let seq = autofocus_seq::run(&w, autofocus_seq::params());
-        let speedup = seq.report.elapsed.seconds() / mpmd.report.elapsed.seconds();
+        let speedup = seq.record.elapsed.seconds() / mpmd.record.elapsed.seconds();
         assert!(
             speedup > 4.0,
             "pipeline should give a large speedup, got {speedup:.2}x"
         );
-        assert!(speedup < 13.0, "speedup {speedup:.2}x cannot exceed core count");
+        assert!(
+            speedup < 13.0,
+            "speedup {speedup:.2}x cannot exceed core count"
+        );
     }
 
     #[test]
@@ -240,16 +284,16 @@ mod tests {
         let near = run(&w, params(), Placement::neighbor());
         let far = run(&w, params(), Placement::scattered());
         assert!(
-            far.report.energy.mesh_j > 1.2 * near.report.energy.mesh_j,
+            far.record.energy.mesh_j > 1.2 * near.record.energy.mesh_j,
             "scattered placement should burn more mesh energy: {:.3e} vs {:.3e} J",
-            far.report.energy.mesh_j,
-            near.report.energy.mesh_j
+            far.record.energy.mesh_j,
+            near.record.energy.mesh_j
         );
         assert!(
-            far.report.elapsed.seconds() >= 0.99 * near.report.elapsed.seconds(),
+            far.record.elapsed.seconds() >= 0.99 * near.record.elapsed.seconds(),
             "scattered placement should not be faster: {} vs {} ms",
-            far.report.millis(),
-            near.report.millis()
+            far.record.millis(),
+            near.record.millis()
         );
     }
 
@@ -264,10 +308,10 @@ mod tests {
         let w = AutofocusWorkload::paper();
         let r = run(&w, params(), Placement::neighbor());
         // Off-chip: initial DMA + one criterion write per hypothesis.
-        assert_eq!(r.report.counters.get("ext_read"), 0);
-        assert_eq!(r.report.counters.get("ext_write"), w.hypotheses as u64);
+        assert_eq!(r.record.counters.get("ext_read"), 0);
+        assert_eq!(r.record.counters.get("ext_write"), w.hypotheses as u64);
         // On-chip streaming is heavy.
-        assert!(r.report.counters.get("remote_write") > 100);
+        assert!(r.record.counters.get("remote_write") > 100);
     }
 
     #[test]

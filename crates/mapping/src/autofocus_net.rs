@@ -10,9 +10,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use desim::OpCounts;
+use desim::{OpCounts, RunRecord};
 use epiphany::dma::DmaDirection;
-use epiphany::{Chip, EpiphanyParams, RunReport};
+use epiphany::{Chip, EpiphanyParams};
 use memsim::GlobalAddr;
 use sar_core::autofocus::criterion::{
     beam_stage, correlate_partial, range_stage, AutofocusConfig, BeamStageOut, RangeStageOut,
@@ -65,13 +65,24 @@ impl Actor<AfToken> for RangeActor {
             panic!("range actor expects Cmd tokens");
         };
         let mut counts = OpCounts::default();
-        let out = range_stage(&self.block, self.window, shift, iteration, &self.cfg, &mut counts);
+        let out = range_stage(
+            &self.block,
+            self.window,
+            shift,
+            iteration,
+            &self.cfg,
+            &mut counts,
+        );
         ctx.charge(&counts);
         let bytes = 6 * self.cfg.samples_per_iteration() as u64 * 8;
         for port in 0..3 {
             ctx.send(
                 port,
-                AfToken::Range { out: Box::new(out.clone()), shift, iteration },
+                AfToken::Range {
+                    out: Box::new(out.clone()),
+                    shift,
+                    iteration,
+                },
                 bytes,
             );
         }
@@ -89,7 +100,12 @@ impl Actor<AfToken> for BeamActor {
         let mut shift = 0.0f32;
         let mut iteration = 0usize;
         for (slot, tok) in inputs.into_iter().enumerate() {
-            let AfToken::Range { out, shift: s, iteration: it } = tok else {
+            let AfToken::Range {
+                out,
+                shift: s,
+                iteration: it,
+            } = tok
+            else {
                 panic!("beam actor expects Range tokens");
             };
             range_out[slot] = Some(*out);
@@ -98,10 +114,24 @@ impl Actor<AfToken> for BeamActor {
         }
         let range_out = range_out.map(|o| o.expect("three range inputs"));
         let mut counts = OpCounts::default();
-        let out = beam_stage(&range_out, self.window, shift, iteration, &self.cfg, &mut counts);
+        let out = beam_stage(
+            &range_out,
+            self.window,
+            shift,
+            iteration,
+            &self.cfg,
+            &mut counts,
+        );
         ctx.charge(&counts);
         let bytes = 3 * self.cfg.samples_per_iteration() as u64 * 8;
-        ctx.send(0, AfToken::Beam { out: Box::new(out), shift }, bytes);
+        ctx.send(
+            0,
+            AfToken::Beam {
+                out: Box::new(out),
+                shift,
+            },
+            bytes,
+        );
     }
 }
 
@@ -143,8 +173,9 @@ impl Actor<AfToken> for CorrActor {
 
 /// Outcome of the network run.
 pub struct AutofocusNetRun {
-    /// Machine report.
-    pub report: RunReport,
+    /// Machine record (one phase per hypothesis, with the channels'
+    /// high-water queue depth as a per-phase metric).
+    pub record: RunRecord,
     /// `(shift, criterion)` per hypothesis.
     pub sweep: Vec<(f32, f32)>,
     /// The winning compensation.
@@ -174,7 +205,13 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
     }
 
     // Thirteen actors.
-    let corr = net.add_actor("corr", place.corr, Box::new(CorrActor { results: results.clone() }));
+    let corr = net.add_actor(
+        "corr",
+        place.corr,
+        Box::new(CorrActor {
+            results: results.clone(),
+        }),
+    );
     let mut range_ids = [[None; 3], [None; 3]];
     let mut beam_ids = [[None; 3], [None; 3]];
     // Index-style loops below mirror the placement tables; the indices
@@ -186,14 +223,21 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
             range_ids[blk][win] = Some(net.add_actor(
                 &format!("range{blk}{win}"),
                 place.range[blk][win],
-                Box::new(RangeActor { block, window: win, cfg: w.config }),
+                Box::new(RangeActor {
+                    block,
+                    window: win,
+                    cfg: w.config,
+                }),
             ));
         }
         for win in 0..3 {
             beam_ids[blk][win] = Some(net.add_actor(
                 &format!("beam{blk}{win}"),
                 place.beam[blk][win],
-                Box::new(BeamActor { window: win, cfg: w.config }),
+                Box::new(BeamActor {
+                    window: win,
+                    cfg: w.config,
+                }),
             ));
         }
     }
@@ -218,8 +262,12 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
         }
     }
 
-    // Drive the sweep.
+    // Drive the sweep one hypothesis at a time: feed that hypothesis'
+    // command tokens, let the network drain, write the criterion back —
+    // one observable phase per hypothesis.
+    let mut firings = 0u64;
     for h in 0..w.hypotheses {
+        net.chip_mut().phase_begin("hypothesis");
         let shift = -w.max_shift + 2.0 * w.max_shift * h as f32 / (w.hypotheses - 1) as f32;
         for it in 0..3 {
             for (blk, sign) in [(0usize, -0.5f32), (1, 0.5)] {
@@ -227,28 +275,30 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> A
                 for win in 0..3 {
                     net.feed(
                         range_ids[blk][win].unwrap(),
-                        AfToken::Cmd { shift: sign * shift, iteration: it },
+                        AfToken::Cmd {
+                            shift: sign * shift,
+                            iteration: it,
+                        },
                         16,
                     );
                 }
             }
         }
-    }
-    let firings = net.run();
-
-    // Result write-back, as in the hand-written mapping.
-    for h in 0..w.hypotheses {
+        firings += net.run();
         net.chip_mut()
             .write_external(place.corr, GlobalAddr::external(0x10000 + 8 * h as u32), 8);
+        let peak = net.take_queue_peak();
+        net.chip_mut().phase_metric("queue_peak", peak as f64);
+        net.chip_mut().phase_end();
     }
 
-    let report = net
+    let record = net
         .chip()
         .report("Autofocus / Epiphany, 13 cores (streams network)", 13);
     let sweep = results.borrow().clone();
     let best = best_shift(&sweep);
     AutofocusNetRun {
-        report,
+        record,
         sweep,
         best,
         firings,
@@ -292,12 +342,12 @@ mod tests {
         let w = AutofocusWorkload::paper();
         let net = run(&w, params(), Placement::neighbor());
         let hand = autofocus_mpmd::run(&w, autofocus_mpmd::params(), Placement::neighbor());
-        let ratio = net.report.elapsed.seconds() / hand.report.elapsed.seconds();
+        let ratio = net.record.elapsed.seconds() / hand.record.elapsed.seconds();
         assert!(
             (0.7..1.4).contains(&ratio),
             "streams/hand-written time ratio {ratio:.2} out of band ({} vs {} ms)",
-            net.report.millis(),
-            hand.report.millis()
+            net.record.millis(),
+            hand.record.millis()
         );
     }
 

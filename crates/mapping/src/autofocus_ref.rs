@@ -6,8 +6,8 @@
 //! because the i7's clock advantage is offset by executing almost twice
 //! the instructions (no FMA) on a latency-bound dependence chain.
 
-use desim::OpCounts;
-use refcpu::{RefCpu, RefCpuParams, RefReport};
+use desim::{OpCounts, RunRecord};
+use refcpu::{RefCpu, RefCpuParams};
 use sar_core::autofocus::{best_shift, focus_criterion};
 
 use crate::workloads::AutofocusWorkload;
@@ -29,8 +29,8 @@ pub fn params() -> RefCpuParams {
 
 /// Outcome of the reference run.
 pub struct AutofocusRefRun {
-    /// Machine report.
-    pub report: RefReport,
+    /// Machine record (one phase per hypothesis).
+    pub record: RunRecord,
     /// `(shift, criterion)` per hypothesis.
     pub sweep: Vec<(f32, f32)>,
     /// The winning compensation.
@@ -49,20 +49,21 @@ pub fn run(w: &AutofocusWorkload, params: RefCpuParams) -> AutofocusRefRun {
 
     let mut sweep = Vec::with_capacity(w.hypotheses);
     for h in 0..w.hypotheses {
-        let shift =
-            -w.max_shift + 2.0 * w.max_shift * h as f32 / (w.hypotheses - 1) as f32;
+        cpu.phase_begin("hypothesis");
+        let shift = w.shift(h);
         let v = focus_criterion(&w.f_minus, &w.f_plus, shift, &w.config, &mut counts);
         let delta = counts.since(&charged);
         charged = counts;
         cpu.compute(&delta);
         // Criterion result written out.
         cpu.mem_write(0x3000 + 8 * h as u64, 8);
+        cpu.phase_end();
         sweep.push((shift, v));
     }
 
     let best = best_shift(&sweep);
     AutofocusRefRun {
-        report: cpu.report("Autofocus / Intel i7 model, 1 core @ 2.67 GHz"),
+        record: cpu.report("Autofocus / Intel i7 model, 1 core @ 2.67 GHz"),
         sweep,
         best,
     }
@@ -88,10 +89,10 @@ mod tests {
     fn compute_bound_not_memory_bound() {
         let w = AutofocusWorkload::paper();
         let r = run(&w, params());
+        let stalls = r.record.metric("mem_stall_fraction").unwrap();
         assert!(
-            r.report.mem_stall_fraction < 0.05,
-            "autofocus must be compute bound, stalls {}",
-            r.report.mem_stall_fraction
+            stalls < 0.05,
+            "autofocus must be compute bound, stalls {stalls}"
         );
     }
 
@@ -102,7 +103,7 @@ mod tests {
         // not a fit.
         let w = AutofocusWorkload::paper();
         let r = run(&w, params());
-        let px_per_s = w.pixels() as f64 / r.report.elapsed.seconds();
+        let px_per_s = w.pixels() as f64 / r.record.elapsed.seconds();
         assert!(
             (8_000.0..80_000.0).contains(&px_per_s),
             "throughput {px_per_s:.0} px/s implausibly far from Table I"

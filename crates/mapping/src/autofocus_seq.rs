@@ -6,8 +6,8 @@
 //! the reference CPU needs. The paper measures 0.8x the i7 throughput
 //! at 1/2.67 the clock.
 
-use desim::OpCounts;
-use epiphany::{Chip, EpiphanyParams, RunReport};
+use desim::{OpCounts, RunRecord};
+use epiphany::{Chip, EpiphanyParams};
 use memsim::GlobalAddr;
 use sar_core::autofocus::{best_shift, focus_criterion};
 
@@ -28,8 +28,8 @@ pub fn params() -> EpiphanyParams {
 
 /// Outcome of the sequential Epiphany run.
 pub struct AutofocusSeqRun {
-    /// Machine report.
-    pub report: RunReport,
+    /// Machine record (one phase per hypothesis).
+    pub record: RunRecord,
     /// `(shift, criterion)` per hypothesis.
     pub sweep: Vec<(f32, f32)>,
     /// The winning compensation.
@@ -55,19 +55,20 @@ pub fn run(w: &AutofocusWorkload, params: EpiphanyParams) -> AutofocusSeqRun {
 
     let mut sweep = Vec::with_capacity(w.hypotheses);
     for h in 0..w.hypotheses {
-        let shift =
-            -w.max_shift + 2.0 * w.max_shift * h as f32 / (w.hypotheses - 1) as f32;
+        chip.phase_begin("hypothesis");
+        let shift = w.shift(h);
         let v = focus_criterion(&w.f_minus, &w.f_plus, shift, &w.config, &mut counts);
         let delta = counts.since(&charged);
         charged = counts;
         chip.compute(core, &delta);
         chip.write_external(core, GlobalAddr::external(0x10000 + 8 * h as u32), 8);
+        chip.phase_end();
         sweep.push((shift, v));
     }
 
     let best = best_shift(&sweep);
     AutofocusSeqRun {
-        report: chip.report("Autofocus / Epiphany, 1 core @ 1 GHz (sequential)", 1),
+        record: chip.report("Autofocus / Epiphany, 1 core @ 1 GHz (sequential)", 1),
         sweep,
         best,
     }
@@ -94,7 +95,7 @@ mod tests {
         let w = AutofocusWorkload::paper();
         let seq = run(&w, params());
         let reference = autofocus_ref::run(&w, autofocus_ref::params());
-        let ratio = reference.report.elapsed.seconds() / seq.report.elapsed.seconds();
+        let ratio = reference.record.elapsed.seconds() / seq.record.elapsed.seconds();
         assert!(
             (0.4..1.2).contains(&ratio),
             "Epiphany-seq/i7 throughput ratio {ratio:.2} far from the paper's 0.8"
@@ -106,10 +107,10 @@ mod tests {
         let w = AutofocusWorkload::paper();
         let r = run(&w, params());
         assert_eq!(
-            r.report.counters.get("ext_read"),
+            r.record.counters.get("ext_read"),
             0,
             "the kernel fits on chip; only the initial DMA touches SDRAM"
         );
-        assert_eq!(r.report.counters.get("dma_bytes"), 576);
+        assert_eq!(r.record.counters.get("dma_bytes"), 576);
     }
 }

@@ -8,8 +8,8 @@
 //! work — the mechanism the paper credits for the i7's 2.8x advantage
 //! over a single Epiphany core on this kernel.
 
-use desim::OpCounts;
-use refcpu::{RefCpu, RefCpuParams, RefReport};
+use desim::{OpCounts, RunRecord};
+use refcpu::{RefCpu, RefCpuParams};
 use sar_core::ffbp::grid::Subaperture;
 use sar_core::ffbp::interp::nearest_indices;
 use sar_core::ffbp::merge::combine_sample_with_lookup;
@@ -21,8 +21,8 @@ use crate::workloads::FfbpWorkload;
 
 /// Outcome of the reference run.
 pub struct FfbpRefRun {
-    /// Machine report.
-    pub report: RefReport,
+    /// Machine record (one phase per merge iteration).
+    pub record: RunRecord,
     /// The formed image (identical to the other machines' output).
     pub image: ComplexImage,
 }
@@ -39,6 +39,7 @@ pub fn run(w: &FfbpWorkload, params: RefCpuParams) -> FfbpRefRun {
     let mut stage_idx = 0u32;
 
     while stage.len() > 1 {
+        cpu.phase_begin("merge");
         let child_beams = stage[0].grid.n_beams as u32;
         let out_grid = stage[0].grid.refined();
         let mut next = Vec::with_capacity(stage.len() / 2);
@@ -70,15 +71,11 @@ pub fn run(w: &FfbpWorkload, params: RefCpuParams) -> FfbpRefRun {
                         &mut counts,
                     );
                     // Demand traffic at the addresses the layout implies.
-                    if let Some((bin, beam)) =
-                        nearest_indices(a, geom, look.r1, look.theta1)
-                    {
+                    if let Some((bin, beam)) = nearest_indices(a, geom, look.r1, look.theta1) {
                         let addr = layout.addr(stage_idx, beam_base_a + beam as u32, bin as u32);
                         cpu.mem_read(addr.0 as u64, 8);
                     }
-                    if let Some((bin, beam)) =
-                        nearest_indices(b, geom, look.r2, look.theta2)
-                    {
+                    if let Some((bin, beam)) = nearest_indices(b, geom, look.r2, look.theta2) {
                         let addr = layout.addr(stage_idx, beam_base_b + beam as u32, bin as u32);
                         cpu.mem_read(addr.0 as u64, 8);
                     }
@@ -93,13 +90,14 @@ pub fn run(w: &FfbpWorkload, params: RefCpuParams) -> FfbpRefRun {
             }
             next.push(out);
         }
+        cpu.phase_end();
         stage = next;
         stage_idx += 1;
     }
 
     let full = stage.into_iter().next().expect("non-empty stage");
     FfbpRefRun {
-        report: cpu.report("FFBP / Intel i7 model, 1 core @ 2.67 GHz"),
+        record: cpu.report("FFBP / Intel i7 model, 1 core @ 2.67 GHz"),
         image: full.data,
     }
 }
@@ -123,8 +121,8 @@ mod tests {
         let r = run(&w, RefCpuParams::default());
         // 64 x 129 x 6 merges ~ 50 K samples; must take > 1 us and less
         // than a second on a 2.67 GHz model.
-        assert!(r.report.millis() > 0.001);
-        assert!(r.report.millis() < 1000.0);
+        assert!(r.record.millis() > 0.001);
+        assert!(r.record.millis() < 1000.0);
     }
 
     #[test]
@@ -132,9 +130,9 @@ mod tests {
         let w = FfbpWorkload::small();
         let r = run(&w, RefCpuParams::default());
         assert!(
-            r.report.mem_stall_fraction < 0.5,
+            r.record.metric("mem_stall_fraction").unwrap() < 0.5,
             "prefetched streaming should not stall > 50%: {}",
-            r.report.mem_stall_fraction
+            r.record.metric("mem_stall_fraction").unwrap()
         );
     }
 
@@ -144,10 +142,10 @@ mod tests {
         let with = run(&w, RefCpuParams::default());
         let without = run(&w, RefCpuParams::without_prefetch());
         assert!(
-            without.report.millis() > with.report.millis(),
+            without.record.millis() > with.record.millis(),
             "no-prefetch {} ms should exceed prefetch {} ms",
-            without.report.millis(),
-            with.report.millis()
+            without.record.millis(),
+            with.record.millis()
         );
     }
 }

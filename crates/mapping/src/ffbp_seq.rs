@@ -7,8 +7,8 @@
 //! despite executing fewer instructions). Result rows are posted back
 //! with non-stalling writes.
 
-use desim::OpCounts;
-use epiphany::{Chip, EpiphanyParams, RunReport};
+use desim::{OpCounts, RunRecord};
+use epiphany::{Chip, EpiphanyParams};
 use sar_core::ffbp::grid::Subaperture;
 use sar_core::ffbp::interp::nearest_indices;
 use sar_core::ffbp::merge::combine_sample_with_lookup;
@@ -20,8 +20,8 @@ use crate::workloads::FfbpWorkload;
 
 /// Outcome of the sequential Epiphany run.
 pub struct FfbpSeqRun {
-    /// Machine report.
-    pub report: RunReport,
+    /// Machine record (one phase per merge iteration).
+    pub record: RunRecord,
     /// The formed image.
     pub image: ComplexImage,
 }
@@ -39,6 +39,7 @@ pub fn run(w: &FfbpWorkload, params: EpiphanyParams) -> FfbpSeqRun {
     let mut stage_idx = 0u32;
 
     while stage.len() > 1 {
+        chip.phase_begin("merge");
         let child_beams = stage[0].grid.n_beams as u32;
         let out_grid = stage[0].grid.refined();
         let mut next = Vec::with_capacity(stage.len() / 2);
@@ -90,13 +91,14 @@ pub fn run(w: &FfbpWorkload, params: EpiphanyParams) -> FfbpSeqRun {
             }
             next.push(out);
         }
+        chip.phase_end();
         stage = next;
         stage_idx += 1;
     }
 
     let full = stage.into_iter().next().expect("non-empty stage");
     FfbpSeqRun {
-        report: chip.report("FFBP / Epiphany, 1 core @ 1 GHz (sequential)", 1),
+        record: chip.report("FFBP / Epiphany, 1 core @ 1 GHz (sequential)", 1),
         image: full.data,
     }
 }
@@ -123,7 +125,7 @@ mod tests {
         let w = FfbpWorkload::small();
         let seq = run(&w, EpiphanyParams::default());
         let reference = ffbp_ref::run(&w, RefCpuParams::default());
-        let speedup = reference.report.elapsed.seconds() / seq.report.elapsed.seconds();
+        let speedup = reference.record.elapsed.seconds() / seq.record.elapsed.seconds();
         assert!(
             speedup < 0.9,
             "sequential Epiphany should lose to the i7 model, got speedup {speedup:.2}"
@@ -134,7 +136,7 @@ mod tests {
     fn external_reads_dominate_the_counters() {
         let w = FfbpWorkload::small();
         let r = run(&w, EpiphanyParams::default());
-        let reads = r.report.counters.get("ext_read");
+        let reads = r.record.counters.get("ext_read");
         // Two reads per output sample, minus out-of-swath skips.
         let samples = w.pixels() * u64::from(w.geom.merge_iterations());
         assert!(reads > samples, "reads {reads} vs samples {samples}");

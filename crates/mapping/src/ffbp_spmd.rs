@@ -14,9 +14,9 @@
 //! writes. This is exactly the behaviour the paper describes — and the
 //! reason the 16-core speedup saturates at ~12x over one core.
 
-use desim::{Cycle, OpCounts};
+use desim::{Cycle, OpCounts, RunRecord};
 use epiphany::dma::DmaDirection;
-use epiphany::{Chip, EpiphanyParams, RunReport};
+use epiphany::{Chip, EpiphanyParams};
 use sar_core::ffbp::grid::Subaperture;
 use sar_core::ffbp::interp::nearest_indices;
 use sar_core::ffbp::merge::combine_sample_with_lookup;
@@ -48,8 +48,9 @@ impl Default for SpmdOptions {
 
 /// Outcome of the SPMD run.
 pub struct FfbpSpmdRun {
-    /// Machine report.
-    pub report: RunReport,
+    /// Machine record (one phase per merge iteration, carrying that
+    /// iteration's time, energy, eLink utilisation and hit/miss split).
+    pub record: RunRecord,
     /// The formed image.
     pub image: ComplexImage,
     /// Contributing-element reads served from the prefetched banks.
@@ -62,14 +63,11 @@ pub struct FfbpSpmdRun {
 pub fn run(w: &FfbpWorkload, params: EpiphanyParams, opts: SpmdOptions) -> FfbpSpmdRun {
     let geom = &w.geom;
     let n_cores = opts.cores;
-    let chip_cols = 4u16.max((n_cores as f32).sqrt().ceil() as u16);
-    let chip_rows = (n_cores as u16).div_ceil(chip_cols);
-    let mut chip = if n_cores <= 16 {
-        Chip::e16g3(params)
-    } else {
-        Chip::new(params, chip_cols, chip_rows.max(chip_cols))
-    };
-    assert!(n_cores <= chip.cores(), "requested more cores than the chip has");
+    let mut chip = Chip::with_cores(params, n_cores);
+    assert!(
+        n_cores <= chip.cores(),
+        "requested more cores than the chip has"
+    );
     let cores: Vec<usize> = (0..n_cores).collect();
 
     let layout = ExternalLayout::new(geom.num_pulses as u32, geom.num_bins as u32);
@@ -83,6 +81,8 @@ pub fn run(w: &FfbpWorkload, params: EpiphanyParams, opts: SpmdOptions) -> FfbpS
     let mut stage_idx = 0u32;
 
     while stage.len() > 1 {
+        chip.phase_begin("merge");
+        let (hits0, misses0) = (local_hits, external_misses);
         let child_beams = stage[0].grid.n_beams as u32;
         let out_grid = stage[0].grid.refined();
         let mut next: Vec<Subaperture> = stage
@@ -161,8 +161,16 @@ pub fn run(w: &FfbpWorkload, params: EpiphanyParams, opts: SpmdOptions) -> FfbpS
                     // bank (local load, already in the op counts) or
                     // blocking external read.
                     for (child, base, pf) in [
-                        (nearest_indices(a, geom, look.r1, look.theta1), beam_base_a, pf_a),
-                        (nearest_indices(b, geom, look.r2, look.theta2), beam_base_b, pf_b),
+                        (
+                            nearest_indices(a, geom, look.r1, look.theta1),
+                            beam_base_a,
+                            pf_a,
+                        ),
+                        (
+                            nearest_indices(b, geom, look.r2, look.theta2),
+                            beam_base_b,
+                            pf_b,
+                        ),
                     ] {
                         if let Some((bin, beam)) = child {
                             if opts.prefetch && pf == Some(beam) {
@@ -191,16 +199,22 @@ pub fn run(w: &FfbpWorkload, params: EpiphanyParams, opts: SpmdOptions) -> FfbpS
             chip.wait_flag(core, last_write[core]);
         }
         chip.barrier(&cores);
+        chip.phase_metric("local_hits", (local_hits - hits0) as f64);
+        chip.phase_metric("external_misses", (external_misses - misses0) as f64);
+        chip.phase_end();
         stage = next;
         stage_idx += 1;
     }
 
     let full = stage.into_iter().next().expect("non-empty stage");
+    let mut record = chip.report(
+        &format!("FFBP / Epiphany, {n_cores} cores @ 1 GHz (SPMD)"),
+        n_cores,
+    );
+    record.set_metric("local_hits", local_hits as f64);
+    record.set_metric("external_misses", external_misses as f64);
     FfbpSpmdRun {
-        report: chip.report(
-            &format!("FFBP / Epiphany, {n_cores} cores @ 1 GHz (SPMD)"),
-            n_cores,
-        ),
+        record,
         image: full.data,
         local_hits,
         external_misses,
@@ -232,7 +246,7 @@ mod tests {
         let w = FfbpWorkload::small();
         let par = run(&w, EpiphanyParams::default(), SpmdOptions::default());
         let seq = ffbp_seq::run(&w, EpiphanyParams::default());
-        let speedup = seq.report.elapsed.seconds() / par.report.elapsed.seconds();
+        let speedup = seq.record.elapsed.seconds() / par.record.elapsed.seconds();
         assert!(
             speedup > 4.0,
             "16-core SPMD should be far faster than 1 core, got {speedup:.2}x"
@@ -301,17 +315,27 @@ mod tests {
         let without = run(
             &w,
             EpiphanyParams::default(),
-            SpmdOptions { prefetch: false, ..SpmdOptions::default() },
+            SpmdOptions {
+                prefetch: false,
+                ..SpmdOptions::default()
+            },
         );
-        assert!(without.report.elapsed.seconds() > with.report.elapsed.seconds());
+        assert!(without.record.elapsed.seconds() > with.record.elapsed.seconds());
         assert_eq!(without.local_hits, 0);
     }
 
     #[test]
     fn fewer_cores_run_longer() {
         let w = FfbpWorkload::small();
-        let four = run(&w, EpiphanyParams::default(), SpmdOptions { cores: 4, ..SpmdOptions::default() });
+        let four = run(
+            &w,
+            EpiphanyParams::default(),
+            SpmdOptions {
+                cores: 4,
+                ..SpmdOptions::default()
+            },
+        );
         let sixteen = run(&w, EpiphanyParams::default(), SpmdOptions::default());
-        assert!(four.report.elapsed.seconds() > sixteen.report.elapsed.seconds());
+        assert!(four.record.elapsed.seconds() > sixteen.record.elapsed.seconds());
     }
 }

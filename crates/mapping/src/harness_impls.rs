@@ -1,0 +1,432 @@
+//! [`sim_harness::Mapping`] implementations for every driver in this
+//! crate (plus the host-parallel FFBP from `sar-core`), and the
+//! registry the unified runner resolves `--mapping` names against.
+//!
+//! Kernel-specialised parameter overrides (the autofocus IPC and
+//! pairing figures) are applied here, on top of whatever parameters the
+//! platform supplies — so a record produced through the harness prices
+//! exactly like one from the direct driver call.
+
+use sim_harness::{HarnessError, Mapping, MappingRun, Platform, PlatformKind, Workload};
+
+use crate::autofocus_mpmd::Placement;
+use crate::autofocus_ref::AUTOFOCUS_SUSTAINED_IPC;
+use crate::autofocus_seq::AUTOFOCUS_PAIRING;
+use crate::{
+    autofocus_mpmd, autofocus_net, autofocus_ref, autofocus_seq, ffbp_ref, ffbp_seq, ffbp_spmd,
+};
+
+fn kernel_mismatch(mapping: &dyn Mapping, workload: &Workload) -> HarnessError {
+    HarnessError::KernelMismatch {
+        mapping: mapping.name().to_string(),
+        workload: workload.kernel().to_string(),
+    }
+}
+
+fn unsupported(mapping: &dyn Mapping, platform: &dyn Platform) -> HarnessError {
+    HarnessError::UnsupportedPlatform {
+        mapping: mapping.name().to_string(),
+        platform: platform.label().to_string(),
+    }
+}
+
+/// FFBP on one reference-CPU core (Table I row 1).
+pub struct FfbpRefMapping;
+
+impl Mapping for FfbpRefMapping {
+    fn name(&self) -> &'static str {
+        "ffbp_ref"
+    }
+    fn kernel(&self) -> &'static str {
+        "ffbp"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::RefCpu
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .ffbp()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let params = platform
+            .refcpu_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let r = ffbp_ref::run(w, params);
+        Ok(MappingRun {
+            record: r.record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+}
+
+/// FFBP on one Epiphany core (Table I row 2).
+pub struct FfbpSeqMapping;
+
+impl Mapping for FfbpSeqMapping {
+    fn name(&self) -> &'static str {
+        "ffbp_seq"
+    }
+    fn kernel(&self) -> &'static str {
+        "ffbp"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Epiphany
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .ffbp()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let r = ffbp_seq::run(w, params);
+        Ok(MappingRun {
+            record: r.record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+}
+
+/// FFBP on 16 Epiphany cores, SPMD (Table I row 3).
+#[derive(Default)]
+pub struct FfbpSpmdMapping {
+    /// Driver knobs (cores, prefetch). Default: the paper's 16 cores.
+    pub opts: ffbp_spmd::SpmdOptions,
+}
+
+impl Mapping for FfbpSpmdMapping {
+    fn name(&self) -> &'static str {
+        "ffbp_spmd"
+    }
+    fn kernel(&self) -> &'static str {
+        "ffbp"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Epiphany
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .ffbp()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let r = ffbp_spmd::run(w, params, self.opts);
+        Ok(MappingRun {
+            record: r.record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+}
+
+/// FFBP on the host's own threads, wall-clock timed.
+pub struct FfbpHostMapping;
+
+impl Mapping for FfbpHostMapping {
+    fn name(&self) -> &'static str {
+        "ffbp_host"
+    }
+    fn kernel(&self) -> &'static str {
+        "ffbp"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Host
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .ffbp()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let threads = platform
+            .host_threads()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let label = format!("FFBP / host, {threads} threads (std::thread)");
+        let (mut record, r) = sim_harness::BenchHarness::host_record(&label, || {
+            sar_core::parallel::ffbp_parallel(&w.data, &w.geom, &w.config, threads)
+        });
+        record.set_metric("threads", threads as f64);
+        record.set_metric("merge_iterations", f64::from(r.iterations));
+        Ok(MappingRun {
+            record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+}
+
+/// Autofocus on one reference-CPU core (Table I row 4).
+pub struct AutofocusRefMapping;
+
+impl Mapping for AutofocusRefMapping {
+    fn name(&self) -> &'static str {
+        "autofocus_ref"
+    }
+    fn kernel(&self) -> &'static str {
+        "autofocus"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::RefCpu
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .autofocus()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let mut params = platform
+            .refcpu_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        params.sustained_ipc = AUTOFOCUS_SUSTAINED_IPC;
+        let r = autofocus_ref::run(w, params);
+        Ok(MappingRun {
+            record: r.record,
+            image: None,
+            sweep: Some(r.sweep),
+            best: Some(r.best),
+        })
+    }
+}
+
+/// Autofocus on one Epiphany core (Table I row 5).
+pub struct AutofocusSeqMapping;
+
+impl Mapping for AutofocusSeqMapping {
+    fn name(&self) -> &'static str {
+        "autofocus_seq"
+    }
+    fn kernel(&self) -> &'static str {
+        "autofocus"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Epiphany
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .autofocus()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let mut params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        params.pairing_efficiency = AUTOFOCUS_PAIRING;
+        let r = autofocus_seq::run(w, params);
+        Ok(MappingRun {
+            record: r.record,
+            image: None,
+            sweep: Some(r.sweep),
+            best: Some(r.best),
+        })
+    }
+}
+
+/// Autofocus as the hand-written 13-core MPMD pipeline (Table I row 6).
+pub struct AutofocusMpmdMapping {
+    /// Stage-to-core placement. Default: the paper's neighbour mapping.
+    pub place: Placement,
+}
+
+impl Default for AutofocusMpmdMapping {
+    fn default() -> Self {
+        AutofocusMpmdMapping {
+            place: Placement::neighbor(),
+        }
+    }
+}
+
+impl Mapping for AutofocusMpmdMapping {
+    fn name(&self) -> &'static str {
+        "autofocus_mpmd"
+    }
+    fn kernel(&self) -> &'static str {
+        "autofocus"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Epiphany
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .autofocus()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let mut params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        params.pairing_efficiency = AUTOFOCUS_PAIRING;
+        let r = autofocus_mpmd::run(w, params, self.place);
+        Ok(MappingRun {
+            record: r.record,
+            image: None,
+            sweep: Some(r.sweep),
+            best: Some(r.best),
+        })
+    }
+}
+
+/// Autofocus as the declarative `streams` process network.
+pub struct AutofocusNetMapping {
+    /// Stage-to-core placement. Default: the paper's neighbour mapping.
+    pub place: Placement,
+}
+
+impl Default for AutofocusNetMapping {
+    fn default() -> Self {
+        AutofocusNetMapping {
+            place: Placement::neighbor(),
+        }
+    }
+}
+
+impl Mapping for AutofocusNetMapping {
+    fn name(&self) -> &'static str {
+        "autofocus_net"
+    }
+    fn kernel(&self) -> &'static str {
+        "autofocus"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Epiphany
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .autofocus()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let mut params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        params.pairing_efficiency = AUTOFOCUS_PAIRING;
+        let r = autofocus_net::run(w, params, self.place);
+        let mut run = MappingRun {
+            record: r.record,
+            image: None,
+            sweep: Some(r.sweep),
+            best: Some(r.best),
+        };
+        run.record.set_metric("firings", r.firings as f64);
+        Ok(run)
+    }
+}
+
+/// Every mapping, for exhaustive cross-machine sweeps.
+pub fn all_mappings() -> Vec<Box<dyn Mapping>> {
+    vec![
+        Box::new(FfbpRefMapping),
+        Box::new(FfbpSeqMapping),
+        Box::new(FfbpSpmdMapping::default()),
+        Box::new(FfbpHostMapping),
+        Box::new(AutofocusRefMapping),
+        Box::new(AutofocusSeqMapping),
+        Box::new(AutofocusMpmdMapping::default()),
+        Box::new(AutofocusNetMapping::default()),
+    ]
+}
+
+/// Look a mapping up by its record name (the `--mapping` flag of the
+/// unified runner).
+pub fn mapping_named(name: &str) -> Option<Box<dyn Mapping>> {
+    all_mappings().into_iter().find(|m| m.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_harness::{all_platforms, platform_named, run};
+
+    #[test]
+    fn names_round_trip_through_the_registry() {
+        for m in all_mappings() {
+            let named = mapping_named(m.name()).expect("name must resolve");
+            assert_eq!(named.kernel(), m.kernel());
+        }
+        assert!(mapping_named("ffbp_gpu").is_none());
+    }
+
+    #[test]
+    fn every_mapping_supports_exactly_one_platform_family() {
+        use sim_harness::PlatformKind::*;
+        for m in all_mappings() {
+            let supported = [Epiphany, RefCpu, Host]
+                .into_iter()
+                .filter(|&k| m.supports(k))
+                .count();
+            assert_eq!(
+                supported,
+                1,
+                "mapping {} supports {supported} families",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn supported_pairs_run_and_stamp_identity() {
+        for m in all_mappings() {
+            let w = Workload::named(m.kernel(), true).expect("kernel resolves");
+            for p in all_platforms() {
+                let result = run(m.as_ref(), &w, p.as_ref());
+                if m.supports(p.kind()) {
+                    let out = result.expect("supported pair must run");
+                    assert_eq!(out.record.mapping, m.name());
+                    assert_eq!(out.record.platform, p.label());
+                    assert_eq!(out.record.kernel, m.kernel());
+                    assert!(out.record.elapsed.seconds() > 0.0);
+                } else {
+                    assert!(
+                        result.is_err(),
+                        "{} on {} must be rejected",
+                        m.name(),
+                        p.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specialised_params_flow_through_the_harness() {
+        // Running through the harness must price identically to the
+        // direct driver call with its kernel-specialised params().
+        let w = crate::workloads::AutofocusWorkload::small();
+        let direct = crate::autofocus_seq::run(&w, crate::autofocus_seq::params());
+        let platform = platform_named("epiphany").unwrap();
+        let via = run(
+            &AutofocusSeqMapping,
+            &Workload::Autofocus(w),
+            platform.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(via.record.elapsed.cycles, direct.record.elapsed.cycles);
+    }
+}

@@ -25,9 +25,11 @@ pub mod autofocus_seq;
 pub mod ffbp_ref;
 pub mod ffbp_seq;
 pub mod ffbp_spmd;
+pub mod harness_impls;
 pub mod layout;
 pub mod table1;
 pub mod workloads;
 
+pub use harness_impls::{all_mappings, mapping_named};
 pub use table1::{table1, Table1, Table1Row};
 pub use workloads::{AutofocusWorkload, FfbpWorkload};

@@ -3,21 +3,19 @@
 
 use std::fmt;
 
-use epiphany::EpiphanyParams;
-use refcpu::RefCpuParams;
-use serde::Serialize;
+use desim::Json;
+use sim_harness::{run, EpiphanyPlatform, Mapping, MappingRun, RefCpuPlatform, Workload};
 
-use crate::autofocus_mpmd::{self, Placement};
+use crate::harness_impls::{
+    AutofocusMpmdMapping, AutofocusRefMapping, AutofocusSeqMapping, FfbpRefMapping, FfbpSeqMapping,
+    FfbpSpmdMapping,
+};
 use crate::workloads::{AutofocusWorkload, FfbpWorkload};
-use crate::{autofocus_ref, autofocus_seq, ffbp_ref, ffbp_seq, ffbp_spmd};
 
-/// Datasheet power figures the paper uses.
-pub const INTEL_POWER_W: f64 = 17.5;
-/// The Epiphany chip figure from its datasheet.
-pub const EPIPHANY_POWER_W: f64 = 2.0;
+pub use sim_harness::{EPIPHANY_POWER_W, INTEL_POWER_W};
 
 /// One row of Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Configuration label.
     pub label: String,
@@ -38,7 +36,7 @@ pub struct Table1Row {
 }
 
 /// The whole table plus the derived energy-efficiency ratios.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// FFBP rows: Intel, Epiphany x1, Epiphany x16.
     pub ffbp: Vec<Table1Row>,
@@ -53,21 +51,34 @@ pub struct Table1 {
     pub ffbp_parallel_vs_seq: f64,
     /// Autofocus parallel over sequential-Epiphany (paper: 10.9x).
     pub autofocus_parallel_vs_seq: f64,
+    /// The six underlying records (FFBP ref/seq/par, then autofocus
+    /// ref/seq/par), for bench documents; not part of
+    /// [`Table1::to_json`], which keeps the golden-baseline row shape.
+    pub records: Vec<desim::RunRecord>,
 }
 
-/// Run all six configurations of Table I.
+/// Run all six configurations of Table I, each through the harness's
+/// single entry point ([`sim_harness::run`]) on its Table I platform.
 pub fn table1(ffbp_w: &FfbpWorkload, af_w: &AutofocusWorkload) -> Table1 {
+    let intel = RefCpuPlatform::default();
+    let epiphany = EpiphanyPlatform::default();
+    let pair = |mapping: &dyn Mapping, workload: &Workload, on_intel: bool| -> MappingRun {
+        let platform: &dyn sim_harness::Platform = if on_intel { &intel } else { &epiphany };
+        run(mapping, workload, platform).expect("Table I pairs are all supported")
+    };
+
     // --- FFBP ---
-    let f_ref = ffbp_ref::run(ffbp_w, RefCpuParams::default());
-    let f_seq = ffbp_seq::run(ffbp_w, EpiphanyParams::default());
-    let f_par = ffbp_spmd::run(ffbp_w, EpiphanyParams::default(), Default::default());
-    let t_ref = f_ref.report.elapsed.seconds();
+    let ffbp_workload = Workload::Ffbp(ffbp_w.clone());
+    let f_ref = pair(&FfbpRefMapping, &ffbp_workload, true);
+    let f_seq = pair(&FfbpSeqMapping, &ffbp_workload, false);
+    let f_par = pair(&FfbpSpmdMapping::default(), &ffbp_workload, false);
+    let t_ref = f_ref.record.elapsed.seconds();
 
     let ffbp = vec![
         Table1Row {
             label: "Sequential on Intel i7 @ 2.67 GHz".into(),
             cores: 1,
-            time_ms: f_ref.report.millis(),
+            time_ms: f_ref.record.millis(),
             throughput_px_s: None,
             speedup: 1.0,
             paper_speedup: 1.0,
@@ -77,38 +88,39 @@ pub fn table1(ffbp_w: &FfbpWorkload, af_w: &AutofocusWorkload) -> Table1 {
         Table1Row {
             label: "Sequential on Epiphany @ 1 GHz".into(),
             cores: 1,
-            time_ms: f_seq.report.millis(),
+            time_ms: f_seq.record.millis(),
             throughput_px_s: None,
-            speedup: t_ref / f_seq.report.elapsed.seconds(),
+            speedup: t_ref / f_seq.record.elapsed.seconds(),
             paper_speedup: 0.36,
             power_w: EPIPHANY_POWER_W,
-            modeled_power_w: Some(f_seq.report.avg_power_w()),
+            modeled_power_w: Some(f_seq.record.avg_power_w()),
         },
         Table1Row {
             label: "Parallel on Epiphany @ 1 GHz".into(),
             cores: 16,
-            time_ms: f_par.report.millis(),
+            time_ms: f_par.record.millis(),
             throughput_px_s: None,
-            speedup: t_ref / f_par.report.elapsed.seconds(),
+            speedup: t_ref / f_par.record.elapsed.seconds(),
             paper_speedup: 4.25,
             power_w: EPIPHANY_POWER_W,
-            modeled_power_w: Some(f_par.report.avg_power_w()),
+            modeled_power_w: Some(f_par.record.avg_power_w()),
         },
     ];
 
     // --- Autofocus ---
-    let a_ref = autofocus_ref::run(af_w, autofocus_ref::params());
-    let a_seq = autofocus_seq::run(af_w, autofocus_seq::params());
-    let a_par = autofocus_mpmd::run(af_w, autofocus_mpmd::params(), Placement::neighbor());
+    let af_workload = Workload::Autofocus(af_w.clone());
+    let a_ref = pair(&AutofocusRefMapping, &af_workload, true);
+    let a_seq = pair(&AutofocusSeqMapping, &af_workload, false);
+    let a_par = pair(&AutofocusMpmdMapping::default(), &af_workload, false);
     let px = af_w.pixels() as f64;
     let thr = |secs: f64| px / secs;
-    let t_aref = a_ref.report.elapsed.seconds();
+    let t_aref = a_ref.record.elapsed.seconds();
 
     let autofocus = vec![
         Table1Row {
             label: "Sequential on Intel i7 @ 2.67 GHz".into(),
             cores: 1,
-            time_ms: a_ref.report.millis(),
+            time_ms: a_ref.record.millis(),
             throughput_px_s: Some(thr(t_aref)),
             speedup: 1.0,
             paper_speedup: 1.0,
@@ -118,22 +130,22 @@ pub fn table1(ffbp_w: &FfbpWorkload, af_w: &AutofocusWorkload) -> Table1 {
         Table1Row {
             label: "Sequential on Epiphany @ 1 GHz".into(),
             cores: 1,
-            time_ms: a_seq.report.millis(),
-            throughput_px_s: Some(thr(a_seq.report.elapsed.seconds())),
-            speedup: t_aref / a_seq.report.elapsed.seconds(),
+            time_ms: a_seq.record.millis(),
+            throughput_px_s: Some(thr(a_seq.record.elapsed.seconds())),
+            speedup: t_aref / a_seq.record.elapsed.seconds(),
             paper_speedup: 0.8,
             power_w: EPIPHANY_POWER_W,
-            modeled_power_w: Some(a_seq.report.avg_power_w()),
+            modeled_power_w: Some(a_seq.record.avg_power_w()),
         },
         Table1Row {
             label: "Parallel on Epiphany @ 1 GHz".into(),
             cores: 13,
-            time_ms: a_par.report.millis(),
-            throughput_px_s: Some(thr(a_par.report.elapsed.seconds())),
-            speedup: t_aref / a_par.report.elapsed.seconds(),
+            time_ms: a_par.record.millis(),
+            throughput_px_s: Some(thr(a_par.record.elapsed.seconds())),
+            speedup: t_aref / a_par.record.elapsed.seconds(),
             paper_speedup: 8.93,
             power_w: EPIPHANY_POWER_W,
-            modeled_power_w: Some(a_par.report.avg_power_w()),
+            modeled_power_w: Some(a_par.record.avg_power_w()),
         },
     ];
 
@@ -143,13 +155,66 @@ pub fn table1(ffbp_w: &FfbpWorkload, af_w: &AutofocusWorkload) -> Table1 {
     let autofocus_energy_ratio = autofocus[2].speedup * (INTEL_POWER_W / EPIPHANY_POWER_W);
 
     Table1 {
-        ffbp_parallel_vs_seq: f_seq.report.elapsed.seconds() / f_par.report.elapsed.seconds(),
-        autofocus_parallel_vs_seq: a_seq.report.elapsed.seconds()
-            / a_par.report.elapsed.seconds(),
+        ffbp_parallel_vs_seq: f_seq.record.elapsed.seconds() / f_par.record.elapsed.seconds(),
+        autofocus_parallel_vs_seq: a_seq.record.elapsed.seconds() / a_par.record.elapsed.seconds(),
         ffbp,
         autofocus,
         ffbp_energy_ratio,
         autofocus_energy_ratio,
+        records: vec![
+            f_ref.record,
+            f_seq.record,
+            f_par.record,
+            a_ref.record,
+            a_seq.record,
+            a_par.record,
+        ],
+    }
+}
+
+impl Table1Row {
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("label", self.label.as_str())
+            .with("cores", self.cores)
+            .with("time_ms", self.time_ms)
+            .with(
+                "throughput_px_s",
+                match self.throughput_px_s {
+                    Some(v) => Json::from(v),
+                    None => Json::Null,
+                },
+            )
+            .with("speedup", self.speedup)
+            .with("paper_speedup", self.paper_speedup)
+            .with("power_w", self.power_w)
+            .with(
+                "modeled_power_w",
+                match self.modeled_power_w {
+                    Some(v) => Json::from(v),
+                    None => Json::Null,
+                },
+            )
+    }
+}
+
+impl Table1 {
+    /// Serialise to a JSON object (the golden-record baseline shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with(
+                "ffbp",
+                Json::Arr(self.ffbp.iter().map(Table1Row::to_json).collect()),
+            )
+            .with(
+                "autofocus",
+                Json::Arr(self.autofocus.iter().map(Table1Row::to_json).collect()),
+            )
+            .with("ffbp_energy_ratio", self.ffbp_energy_ratio)
+            .with("autofocus_energy_ratio", self.autofocus_energy_ratio)
+            .with("ffbp_parallel_vs_seq", self.ffbp_parallel_vs_seq)
+            .with("autofocus_parallel_vs_seq", self.autofocus_parallel_vs_seq)
     }
 }
 
@@ -229,12 +294,22 @@ mod tests {
         assert_eq!(t.autofocus.len(), 3);
         assert!(t.ffbp[1].speedup < 1.0, "seq Epiphany must lose on FFBP");
         assert!(t.ffbp[2].speedup > 1.0, "16 cores must win on FFBP");
-        assert!(t.autofocus[2].speedup > 1.0, "13 cores must win on autofocus");
-        assert!(t.ffbp_energy_ratio > 8.75, "energy ratio must exceed the pure power ratio");
+        assert!(
+            t.autofocus[2].speedup > 1.0,
+            "13 cores must win on autofocus"
+        );
+        assert!(
+            t.ffbp_energy_ratio > 8.75,
+            "energy ratio must exceed the pure power ratio"
+        );
         assert!(t.ffbp_parallel_vs_seq > 4.0);
         assert!(t.autofocus_parallel_vs_seq > 2.0);
         let s = format!("{t}");
         assert!(s.contains("TABLE I"));
         assert!(s.contains("38x"));
+        assert_eq!(t.records.len(), 6, "one record per configuration");
+        for r in &t.records {
+            assert!(!r.kernel.is_empty() && !r.mapping.is_empty() && !r.platform.is_empty());
+        }
     }
 }

@@ -1,118 +1,4 @@
-//! Workload definitions shared by all six Table I configurations.
+//! Workload definitions now live in the harness (shared by every
+//! mapping × platform pair); re-exported here for the existing paths.
 
-use sar_core::autofocus::{AutofocusConfig, Block6};
-use sar_core::ffbp::FfbpConfig;
-use sar_core::geometry::SarGeometry;
-use sar_core::image::ComplexImage;
-use sar_core::scene::{simulate_compressed_data, Scene};
-
-/// The FFBP workload: pulse-compressed data plus algorithm settings.
-#[derive(Clone)]
-pub struct FfbpWorkload {
-    /// Collection geometry.
-    pub geom: SarGeometry,
-    /// Pulse-compressed input (rows = pulses).
-    pub data: ComplexImage,
-    /// Algorithm configuration (the paper: NN interpolation, base 2).
-    pub config: FfbpConfig,
-}
-
-impl FfbpWorkload {
-    /// The paper's workload: six targets, 1024 pulses x 1001 bins,
-    /// merge base 2, nearest-neighbour interpolation.
-    pub fn paper() -> FfbpWorkload {
-        let geom = SarGeometry::paper_size();
-        let scene = Scene::six_targets(geom);
-        FfbpWorkload {
-            geom,
-            data: simulate_compressed_data(&scene, 0.0, 7),
-            config: FfbpConfig::default(),
-        }
-    }
-
-    /// A small workload for tests (64 pulses x 129 bins).
-    pub fn small() -> FfbpWorkload {
-        let geom = SarGeometry::test_size();
-        let scene = Scene::six_targets(geom);
-        FfbpWorkload {
-            geom,
-            data: simulate_compressed_data(&scene, 0.0, 7),
-            config: FfbpConfig::default(),
-        }
-    }
-
-    /// Pixels in the output image.
-    pub fn pixels(&self) -> u64 {
-        self.geom.num_pulses as u64 * self.geom.num_bins as u64
-    }
-}
-
-/// The autofocus workload: two 6x6 blocks and the hypothesis sweep the
-/// criterion is evaluated over.
-#[derive(Clone)]
-pub struct AutofocusWorkload {
-    /// Block from the trailing contributing image.
-    pub f_minus: Block6,
-    /// Block from the leading contributing image.
-    pub f_plus: Block6,
-    /// Criterion parameters.
-    pub config: AutofocusConfig,
-    /// Number of candidate compensations tested per merge.
-    pub hypotheses: usize,
-    /// Largest tested shift (pixels).
-    pub max_shift: f32,
-    /// The path error baked into the block pair (for validation).
-    pub true_shift: f32,
-}
-
-impl AutofocusWorkload {
-    /// The paper-scale workload: a smooth target pair displaced by a
-    /// known sub-pixel path error, 24 candidate compensations.
-    pub fn paper() -> AutofocusWorkload {
-        let truth = 0.4;
-        AutofocusWorkload {
-            f_minus: Block6::gaussian_blob(0.0, truth / 2.0),
-            f_plus: Block6::gaussian_blob(0.0, -truth / 2.0),
-            config: AutofocusConfig::default(),
-            hypotheses: 24,
-            max_shift: 1.0,
-            true_shift: truth,
-        }
-    }
-
-    /// A reduced sweep for tests.
-    pub fn small() -> AutofocusWorkload {
-        AutofocusWorkload {
-            hypotheses: 5,
-            ..AutofocusWorkload::paper()
-        }
-    }
-
-    /// Pixels the criterion is computed on (the Table I throughput
-    /// denominator: one 6x6 block pair = 36 output pixels).
-    pub fn pixels(&self) -> u64 {
-        36
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn paper_ffbp_matches_table_dimensions() {
-        let w = FfbpWorkload::paper();
-        assert_eq!(w.data.rows(), 1024);
-        assert_eq!(w.data.cols(), 1001);
-        assert_eq!(w.pixels(), 1024 * 1001);
-    }
-
-    #[test]
-    fn autofocus_workload_is_consistent() {
-        let w = AutofocusWorkload::paper();
-        assert_eq!(w.pixels(), 36);
-        assert!(w.hypotheses >= 2);
-        assert!(w.true_shift.abs() <= w.max_shift);
-        assert!(w.f_minus.energy() > 0.0);
-    }
-}
+pub use sim_harness::workload::{AutofocusWorkload, FfbpWorkload};

@@ -53,7 +53,10 @@ impl Cache {
     /// If the geometry is inconsistent (size not divisible into sets,
     /// or non-power-of-two line size).
     pub fn new(size_bytes: u32, line_bytes: u32, ways: usize) -> Cache {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "need at least one way");
         let total_lines = (size_bytes / line_bytes) as usize;
         assert!(
@@ -231,7 +234,12 @@ mod tests {
         let mut c = Cache::new(128, 64, 1); // 2 sets, direct mapped
         c.access(0, true); // dirty line in set 0
         let a = c.access(128, false); // same set, evicts dirty line
-        assert_eq!(a, CacheAccess::Miss { dirty_writeback: true });
+        assert_eq!(
+            a,
+            CacheAccess::Miss {
+                dirty_writeback: true
+            }
+        );
         assert_eq!(c.writebacks(), 1);
     }
 
@@ -240,7 +248,12 @@ mod tests {
         let mut c = Cache::new(128, 64, 1);
         c.access(0, false);
         let a = c.access(128, false);
-        assert_eq!(a, CacheAccess::Miss { dirty_writeback: false });
+        assert_eq!(
+            a,
+            CacheAccess::Miss {
+                dirty_writeback: false
+            }
+        );
     }
 
     #[test]

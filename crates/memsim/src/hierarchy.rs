@@ -154,9 +154,18 @@ impl MemoryHierarchy {
     /// Demand statistics per level `(l1, l2, l3)`.
     pub fn stats(&self) -> (LevelStats, LevelStats, LevelStats) {
         (
-            LevelStats { hits: self.l1.hits(), misses: self.l1.misses() },
-            LevelStats { hits: self.l2.hits(), misses: self.l2.misses() },
-            LevelStats { hits: self.l3.hits(), misses: self.l3.misses() },
+            LevelStats {
+                hits: self.l1.hits(),
+                misses: self.l1.misses(),
+            },
+            LevelStats {
+                hits: self.l2.hits(),
+                misses: self.l2.misses(),
+            },
+            LevelStats {
+                hits: self.l3.hits(),
+                misses: self.l3.misses(),
+            },
         )
     }
 
@@ -213,7 +222,10 @@ mod tests {
     fn sequential_scan_benefits_from_prefetch() {
         let p = HierarchyParams::default();
         let mut with = MemoryHierarchy::new(p);
-        let mut without = MemoryHierarchy::new(HierarchyParams { prefetch: false, ..p });
+        let mut without = MemoryHierarchy::new(HierarchyParams {
+            prefetch: false,
+            ..p
+        });
         let n = 4096u64;
         let (mut c_with, mut c_without) = (0u64, 0u64);
         for i in 0..n {
@@ -235,7 +247,9 @@ mod tests {
         let mut total = 0;
         let n = 2000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             total += h.access((x >> 8) % (64 << 20), false);
         }
         assert!(total as f64 / n as f64 > p.dram_cycles as f64 * 0.8);
@@ -243,7 +257,10 @@ mod tests {
 
     #[test]
     fn l2_captures_medium_working_set() {
-        let p = HierarchyParams { prefetch: false, ..HierarchyParams::default() };
+        let p = HierarchyParams {
+            prefetch: false,
+            ..HierarchyParams::default()
+        };
         let mut h = MemoryHierarchy::new(p);
         // 128 KB working set: fits L2, not L1.
         let lines = (128 * 1024) / 64;

@@ -117,7 +117,7 @@ mod tests {
     fn ascending_stream_confirms_and_prefetches() {
         let mut p = StreamPrefetcher::new(4, 2, 4);
         assert!(p.observe(100).is_empty()); // allocate (counts as 1st access)
-        // 2nd sequential access confirms the stream and prefetches.
+                                            // 2nd sequential access confirms the stream and prefetches.
         assert_eq!(p.observe(101), vec![102, 103, 104, 105]);
         assert_eq!(p.observe(102), vec![103, 104, 105, 106]);
     }

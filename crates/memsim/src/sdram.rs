@@ -67,7 +67,10 @@ impl Sdram {
     /// # Panics
     /// If the geometry is degenerate.
     pub fn new(params: SdramParams) -> Sdram {
-        assert!(params.banks > 0 && params.row_bytes > 0, "invalid SDRAM geometry");
+        assert!(
+            params.banks > 0 && params.row_bytes > 0,
+            "invalid SDRAM geometry"
+        );
         Sdram {
             params,
             bus: FifoResource::per_units(1, params.bytes_per_cycle),

@@ -42,7 +42,10 @@ impl LocalStore {
     /// # Panics
     /// If the parameters describe zero banks or zero-size banks.
     pub fn new(params: SramParams) -> LocalStore {
-        assert!(params.banks > 0 && params.bank_bytes > 0, "invalid SRAM geometry");
+        assert!(
+            params.banks > 0 && params.bank_bytes > 0,
+            "invalid SRAM geometry"
+        );
         let ports = (0..params.banks)
             .map(|_| FifoResource::per_units(1, params.port_bytes_per_cycle))
             .collect();
@@ -68,7 +71,10 @@ impl LocalStore {
     /// # Panics
     /// If `offset` is outside the store.
     pub fn bank_of(&self, offset: u32) -> usize {
-        assert!(offset < self.capacity(), "offset {offset:#x} outside local store");
+        assert!(
+            offset < self.capacity(),
+            "offset {offset:#x} outside local store"
+        );
         (offset / self.params.bank_bytes) as usize
     }
 

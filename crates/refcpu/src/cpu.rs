@@ -1,7 +1,7 @@
 //! The single-core execution model.
 
-use std::fmt;
-
+use desim::record::RunRecord;
+use desim::stats::{Counters, PhaseTimeline};
 use desim::{Cycle, OpCounts, TimeSpan};
 use memsim::MemoryHierarchy;
 
@@ -14,6 +14,8 @@ pub struct RefCpu {
     cycles: f64,
     ops: OpCounts,
     mem_stall_cycles: f64,
+    phases: PhaseTimeline,
+    phase_stall0: f64,
 }
 
 impl RefCpu {
@@ -25,6 +27,8 @@ impl RefCpu {
             cycles: 0.0,
             ops: OpCounts::default(),
             mem_stall_cycles: 0.0,
+            phases: PhaseTimeline::new(),
+            phase_stall0: 0.0,
         }
     }
 
@@ -96,16 +100,77 @@ impl RefCpu {
         &self.hierarchy
     }
 
-    /// Finish the run into a report.
-    pub fn report(&self, label: &str) -> RefReport {
-        RefReport {
-            label: label.to_string(),
-            elapsed: self.elapsed_span(),
-            power_w: self.params.power_w,
-            ops: self.ops,
-            mem_stall_fraction: self.mem_stall_fraction(),
-            dram_accesses: self.hierarchy.dram_accesses(),
-        }
+    /// Executed operation totals as named counters (the record shape).
+    fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.add("fpu_instr", self.ops.flops + 2 * self.ops.fmas);
+        c.add("ialu_instr", self.ops.ialu);
+        c.add("loads", self.ops.loads);
+        c.add("stores", self.ops.stores);
+        c.add("sqrts", self.ops.sqrts);
+        c.add("divs", self.ops.divs);
+        c.add("trigs", self.ops.trigs);
+        c.add("dram_access", self.hierarchy.dram_accesses());
+        c
+    }
+
+    /// Open a named observation phase at the current cycle cursor.
+    pub fn phase_begin(&mut self, name: &str) {
+        self.phases.begin(name, self.elapsed(), self.counters());
+        self.phase_stall0 = self.mem_stall_cycles;
+    }
+
+    /// Attach a gauge to the open phase.
+    pub fn phase_metric(&mut self, key: &str, value: f64) {
+        self.phases.metric(key, value);
+    }
+
+    /// Close the open phase, recording its datasheet energy and memory
+    /// stall cycles.
+    pub fn phase_end(&mut self) {
+        self.phases.metric(
+            "mem_stall_cycles",
+            self.mem_stall_cycles - self.phase_stall0,
+        );
+        let (now, counters) = (self.elapsed(), self.counters());
+        self.phases.end(now, &counters);
+    }
+
+    /// Finish the run into a record. Energy follows the paper's
+    /// methodology — datasheet power × time — so the modelled breakdown
+    /// stays zero and [`RunRecord::energy_j`] falls back to `power_w`.
+    pub fn report(&self, label: &str) -> RunRecord {
+        assert!(
+            !self.phases.is_open(),
+            "cannot report with a phase still open"
+        );
+        let mut record = RunRecord::new(label, self.elapsed_span());
+        record.platform = "refcpu".to_string();
+        record.power_w = self.params.power_w;
+        record.counters = self.counters();
+        record.set_metric("mem_stall_fraction", self.mem_stall_fraction());
+        record.phases = self
+            .phases
+            .spans()
+            .iter()
+            .map(|span| {
+                let mut metrics = span.metrics.clone();
+                for (name, delta) in span.counters.iter() {
+                    metrics.insert(name.to_string(), delta as f64);
+                }
+                let time_ms = TimeSpan::new(span.cycles(), self.params.clock).millis();
+                desim::record::PhaseRecord {
+                    name: span.name.clone(),
+                    index: span.index,
+                    start_ms: TimeSpan::new(span.start, self.params.clock).millis(),
+                    time_ms,
+                    energy_j: self.params.power_w * time_ms * 1e-3,
+                    elink_utilization: 0.0,
+                    metrics,
+                }
+            })
+            .collect();
+        record
     }
 
     /// Restart with cold caches.
@@ -114,46 +179,8 @@ impl RefCpu {
         self.cycles = 0.0;
         self.ops = OpCounts::default();
         self.mem_stall_cycles = 0.0;
-    }
-}
-
-/// Run summary for the reference machine.
-#[derive(Debug, Clone)]
-pub struct RefReport {
-    /// Configuration label.
-    pub label: String,
-    /// Wall time.
-    pub elapsed: TimeSpan,
-    /// Datasheet power attributed to the core.
-    pub power_w: f64,
-    /// Operation totals.
-    pub ops: OpCounts,
-    /// Fraction of cycles stalled on memory.
-    pub mem_stall_fraction: f64,
-    /// DRAM demand accesses.
-    pub dram_accesses: u64,
-}
-
-impl RefReport {
-    /// Execution time in milliseconds.
-    pub fn millis(&self) -> f64 {
-        self.elapsed.millis()
-    }
-
-    /// Energy as the paper computes it: datasheet power x time.
-    pub fn energy_j(&self) -> f64 {
-        self.power_w * self.elapsed.seconds()
-    }
-}
-
-impl fmt::Display for RefReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== {} ==", self.label)?;
-        writeln!(f, "  execution time : {:.3} ms", self.millis())?;
-        writeln!(f, "  datasheet power: {:.1} W", self.power_w)?;
-        writeln!(f, "  energy         : {:.4} J", self.energy_j())?;
-        writeln!(f, "  mem stalls     : {:.1}%", self.mem_stall_fraction * 100.0)?;
-        write!(f, "  DRAM accesses  : {}", self.dram_accesses)
+        self.phases.clear();
+        self.phase_stall0 = 0.0;
     }
 }
 
@@ -168,19 +195,31 @@ mod tests {
     #[test]
     fn compute_prices_ipc_and_specials() {
         let mut c = cpu();
-        c.compute(&OpCounts { flops: 180, ..OpCounts::default() });
+        c.compute(&OpCounts {
+            flops: 180,
+            ..OpCounts::default()
+        });
         assert_eq!(c.elapsed(), Cycle(100)); // 180 / 1.8
         let mut c2 = cpu();
-        c2.compute(&OpCounts { sqrts: 10, ..OpCounts::default() });
+        c2.compute(&OpCounts {
+            sqrts: 10,
+            ..OpCounts::default()
+        });
         assert_eq!(c2.elapsed(), Cycle(10 * c2.params().sqrt_cycles));
     }
 
     #[test]
     fn fma_costs_two_instructions() {
         let mut a = cpu();
-        a.compute(&OpCounts { fmas: 90, ..OpCounts::default() });
+        a.compute(&OpCounts {
+            fmas: 90,
+            ..OpCounts::default()
+        });
         let mut b = cpu();
-        b.compute(&OpCounts { flops: 90, ..OpCounts::default() });
+        b.compute(&OpCounts {
+            flops: 90,
+            ..OpCounts::default()
+        });
         assert_eq!(a.elapsed().raw(), 2 * b.elapsed().raw());
     }
 
@@ -217,7 +256,10 @@ mod tests {
     #[test]
     fn mem_stall_fraction_reflects_traffic() {
         let mut c = cpu();
-        c.compute(&OpCounts { flops: 1000, ..OpCounts::default() });
+        c.compute(&OpCounts {
+            flops: 1000,
+            ..OpCounts::default()
+        });
         assert_eq!(c.mem_stall_fraction(), 0.0);
         let mut x = 7u64;
         for _ in 0..1000 {
@@ -230,12 +272,40 @@ mod tests {
     #[test]
     fn report_energy_uses_datasheet_power() {
         let mut c = cpu();
-        c.compute(&OpCounts { flops: 2_670_000, ..OpCounts::default() });
+        c.compute(&OpCounts {
+            flops: 2_670_000,
+            ..OpCounts::default()
+        });
         let r = c.report("ref");
         // 2.67e6/1.8 cycles at 2.67 GHz = 0.5556 ms; energy = 17.5 W x t.
         assert!((r.millis() - 0.5556).abs() < 0.01);
         assert!((r.energy_j() - 17.5 * r.elapsed.seconds()).abs() < 1e-12);
-        assert!(format!("{r}").contains("datasheet power"));
+        assert_eq!(r.platform, "refcpu");
+        assert_eq!(r.counters.get("fpu_instr"), 2_670_000);
+        assert!(r.metric("mem_stall_fraction").is_some());
+    }
+
+    #[test]
+    fn phases_carry_datasheet_energy_and_op_deltas() {
+        let mut c = cpu();
+        c.phase_begin("pulse_pair");
+        c.compute(&OpCounts {
+            flops: 1800,
+            ..OpCounts::default()
+        });
+        c.phase_end();
+        c.phase_begin("pulse_pair");
+        c.compute(&OpCounts {
+            flops: 3600,
+            ..OpCounts::default()
+        });
+        c.phase_end();
+        let r = c.report("phased");
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].metrics.get("fpu_instr"), Some(&1800.0));
+        assert_eq!(r.phases[1].metrics.get("fpu_instr"), Some(&3600.0));
+        let total: f64 = r.phases.iter().map(|p| p.energy_j).sum();
+        assert!((total - r.energy_j()).abs() < 1e-9 * r.energy_j().max(1e-12));
     }
 
     #[test]

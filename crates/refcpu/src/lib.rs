@@ -16,5 +16,6 @@
 pub mod cpu;
 pub mod params;
 
-pub use cpu::{RefCpu, RefReport};
+pub use cpu::RefCpu;
+pub use desim::record::RunRecord;
 pub use params::RefCpuParams;

@@ -76,6 +76,15 @@ struct ChannelState<T> {
     /// Tokens with their data-ready times at the consumer.
     queue: VecDeque<(Cycle, T)>,
     tokens_carried: u64,
+    /// Deepest the queue has grown (high-water mark).
+    max_depth: u64,
+}
+
+impl<T> ChannelState<T> {
+    fn push(&mut self, ready: Cycle, token: T) {
+        self.queue.push_back((ready, token));
+        self.max_depth = self.max_depth.max(self.queue.len() as u64);
+    }
 }
 
 /// A placed process network over a chip model.
@@ -96,12 +105,7 @@ impl<T> Network<T> {
     }
 
     /// Place an actor on `core`.
-    pub fn add_actor(
-        &mut self,
-        name: &str,
-        core: CoreId,
-        behaviour: Box<dyn Actor<T>>,
-    ) -> ActorId {
+    pub fn add_actor(&mut self, name: &str, core: CoreId, behaviour: Box<dyn Actor<T>>) -> ActorId {
         assert!(core < self.chip.cores(), "core {core} outside the chip");
         self.actors.push(ActorSlot {
             name: name.to_string(),
@@ -123,6 +127,7 @@ impl<T> Network<T> {
             to,
             queue: VecDeque::new(),
             tokens_carried: 0,
+            max_depth: 0,
         });
         self.actors[from.0].outputs.push(id);
         self.actors[to.0].inputs.push(id);
@@ -148,6 +153,7 @@ impl<T> Network<T> {
                 to: actor,
                 queue: VecDeque::new(),
                 tokens_carried: 0,
+                max_depth: 0,
             });
             // Input-only: never an output port of the actor.
             self.actors[actor.0].inputs.push(id);
@@ -155,14 +161,17 @@ impl<T> Network<T> {
             id
         };
         let ready = self.chip.now(self.actors[actor.0].core);
-        self.channels[chan.0].queue.push_back((ready, token));
+        self.channels[chan.0].push(ready, token);
         let _ = bytes;
     }
 
     /// Whether `actor` can fire now.
     fn fireable(&self, idx: usize) -> bool {
         let a = &self.actors[idx];
-        !a.inputs.is_empty() && a.inputs.iter().all(|c| !self.channels[c.0].queue.is_empty())
+        !a.inputs.is_empty()
+            && a.inputs
+                .iter()
+                .all(|c| !self.channels[c.0].queue.is_empty())
     }
 
     /// Run until no actor can fire. Returns the number of firings.
@@ -201,10 +210,8 @@ impl<T> Network<T> {
         };
         // Temporarily take the behaviour out to satisfy the borrow
         // checker (the actor may not touch the network, only the ctx).
-        let mut behaviour = std::mem::replace(
-            &mut self.actors[idx].behaviour,
-            Box::new(InertActor),
-        );
+        let mut behaviour =
+            std::mem::replace(&mut self.actors[idx].behaviour, Box::new(InertActor));
         behaviour.fire(tokens, &mut ctx);
         let emitted = ctx.emitted;
         self.actors[idx].behaviour = behaviour;
@@ -214,7 +221,7 @@ impl<T> Network<T> {
             let dst_actor = self.channels[chan.0].to;
             let dst_core = self.actors[dst_actor.0].core;
             let ready = self.chip.write_remote(core, dst_core, bytes);
-            self.channels[chan.0].queue.push_back((ready, token));
+            self.channels[chan.0].push(ready, token);
             self.channels[chan.0].tokens_carried += 1;
         }
     }
@@ -227,6 +234,27 @@ impl<T> Network<T> {
     /// Tokens carried by `channel` so far.
     pub fn tokens_carried(&self, channel: ChannelId) -> u64 {
         self.channels[channel.0].tokens_carried
+    }
+
+    /// High-water queue depth of `channel`.
+    pub fn max_queue_depth(&self, channel: ChannelId) -> u64 {
+        self.channels[channel.0].max_depth
+    }
+
+    /// Deepest any channel queue has grown since construction (or the
+    /// last [`Network::take_queue_peak`]).
+    pub fn queue_peak(&self) -> u64 {
+        self.channels.iter().map(|c| c.max_depth).max().unwrap_or(0)
+    }
+
+    /// Return [`Network::queue_peak`] and reset every channel's
+    /// high-water mark to its current depth (per-phase sampling).
+    pub fn take_queue_peak(&mut self) -> u64 {
+        let peak = self.queue_peak();
+        for c in &mut self.channels {
+            c.max_depth = c.queue.len() as u64;
+        }
+        peak
     }
 
     /// Actor name (diagnostics).
@@ -274,7 +302,10 @@ mod tests {
     struct AddOne;
     impl Actor<u64> for AddOne {
         fn fire(&mut self, inputs: Vec<u64>, ctx: &mut FireCtx<'_, u64>) {
-            ctx.charge(&OpCounts { ialu: 1, ..OpCounts::default() });
+            ctx.charge(&OpCounts {
+                ialu: 1,
+                ..OpCounts::default()
+            });
             ctx.send(0, inputs[0] + 1, 8);
         }
     }
@@ -282,7 +313,10 @@ mod tests {
     struct Collect(Vec<u64>);
     impl Actor<u64> for Collect {
         fn fire(&mut self, inputs: Vec<u64>, ctx: &mut FireCtx<'_, u64>) {
-            ctx.charge(&OpCounts { ialu: 1, ..OpCounts::default() });
+            ctx.charge(&OpCounts {
+                ialu: 1,
+                ..OpCounts::default()
+            });
             self.0.push(inputs.into_iter().sum());
         }
     }
@@ -353,7 +387,10 @@ mod tests {
         struct Heavy;
         impl Actor<u64> for Heavy {
             fn fire(&mut self, inputs: Vec<u64>, ctx: &mut FireCtx<'_, u64>) {
-                ctx.charge(&OpCounts { fmas: 10_000, ..OpCounts::default() });
+                ctx.charge(&OpCounts {
+                    fmas: 10_000,
+                    ..OpCounts::default()
+                });
                 ctx.send(0, inputs[0], 4096);
             }
         }
@@ -411,6 +448,27 @@ mod tests {
         let b = net.add_actor("b", 1, Box::new(AddOne));
         net.connect(a, b);
         net.feed(b, 1, 8);
+    }
+
+    #[test]
+    fn queue_depth_high_water_is_tracked() {
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut net = Network::new(chip());
+        let a = net.add_actor("inc", 0, Box::new(AddOne));
+        let sink = net.add_actor("sink", 1, Box::new(CollectProbe(results.clone())));
+        let chan = net.connect(a, sink);
+        for v in 0..5u64 {
+            net.feed(a, v, 8);
+        }
+        // All five feeds queue on the synthetic source channel.
+        assert_eq!(net.queue_peak(), 5);
+        net.run();
+        // The greedy scheduler drains the source first, so the a->sink
+        // channel also backs up to five before the sink fires.
+        assert_eq!(net.max_queue_depth(chan), 5);
+        assert_eq!(net.take_queue_peak(), 5);
+        // After the drain every queue is empty, so the reset peak is 0.
+        assert_eq!(net.queue_peak(), 0);
     }
 
     #[test]

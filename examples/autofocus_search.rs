@@ -23,11 +23,18 @@ fn main() {
     println!("{:>9} {:>14}", "shift", "criterion");
     let peak = best_shift(&sweep);
     for (shift, value) in &sweep {
-        let marker = if (*shift, *value) == peak { "  <-- best" } else { "" };
+        let marker = if (*shift, *value) == peak {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("{shift:>+9.2} {value:>14.4}{marker}");
     }
 
-    println!("\nrecovered compensation: {:+.2} px (true {true_error:+.2})", peak.0);
+    println!(
+        "\nrecovered compensation: {:+.2} px (true {true_error:+.2})",
+        peak.0
+    );
     println!(
         "criterion arithmetic: {} flops across {} hypotheses",
         counts.flop_work(),

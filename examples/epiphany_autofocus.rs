@@ -14,17 +14,17 @@ fn main() {
     let seq = autofocus_seq::run(&w, autofocus_seq::params());
     let mpmd = autofocus_mpmd::run(&w, autofocus_mpmd::params(), Placement::neighbor());
 
-    println!("{}", seq.report);
+    println!("{}", seq.record);
     println!();
-    println!("{}", mpmd.report);
+    println!("{}", mpmd.record);
     println!();
 
     let px = w.pixels() as f64;
     println!(
         "throughput: sequential {:>10.0} px/s | pipeline {:>10.0} px/s | {:.2}x",
-        px / seq.report.elapsed.seconds(),
-        px / mpmd.report.elapsed.seconds(),
-        seq.report.elapsed.seconds() / mpmd.report.elapsed.seconds()
+        px / seq.record.elapsed.seconds(),
+        px / mpmd.record.elapsed.seconds(),
+        seq.record.elapsed.seconds() / mpmd.record.elapsed.seconds()
     );
     println!(
         "recovered path compensation: {:+.2} px (injected {:+.2})",

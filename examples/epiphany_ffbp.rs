@@ -25,9 +25,9 @@ fn main() {
     let seq = ffbp_seq::run(&w, EpiphanyParams::default());
     let par = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
 
-    println!("{}", seq.report);
+    println!("{}", seq.record);
     println!();
-    println!("{}", par.report);
+    println!("{}", par.record);
     println!();
     println!(
         "prefetch coverage: {} local / {} external ({:.1}% hit rate)",
@@ -37,7 +37,7 @@ fn main() {
     );
     println!(
         "16-core speedup over one Epiphany core: {:.2}x (paper, full size: 11.7x)",
-        seq.report.elapsed.seconds() / par.report.elapsed.seconds()
+        seq.record.elapsed.seconds() / par.record.elapsed.seconds()
     );
     assert_eq!(
         seq.image.as_slice(),

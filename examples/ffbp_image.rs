@@ -26,11 +26,20 @@ fn main() {
     println!("raw pulse-compressed data -> example_images/raw_data.pgm");
 
     let reference = gbp(&data, &geometry, geometry.num_pulses);
-    reference.image.write_pgm(&out.join("gbp.pgm"), -50.0).unwrap();
+    reference
+        .image
+        .write_pgm(&out.join("gbp.pgm"), -50.0)
+        .unwrap();
     println!("GBP reference             -> example_images/gbp.pgm");
 
-    for (name, interp) in [("nearest", InterpKind::Nearest), ("cubic", InterpKind::Cubic)] {
-        let cfg = FfbpConfig { interp, ..FfbpConfig::default() };
+    for (name, interp) in [
+        ("nearest", InterpKind::Nearest),
+        ("cubic", InterpKind::Cubic),
+    ] {
+        let cfg = FfbpConfig {
+            interp,
+            ..FfbpConfig::default()
+        };
         let run = ffbp(&data, &geometry, &cfg);
         let file = format!("ffbp_{name}.pgm");
         run.image.write_pgm(&out.join(&file), -50.0).unwrap();

@@ -7,4 +7,5 @@ pub use memsim;
 pub use refcpu;
 pub use sar_core;
 pub use sar_epiphany;
+pub use sim_harness;
 pub use streams;

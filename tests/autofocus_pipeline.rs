@@ -87,6 +87,6 @@ fn process_network_agrees_with_hand_written_mapping_end_to_end() {
     // ...and the pipeline is still a large speedup over one core, so
     // the abstraction did not cost the performance benefit the paper
     // worries about.
-    let speedup = seq.report.elapsed.seconds() / net.report.elapsed.seconds();
+    let speedup = seq.record.elapsed.seconds() / net.record.elapsed.seconds();
     assert!(speedup > 4.0, "network pipeline speedup {speedup:.2}");
 }

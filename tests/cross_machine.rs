@@ -39,7 +39,7 @@ fn simulated_runs_are_deterministic() {
     let w = FfbpWorkload::small();
     let a = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
     let b = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
-    assert_eq!(a.report.elapsed.cycles, b.report.elapsed.cycles);
+    assert_eq!(a.record.elapsed.cycles, b.record.elapsed.cycles);
     assert_eq!(a.external_misses, b.external_misses);
 }
 
@@ -48,15 +48,24 @@ fn faster_clock_means_less_wall_time_same_cycles() {
     let w = AutofocusWorkload::small();
     let slow = autofocus_seq::run(
         &w,
-        EpiphanyParams { clock: Frequency::mhz(400.0), ..autofocus_seq::params() },
+        EpiphanyParams {
+            clock: Frequency::mhz(400.0),
+            ..autofocus_seq::params()
+        },
     );
     let fast = autofocus_seq::run(
         &w,
-        EpiphanyParams { clock: Frequency::ghz(1.0), ..autofocus_seq::params() },
+        EpiphanyParams {
+            clock: Frequency::ghz(1.0),
+            ..autofocus_seq::params()
+        },
     );
-    assert_eq!(slow.report.elapsed.cycles, fast.report.elapsed.cycles);
-    let ratio = slow.report.elapsed.seconds() / fast.report.elapsed.seconds();
-    assert!((ratio - 2.5).abs() < 1e-6, "1 GHz / 400 MHz = 2.5x, got {ratio}");
+    assert_eq!(slow.record.elapsed.cycles, fast.record.elapsed.cycles);
+    let ratio = slow.record.elapsed.seconds() / fast.record.elapsed.seconds();
+    assert!(
+        (ratio - 2.5).abs() < 1e-6,
+        "1 GHz / 400 MHz = 2.5x, got {ratio}"
+    );
 }
 
 #[test]
@@ -67,7 +76,7 @@ fn wider_elink_speeds_up_ffbp() {
     let narrow = ffbp_spmd::run(&w, narrow_params, SpmdOptions::default());
     let nominal = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default());
     assert!(
-        narrow.report.elapsed.seconds() > nominal.report.elapsed.seconds(),
+        narrow.record.elapsed.seconds() > nominal.record.elapsed.seconds(),
         "an 8x narrower eLink must hurt FFBP"
     );
 }
@@ -80,7 +89,7 @@ fn slower_sdram_hurts_the_sequential_port_most() {
     slow_mem.sdram.row_miss_cycles *= 4;
     let seq_nominal = ffbp_seq::run(&w, EpiphanyParams::default());
     let seq_slow = ffbp_seq::run(&w, slow_mem);
-    let penalty = seq_slow.report.elapsed.seconds() / seq_nominal.report.elapsed.seconds();
+    let penalty = seq_slow.record.elapsed.seconds() / seq_nominal.record.elapsed.seconds();
     assert!(
         penalty > 1.5,
         "per-element blocking reads must feel 4x SDRAM latency, got {penalty:.2}x"
@@ -110,21 +119,87 @@ fn prefetchless_i7_approaches_epiphany_seq_behaviour() {
     // streaming kernel — the paper's "prefetching mechanisms combined
     // with three levels of caches" argument. The dramatic contrast is
     // with the cacheless Epiphany port, which stalls on most cycles.
-    assert!(off.report.elapsed.seconds() >= on.report.elapsed.seconds());
+    assert!(off.record.elapsed.seconds() >= on.record.elapsed.seconds());
+    let stalls = on.record.metric("mem_stall_fraction").unwrap();
     assert!(
-        on.report.mem_stall_fraction < 0.10,
-        "cached i7 should be compute-bound, stalls {:.2}",
-        on.report.mem_stall_fraction
+        stalls < 0.10,
+        "cached i7 should be compute-bound, stalls {stalls:.2}"
     );
     let epi = ffbp_seq::run(&w, EpiphanyParams::default());
     let busy_fraction = {
         // All stall time on the Epiphany port is eLink/SDRAM latency.
-        let total = epi.report.elapsed.seconds();
-        let i7_equiv = on.report.elapsed.seconds();
+        let total = epi.record.elapsed.seconds();
+        let i7_equiv = on.record.elapsed.seconds();
         total / i7_equiv
     };
     assert!(
         busy_fraction > 1.5,
         "the cacheless port should be far slower: {busy_fraction:.2}x"
     );
+}
+
+/// Satellite of the harness refactor: *every* registered mapping on
+/// *every* platform it supports must reproduce the plain `sar-core`
+/// algorithm's functional output — the paper's machine-independence
+/// claim, now enforced across the full registry instead of a
+/// hand-picked trio.
+#[test]
+fn every_mapping_on_every_platform_matches_the_plain_algorithms() {
+    use sar_repro::desim::OpCounts;
+    use sar_repro::sar_core::autofocus::sweep_criterion;
+    use sar_repro::sar_core::ffbp::ffbp;
+    use sar_repro::sar_epiphany::all_mappings;
+    use sar_repro::sim_harness::{all_platforms, run, Workload};
+
+    let ffbp_w = FfbpWorkload::small();
+    let af_w = AutofocusWorkload::small();
+    let plain_image = ffbp(&ffbp_w.data, &ffbp_w.geom, &ffbp_w.config).image;
+    let plain_sweep = sweep_criterion(
+        &af_w.f_minus,
+        &af_w.f_plus,
+        af_w.max_shift,
+        af_w.hypotheses,
+        &af_w.config,
+        &mut OpCounts::default(),
+    );
+
+    let mut checked = 0usize;
+    for m in all_mappings() {
+        let w = match m.kernel() {
+            "ffbp" => Workload::Ffbp(ffbp_w.clone()),
+            _ => Workload::Autofocus(af_w.clone()),
+        };
+        for p in all_platforms() {
+            if !m.supports(p.kind()) {
+                continue;
+            }
+            let out = run(m.as_ref(), &w, p.as_ref())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", m.name(), p.label()));
+            if m.kernel() == "ffbp" {
+                let image = out.image.expect("ffbp mappings return the image");
+                assert_eq!(
+                    image.as_slice(),
+                    plain_image.as_slice(),
+                    "{} on {} diverged from plain FFBP",
+                    m.name(),
+                    p.label()
+                );
+            } else {
+                let sweep = out.sweep.expect("autofocus mappings return the sweep");
+                assert_eq!(sweep.len(), plain_sweep.len());
+                for (&(s1, v1), &(s2, v2)) in sweep.iter().zip(&plain_sweep) {
+                    assert_eq!(s1, s2, "{} on {}: shift grid", m.name(), p.label());
+                    assert!(
+                        (v1 - v2).abs() <= 1e-3 * v2.abs().max(1.0),
+                        "{} on {}: criterion at {s1}: {v1} vs {v2}",
+                        m.name(),
+                        p.label()
+                    );
+                }
+            }
+            checked += 1;
+        }
+    }
+    // Eight mappings, each supporting exactly one platform family.
+    assert_eq!(checked, 8, "expected every registered mapping to run once");
 }

@@ -7,15 +7,14 @@ use sar_repro::sar_core::geometry::SarGeometry;
 use sar_repro::sar_core::quality::energy_concentration;
 use sar_repro::sar_core::scene::{simulate_via_chirp, Scene};
 use sar_repro::sar_core::signal::ChirpParams;
-use sar_repro::sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload};
 use sar_repro::sar_epiphany::table1;
+use sar_repro::sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload};
 
 /// Expected (beam, bin) of a target on the final polar grid.
 fn expected_position(geom: &SarGeometry, x: f32, y: f32) -> (usize, usize) {
     let r = (x * x + y * y).sqrt();
     let theta = (y / r).acos();
-    let beam = ((theta - geom.theta_min()) / (2.0 * geom.theta_half_span)
-        * geom.num_pulses as f32)
+    let beam = ((theta - geom.theta_min()) / (2.0 * geom.theta_half_span) * geom.num_pulses as f32)
         .round() as usize;
     let bin = ((r - geom.r0) / geom.dr).round() as usize;
     (beam.min(geom.num_pulses - 1), bin.min(geom.num_bins - 1))
@@ -31,7 +30,13 @@ fn chirp_to_focused_image() {
         ..SarGeometry::test_size()
     };
     let scene = Scene::single_target(geom);
-    let data = simulate_via_chirp(&scene, ChirpParams { samples: 64, fractional_bandwidth: 0.9 });
+    let data = simulate_via_chirp(
+        &scene,
+        ChirpParams {
+            samples: 64,
+            fractional_bandwidth: 0.9,
+        },
+    );
     let run = ffbp(&data, &geom, &FfbpConfig::default());
     let t = scene.targets[0];
     let (eb, ei) = expected_position(&geom, t.x, t.y);
