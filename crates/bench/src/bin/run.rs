@@ -5,15 +5,32 @@
 //!
 //! ```text
 //! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
-//!     [--workload ffbp|autofocus] [--small] [--json] [--list]
+//!     [--workload ffbp|autofocus] [--small] [--json] [--list] \
+//!     [--trace out.json] [--heatmap]
 //! ```
 //!
 //! Omitted selectors mean "all": with no flags the runner executes
 //! every supported mapping × platform pair on its kernel's workload.
-//! `--list` prints the registries and exits.
+//! `--list` prints the registries and exits. `--trace P` exports a
+//! Chrome `trace_event` timeline per executed pair (the first pair
+//! writes `P`, later ones `P` with `-1`, `-2`, … before the
+//! extension); `--heatmap` prints the per-link mesh table after each
+//! Epiphany run.
 
 use sar_epiphany::harness_impls::{all_mappings, mapping_named};
-use sim_harness::{all_platforms, platform_named, run, BenchHarness, Platform, Workload};
+use sim_harness::{all_platforms, platform_named, run_traced, BenchHarness, Platform, Workload};
+
+/// `path` for run 0, `path` with `-n` spliced before the extension for
+/// later runs (so an unselective sweep doesn't overwrite its traces).
+fn trace_file(path: &str, n: usize) -> String {
+    if n == 0 {
+        return path.to_string();
+    }
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}-{n}.{ext}"),
+        None => format!("{path}-{n}"),
+    }
+}
 
 fn main() {
     let mut h = BenchHarness::new("run");
@@ -68,7 +85,8 @@ fn main() {
         }
         let workload = Workload::named(m.kernel(), h.small()).expect("registered kernel");
         for p in &platforms {
-            let r = match run(m.as_ref(), &workload, p.as_ref()) {
+            let tracer = h.tracer();
+            let r = match run_traced(m.as_ref(), &workload, p.as_ref(), &tracer) {
                 Ok(r) => r,
                 Err(_) => continue, // unsupported pair — skip, don't fail
             };
@@ -81,6 +99,14 @@ fn main() {
                 r.record.power_w,
                 r.record.energy_j()
             ));
+            if let Some(path) = h.trace_path() {
+                h.write_trace(trace_file(path, ran), &tracer, r.record.elapsed.clock);
+            }
+            if h.heatmap() {
+                if let Some(heatmap) = &r.record.mesh_heatmap {
+                    h.say(format_args!("\n{}", heatmap.render(8)));
+                }
+            }
             h.record(r.record);
             ran += 1;
         }

@@ -40,12 +40,17 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod work;
 
 pub use json::Json;
 pub use queue::{EventQueue, Simulator};
-pub use record::{EnergyRecord, PhaseRecord, RunRecord, RUN_RECORD_VERSION};
+pub use record::{
+    EnergyRecord, LinkLoad, MeshHeatmap, MeshUtilization, PhaseRecord, RunRecord,
+    RUN_RECORD_VERSION,
+};
 pub use resource::{FifoResource, Reservation};
 pub use rng::SmallRng;
 pub use time::{Cycle, Frequency, TimeSpan};
+pub use trace::{chrome_trace, MeshKind, TraceEvent, Tracer, Track};
 pub use work::OpCounts;

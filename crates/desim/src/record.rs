@@ -16,7 +16,7 @@ use crate::stats::Counters;
 use crate::time::{Cycle, Frequency, TimeSpan};
 
 /// Bump when the serialised shape changes incompatibly.
-pub const RUN_RECORD_VERSION: u32 = 1;
+pub const RUN_RECORD_VERSION: u32 = 2;
 
 /// Modelled energy in joules, by component. All-zero means the
 /// platform has no activity-based energy model (datasheet power × time
@@ -95,6 +95,190 @@ pub fn utilization(busy: Cycle, span: Cycle) -> f64 {
     u
 }
 
+/// Mesh pressure within one phase (or run): byte-hops and link
+/// occupancy deltas between `phase_begin` and `phase_end`. All-zero
+/// when the platform has no modelled mesh (refcpu, host).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeshUtilization {
+    /// Byte-hops on the on-chip write mesh within the phase.
+    pub cmesh_byte_hops: u64,
+    /// Byte-hops on the read-request mesh within the phase.
+    pub rmesh_byte_hops: u64,
+    /// Byte-hops on the off-chip mesh within the phase.
+    pub xmesh_byte_hops: u64,
+    /// Mesh transfers started within the phase (all meshes).
+    pub transfers: u64,
+    /// Busy cycles summed over every directed link (all meshes).
+    pub link_busy_cycles: u64,
+    /// Busy fraction of the most loaded single link within the phase.
+    /// Not asserted ≤ 1: posted-write tails reserved in one phase can
+    /// drain in the next (same accounting as per-phase eLink).
+    pub busiest_link_utilization: f64,
+}
+
+impl MeshUtilization {
+    /// Byte-hops across all three meshes.
+    pub fn total_byte_hops(&self) -> u64 {
+        self.cmesh_byte_hops + self.rmesh_byte_hops + self.xmesh_byte_hops
+    }
+
+    /// Whether any mesh activity was observed.
+    pub fn is_modelled(&self) -> bool {
+        *self != MeshUtilization::default()
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("cmesh_byte_hops", self.cmesh_byte_hops)
+            .with("rmesh_byte_hops", self.rmesh_byte_hops)
+            .with("xmesh_byte_hops", self.xmesh_byte_hops)
+            .with("transfers", self.transfers)
+            .with("link_busy_cycles", self.link_busy_cycles)
+            .with("busiest_link_utilization", self.busiest_link_utilization)
+    }
+
+    fn from_json(json: &Json) -> Option<MeshUtilization> {
+        let u = |key: &str| json.get(key).and_then(Json::as_u64);
+        Some(MeshUtilization {
+            cmesh_byte_hops: u("cmesh_byte_hops")?,
+            rmesh_byte_hops: u("rmesh_byte_hops")?,
+            xmesh_byte_hops: u("xmesh_byte_hops")?,
+            transfers: u("transfers")?,
+            link_busy_cycles: u("link_busy_cycles")?,
+            busiest_link_utilization: json.get("busiest_link_utilization")?.as_f64()?,
+        })
+    }
+}
+
+/// Load on one directed mesh link over a whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoad {
+    /// Physical mesh the link belongs to (`"cmesh"`, `"rmesh"`,
+    /// `"xmesh"`).
+    pub mesh: String,
+    /// Router the link exits (row-major node index).
+    pub node: u32,
+    /// Output direction letter (`"W"`, `"E"`, `"N"`, `"S"`).
+    pub dir: String,
+    /// Bytes that crossed this link (each hop counts once).
+    pub byte_hops: u64,
+    /// Cycles the link was reserved.
+    pub busy_cycles: u64,
+    /// `busy_cycles` over the run makespan, clamped to 1 (posted
+    /// tails can outlive the last core cursor).
+    pub busy_fraction: f64,
+}
+
+impl LinkLoad {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("mesh", self.mesh.as_str())
+            .with("node", self.node)
+            .with("dir", self.dir.as_str())
+            .with("byte_hops", self.byte_hops)
+            .with("busy_cycles", self.busy_cycles)
+            .with("busy_fraction", self.busy_fraction)
+    }
+
+    fn from_json(json: &Json) -> Option<LinkLoad> {
+        let u = |key: &str| json.get(key).and_then(Json::as_u64);
+        Some(LinkLoad {
+            mesh: json.get("mesh")?.as_str()?.to_string(),
+            node: u("node")? as u32,
+            dir: json.get("dir")?.as_str()?.to_string(),
+            byte_hops: u("byte_hops")?,
+            busy_cycles: u("busy_cycles")?,
+            busy_fraction: json.get("busy_fraction")?.as_f64()?,
+        })
+    }
+}
+
+/// Per-directed-link load summary for one run: which links carried the
+/// bytes and which saturated. Only links that saw traffic are listed,
+/// so the heatmap total equals the run's total byte-hops by
+/// construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeshHeatmap {
+    /// Mesh width in nodes.
+    pub cols: usize,
+    /// Mesh height in nodes.
+    pub rows: usize,
+    /// Loaded links, in (mesh, node, dir) order.
+    pub links: Vec<LinkLoad>,
+}
+
+impl MeshHeatmap {
+    /// Byte-hops summed over every listed link (equals the run's
+    /// total mesh byte-hops).
+    pub fn total_byte_hops(&self) -> u64 {
+        self.links.iter().map(|l| l.byte_hops).sum()
+    }
+
+    /// The most occupied link, if any traffic was recorded.
+    pub fn hottest(&self) -> Option<&LinkLoad> {
+        self.links
+            .iter()
+            .max_by(|a, b| (a.busy_cycles, a.byte_hops).cmp(&(b.busy_cycles, b.byte_hops)))
+    }
+
+    /// Render the `top` most occupied links as an aligned text table.
+    pub fn render(&self, top: usize) -> String {
+        let mut ranked: Vec<&LinkLoad> = self.links.iter().collect();
+        ranked.sort_by(|a, b| {
+            (b.busy_cycles, b.byte_hops, a.node).cmp(&(a.busy_cycles, a.byte_hops, b.node))
+        });
+        let mut out = format!(
+            "mesh heatmap ({}x{}, {} loaded links, {} byte-hops)\n",
+            self.cols,
+            self.rows,
+            self.links.len(),
+            self.total_byte_hops()
+        );
+        out.push_str("  mesh   link        byte-hops   busy-cycles   busy\n");
+        for l in ranked.iter().take(top) {
+            let (x, y) = if self.cols > 0 {
+                (l.node as usize % self.cols, l.node as usize / self.cols)
+            } else {
+                (0, 0)
+            };
+            out.push_str(&format!(
+                "  {:<6} ({x},{y})->{:<4} {:>11} {:>13} {:>5.1}%\n",
+                l.mesh,
+                l.dir,
+                l.byte_hops,
+                l.busy_cycles,
+                l.busy_fraction * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("cols", self.cols)
+            .with("rows", self.rows)
+            .with(
+                "links",
+                Json::Arr(self.links.iter().map(LinkLoad::to_json).collect()),
+            )
+    }
+
+    /// Parse back from [`MeshHeatmap::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<MeshHeatmap> {
+        let u = |key: &str| json.get(key).and_then(Json::as_u64);
+        let mut links = Vec::new();
+        for l in json.get("links").and_then(Json::as_array).unwrap_or(&[]) {
+            links.push(LinkLoad::from_json(l)?);
+        }
+        Some(MeshHeatmap {
+            cols: u("cols")? as usize,
+            rows: u("rows")? as usize,
+            links,
+        })
+    }
+}
+
 /// One observed phase of a run: a merge iteration, a pipeline stage, a
 /// sweep chunk.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +296,9 @@ pub struct PhaseRecord {
     pub energy_j: f64,
     /// Off-chip eLink busy fraction within the phase (0 when n/a).
     pub elink_utilization: f64,
+    /// Mesh pressure within the phase (all-zero when no mesh is
+    /// modelled).
+    pub mesh: MeshUtilization,
     /// Free-form per-phase gauges: occupancy, queue depths, hit rates.
     pub metrics: BTreeMap<String, f64>,
 }
@@ -130,6 +317,7 @@ impl PhaseRecord {
             .with("time_ms", self.time_ms)
             .with("energy_j", self.energy_j)
             .with("elink_utilization", self.elink_utilization)
+            .with("mesh", self.mesh.to_json())
             .with("metrics", metrics)
     }
 
@@ -149,6 +337,10 @@ impl PhaseRecord {
             time_ms: f("time_ms")?,
             energy_j: f("energy_j")?,
             elink_utilization: f("elink_utilization")?,
+            mesh: json
+                .get("mesh")
+                .and_then(MeshUtilization::from_json)
+                .unwrap_or_default(),
             metrics,
         })
     }
@@ -187,6 +379,9 @@ pub struct RunRecord {
     pub elink_busy_cycles: Cycle,
     /// SDRAM open-row hit rate.
     pub sdram_row_hit_rate: f64,
+    /// Per-directed-link load summary (absent when no mesh is
+    /// modelled).
+    pub mesh_heatmap: Option<MeshHeatmap>,
     /// Per-phase breakdown in execution order.
     pub phases: Vec<PhaseRecord>,
 }
@@ -210,6 +405,7 @@ impl RunRecord {
             busiest_link_cycles: Cycle::ZERO,
             elink_busy_cycles: Cycle::ZERO,
             sdram_row_hit_rate: 0.0,
+            mesh_heatmap: None,
             phases: Vec::new(),
         }
     }
@@ -275,7 +471,7 @@ impl RunRecord {
         for (k, v) in &self.metrics {
             metrics.set(k, *v);
         }
-        Json::obj()
+        let mut doc = Json::obj()
             .with("version", self.version)
             .with("label", self.label.as_str())
             .with("kernel", self.kernel.as_str())
@@ -292,11 +488,14 @@ impl RunRecord {
             .with("metrics", metrics)
             .with("busiest_link_cycles", self.busiest_link_cycles.raw())
             .with("elink_busy_cycles", self.elink_busy_cycles.raw())
-            .with("sdram_row_hit_rate", self.sdram_row_hit_rate)
-            .with(
-                "phases",
-                Json::Arr(self.phases.iter().map(PhaseRecord::to_json).collect()),
-            )
+            .with("sdram_row_hit_rate", self.sdram_row_hit_rate);
+        if let Some(heatmap) = &self.mesh_heatmap {
+            doc.set("mesh_heatmap", heatmap.to_json());
+        }
+        doc.with(
+            "phases",
+            Json::Arr(self.phases.iter().map(PhaseRecord::to_json).collect()),
+        )
     }
 
     /// Parse back from [`RunRecord::to_json`] output. Counter names are
@@ -336,6 +535,7 @@ impl RunRecord {
             busiest_link_cycles: Cycle(u("busiest_link_cycles")?),
             elink_busy_cycles: Cycle(u("elink_busy_cycles")?),
             sdram_row_hit_rate: f("sdram_row_hit_rate")?,
+            mesh_heatmap: json.get("mesh_heatmap").and_then(MeshHeatmap::from_json),
             phases,
         })
     }
@@ -445,6 +645,18 @@ mod tests {
         r.counters.add("dma_bytes", 456);
         r.set_metric("local_hits", 99.0);
         r.busiest_link_cycles = Cycle(777);
+        r.mesh_heatmap = Some(MeshHeatmap {
+            cols: 4,
+            rows: 4,
+            links: vec![LinkLoad {
+                mesh: "cmesh".into(),
+                node: 5,
+                dir: "E".into(),
+                byte_hops: 4096,
+                busy_cycles: 512,
+                busy_fraction: 0.25,
+            }],
+        });
         r.phases.push(PhaseRecord {
             name: "merge".into(),
             index: 2,
@@ -452,6 +664,14 @@ mod tests {
             time_ms: 0.25,
             energy_j: 1e-4,
             elink_utilization: 0.75,
+            mesh: MeshUtilization {
+                cmesh_byte_hops: 4096,
+                rmesh_byte_hops: 128,
+                xmesh_byte_hops: 64,
+                transfers: 9,
+                link_busy_cycles: 512,
+                busiest_link_utilization: 0.25,
+            },
             metrics: BTreeMap::from([("occupancy".to_string(), 0.9)]),
         });
 
@@ -467,8 +687,56 @@ mod tests {
         assert_eq!(back.counters.get("flop"), 123);
         assert_eq!(back.metric("local_hits"), Some(99.0));
         assert_eq!(back.busiest_link_cycles, Cycle(777));
+        assert_eq!(back.mesh_heatmap, r.mesh_heatmap);
         assert_eq!(back.phases, r.phases);
+        assert_eq!(back.phases[0].mesh.total_byte_hops(), 4096 + 128 + 64);
         assert!((back.energy_j() - r.energy_j()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heatmap_totals_and_render() {
+        let map = MeshHeatmap {
+            cols: 4,
+            rows: 4,
+            links: vec![
+                LinkLoad {
+                    mesh: "cmesh".into(),
+                    node: 5,
+                    dir: "E".into(),
+                    byte_hops: 100,
+                    busy_cycles: 10,
+                    busy_fraction: 0.1,
+                },
+                LinkLoad {
+                    mesh: "rmesh".into(),
+                    node: 6,
+                    dir: "W".into(),
+                    byte_hops: 300,
+                    busy_cycles: 40,
+                    busy_fraction: 0.4,
+                },
+            ],
+        };
+        assert_eq!(map.total_byte_hops(), 400);
+        assert_eq!(map.hottest().unwrap().node, 6);
+        let text = map.render(10);
+        assert!(text.contains("400 byte-hops"));
+        assert!(text.contains("(2,1)->W"));
+        // Top-1 keeps only the most occupied link.
+        assert!(!map.render(1).contains("cmesh"));
+    }
+
+    #[test]
+    fn phase_without_mesh_block_parses_with_default() {
+        // Version-1 documents lack the "mesh" key.
+        let old = Json::parse(
+            r#"{"name":"merge","index":0,"start_ms":0.0,"time_ms":1.0,
+                "energy_j":0.0,"elink_utilization":0.0,"metrics":{}}"#,
+        )
+        .unwrap();
+        let p = PhaseRecord::from_json(&old).unwrap();
+        assert_eq!(p.mesh, MeshUtilization::default());
+        assert!(!p.mesh.is_modelled());
     }
 
     #[test]
@@ -481,6 +749,7 @@ mod tests {
             time_ms: 1.0,
             energy_j: 0.0,
             elink_utilization: 0.0,
+            mesh: MeshUtilization::default(),
             metrics: BTreeMap::new(),
         });
         let s = format!("{r}");

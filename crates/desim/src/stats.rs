@@ -175,6 +175,11 @@ impl PhaseTimeline {
         self.open.is_some()
     }
 
+    /// Start cycle of the open phase, if one is open.
+    pub fn open_start(&self) -> Option<Cycle> {
+        self.open.as_ref().map(|s| s.start)
+    }
+
     /// All closed phases in execution order.
     pub fn spans(&self) -> &[PhaseSpan] {
         &self.spans

@@ -1,0 +1,64 @@
+//! The tracer's overhead guarantee: a *disabled* tracer must not
+//! allocate, no matter how many events are offered to it. This test
+//! binary installs a counting global allocator (which is why it lives
+//! alone in its own integration-test binary) and asserts the
+//! allocation count does not move across a large batch of disabled
+//! emission calls.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use desim::trace::{MeshKind, Tracer, Track};
+use desim::Cycle;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracer_never_allocates() {
+    let tracer = Tracer::disabled();
+    let link = Track::MeshLink {
+        mesh: MeshKind::CMesh,
+        node: 5,
+        dir: 1,
+    };
+    // Warm up once so any lazy statics in the harness are paid for.
+    tracer.span(Track::Core(0), "warmup", Cycle(0), Cycle(1));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        tracer.span(
+            Track::Core((i % 16) as u32),
+            "compute",
+            Cycle(i),
+            Cycle(i + 3),
+        );
+        tracer.instant(link, "xfer", Cycle(i));
+        tracer.counter(Track::Run, "energy_j", Cycle(i), i as f64);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracer allocated {} times",
+        after - before
+    );
+    assert_eq!(tracer.event_count(), 0);
+}

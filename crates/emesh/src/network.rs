@@ -1,6 +1,8 @@
 //! The three-mesh eMesh fabric with contention and per-hop latency.
 
+use desim::record::LinkLoad;
 use desim::stats::Histogram;
+use desim::trace::{direction_letter, MeshKind, Tracer, Track};
 use desim::{Cycle, FifoResource, Reservation};
 
 use crate::routing::{route_xy, Direction};
@@ -31,20 +33,24 @@ pub struct TransferResult {
 /// cycle of routing latency per hop.
 pub struct MeshNetwork {
     mesh: Mesh2D,
+    kind: MeshKind,
     mode: LinkMode,
     hop_latency: u64,
     /// `links[node][direction]` for the four non-local directions.
     links: Vec<Vec<FifoResource>>,
+    /// `link_bytes[node][direction]`: wire bytes each link carried.
+    link_bytes: Vec<[u64; 4]>,
     transfers: u64,
     bytes: u64,
     byte_hops: u64,
     latency: Histogram,
+    tracer: Tracer,
 }
 
 impl MeshNetwork {
-    /// Build a mesh where every link follows `mode` and each hop costs
-    /// `hop_latency` cycles of routing delay.
-    pub fn new(mesh: Mesh2D, mode: LinkMode, hop_latency: u64) -> MeshNetwork {
+    /// Build the `kind` mesh where every link follows `mode` and each
+    /// hop costs `hop_latency` cycles of routing delay.
+    pub fn new(mesh: Mesh2D, kind: MeshKind, mode: LinkMode, hop_latency: u64) -> MeshNetwork {
         let make = || match mode {
             LinkMode::BytesPerCycle(b) => FifoResource::per_units(1, b),
             LinkMode::TransactionPerCycle => FifoResource::per_units(1, 1),
@@ -54,19 +60,23 @@ impl MeshNetwork {
             .collect();
         MeshNetwork {
             mesh,
+            kind,
             mode,
             hop_latency,
             links,
+            link_bytes: vec![[0; 4]; mesh.len()],
             transfers: 0,
             bytes: 0,
             byte_hops: 0,
             latency: Histogram::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
-    fn link_mut(&mut self, from: Coord, dir: Direction) -> &mut FifoResource {
-        let node = self.mesh.node(from).raw();
-        &mut self.links[node][dir.index()]
+    /// Attach a tracer; every subsequent link reservation emits a span
+    /// on its [`Track::MeshLink`] track.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn units_for(&self, wire_bytes: u64) -> u64 {
@@ -97,8 +107,22 @@ impl MeshNetwork {
         let mut queued = Cycle::ZERO;
         for hop in &route {
             let hop_latency = self.hop_latency;
-            let link = self.link_mut(hop.from, hop.dir);
-            let r = link.request(t, units);
+            let node = self.mesh.node(hop.from).raw();
+            let dir = hop.dir.index();
+            let r = self.links[node][dir].request(t, units);
+            self.link_bytes[node][dir] += wire_bytes;
+            if self.tracer.is_enabled() {
+                self.tracer.span(
+                    Track::MeshLink {
+                        mesh: self.kind,
+                        node: node as u32,
+                        dir: dir as u8,
+                    },
+                    "xfer",
+                    r.start,
+                    r.end,
+                );
+            }
             queued += r.wait(t);
             t = r.start + Cycle(hop_latency);
         }
@@ -162,12 +186,65 @@ impl MeshNetwork {
         self.links[node][dir.index()].busy_cycles()
     }
 
+    /// Busy cycles summed over every directed link.
+    pub fn total_link_busy(&self) -> Cycle {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.busy_cycles())
+            .fold(Cycle::ZERO, |a, b| a + b)
+    }
+
+    /// Per-link busy cycles, flattened `node * 4 + dir` — cheap to
+    /// snapshot at phase boundaries.
+    pub fn link_busy_vec(&self) -> Vec<Cycle> {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.busy_cycles())
+            .collect()
+    }
+
+    /// Load summary of every link that carried traffic, in
+    /// `(node, dir)` order. `makespan` scales busy cycles into a busy
+    /// fraction (clamped to 1: reservations can extend past the last
+    /// core cursor).
+    pub fn link_stats(&self, makespan: Cycle) -> Vec<LinkLoad> {
+        let mut out = Vec::new();
+        for (node, dirs) in self.links.iter().enumerate() {
+            for (dir, link) in dirs.iter().enumerate() {
+                let byte_hops = self.link_bytes[node][dir];
+                let busy = link.busy_cycles();
+                if byte_hops == 0 && busy == Cycle::ZERO {
+                    continue;
+                }
+                let busy_fraction = if makespan == Cycle::ZERO {
+                    0.0
+                } else {
+                    (busy.raw() as f64 / makespan.raw() as f64).min(1.0)
+                };
+                out.push(LinkLoad {
+                    mesh: self.kind.label().to_string(),
+                    node: node as u32,
+                    dir: direction_letter(dir as u8).to_string(),
+                    byte_hops,
+                    busy_cycles: busy.raw(),
+                    busy_fraction,
+                });
+            }
+        }
+        out
+    }
+
     /// Clear all link state and statistics.
     pub fn reset(&mut self) {
         for node in &mut self.links {
             for link in node {
                 link.reset();
             }
+        }
+        for bytes in &mut self.link_bytes {
+            *bytes = [0; 4];
         }
         self.transfers = 0;
         self.bytes = 0;
@@ -219,6 +296,7 @@ pub struct EMesh {
     /// The shared off-chip link (both directions contend).
     pub elink: FifoResource,
     elink_node: NodeId,
+    tracer: Tracer,
 }
 
 impl EMesh {
@@ -228,18 +306,48 @@ impl EMesh {
             mesh,
             cmesh: MeshNetwork::new(
                 mesh,
+                MeshKind::CMesh,
                 LinkMode::BytesPerCycle(params.link_bytes_per_cycle),
                 params.hop_latency,
             ),
-            rmesh: MeshNetwork::new(mesh, LinkMode::TransactionPerCycle, params.hop_latency),
+            rmesh: MeshNetwork::new(
+                mesh,
+                MeshKind::RMesh,
+                LinkMode::TransactionPerCycle,
+                params.hop_latency,
+            ),
             xmesh: MeshNetwork::new(
                 mesh,
+                MeshKind::XMesh,
                 LinkMode::BytesPerCycle(params.link_bytes_per_cycle),
                 params.hop_latency,
             ),
             elink: FifoResource::per_units(1, params.elink_bytes_per_cycle),
             elink_node: mesh.elink_node(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer to the fabric: all three meshes emit per-link
+    /// spans and the eLink emits occupancy spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.cmesh.set_tracer(tracer.clone());
+        self.rmesh.set_tracer(tracer.clone());
+        self.xmesh.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Load summary of every loaded link across all three meshes.
+    pub fn link_stats(&self, makespan: Cycle) -> Vec<LinkLoad> {
+        let mut out = self.cmesh.link_stats(makespan);
+        out.extend(self.rmesh.link_stats(makespan));
+        out.extend(self.xmesh.link_stats(makespan));
+        out
+    }
+
+    /// Busy cycles summed over every directed link of all meshes.
+    pub fn total_link_busy(&self) -> Cycle {
+        self.cmesh.total_link_busy() + self.rmesh.total_link_busy() + self.xmesh.total_link_busy()
     }
 
     /// The topology this fabric spans.
@@ -288,6 +396,7 @@ impl EMesh {
     pub fn write_offchip(&mut self, at: Cycle, src: NodeId, bytes: u64) -> TransferResult {
         let to_edge = self.xmesh.transfer(at, src, self.elink_node, bytes + 8);
         let r = self.elink.request(to_edge.arrival, bytes + 8);
+        self.tracer.span(Track::ELink, "wr_out", r.start, r.end);
         TransferResult {
             arrival: r.end,
             hops: to_edge.hops,
@@ -311,6 +420,9 @@ impl EMesh {
         let out = self.elink.request(req.arrival, 8);
         let data_ready = out.end + memory_cycles;
         let back = self.elink.request(data_ready, bytes + 8);
+        self.tracer.span(Track::ELink, "rd_req", out.start, out.end);
+        self.tracer
+            .span(Track::ELink, "rd_data", back.start, back.end);
         let rep = self
             .cmesh
             .transfer(back.end, self.elink_node, src, bytes + 8);
@@ -323,7 +435,9 @@ impl EMesh {
 
     /// Reserve the raw eLink (used by DMA models).
     pub fn elink_request(&mut self, at: Cycle, bytes: u64) -> Reservation {
-        self.elink.request(at, bytes)
+        let r = self.elink.request(at, bytes);
+        self.tracer.span(Track::ELink, "dma", r.start, r.end);
+        r
     }
 
     /// Reset all meshes and the eLink.
@@ -459,6 +573,52 @@ mod tests {
         f.reset();
         assert_eq!(f.cmesh.transfers(), 0);
         assert_eq!(f.cmesh.max_link_busy(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn link_stats_sum_to_byte_hops() {
+        let mut f = fabric();
+        f.write_onchip(Cycle(0), NodeId(0), NodeId(15), 256);
+        f.read_onchip(Cycle(10), NodeId(3), NodeId(12), 64);
+        f.write_offchip(Cycle(20), NodeId(5), 512);
+        let stats = f.link_stats(Cycle(10_000));
+        let total: u64 = stats.iter().map(|l| l.byte_hops).sum();
+        assert_eq!(
+            total,
+            f.cmesh.byte_hops() + f.rmesh.byte_hops() + f.xmesh.byte_hops()
+        );
+        assert!(stats.iter().all(|l| l.busy_fraction <= 1.0));
+        assert!(stats.iter().any(|l| l.mesh == "cmesh"));
+        assert!(stats.iter().any(|l| l.mesh == "rmesh"));
+        assert!(stats.iter().any(|l| l.mesh == "xmesh"));
+    }
+
+    #[test]
+    fn tracer_records_mesh_link_and_elink_spans() {
+        use desim::trace::EventKind;
+        let mut f = fabric();
+        let t = Tracer::enabled();
+        f.set_tracer(t.clone());
+        f.write_onchip(Cycle(0), NodeId(0), NodeId(3), 64);
+        f.write_offchip(Cycle(0), NodeId(0), 128);
+        let events = t.snapshot();
+        assert!(events.iter().any(|e| matches!(
+            e.track,
+            Track::MeshLink {
+                mesh: MeshKind::CMesh,
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.track,
+            Track::MeshLink {
+                mesh: MeshKind::XMesh,
+                ..
+            }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| e.track == Track::ELink && matches!(e.kind, EventKind::Span { .. })));
     }
 
     #[test]

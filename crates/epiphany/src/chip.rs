@@ -5,8 +5,9 @@
 //! goes through the shared fabric/memory models where it contends with
 //! the other cores' traffic.
 
-use desim::record::{PhaseRecord, RunRecord};
-use desim::stats::{Counters, PhaseTimeline};
+use desim::record::{MeshHeatmap, MeshUtilization, PhaseRecord, RunRecord};
+use desim::stats::{Counters, Histogram, PhaseTimeline};
+use desim::trace::{Tracer, Track};
 use desim::{Cycle, TimeSpan};
 use emesh::network::TransferResult;
 use emesh::{EMesh, Mesh2D, NodeId};
@@ -19,6 +20,18 @@ use crate::params::EpiphanyParams;
 
 /// A core index on the chip (row-major, same order as mesh nodes).
 pub type CoreId = usize;
+
+/// Mesh statistics captured at a phase boundary, so [`Chip::phase_end`]
+/// can attribute byte-hop and link-busy deltas to the closing phase.
+#[derive(Debug, Clone, Default)]
+struct MeshSnapshot {
+    cmesh_byte_hops: u64,
+    rmesh_byte_hops: u64,
+    xmesh_byte_hops: u64,
+    transfers: u64,
+    /// Per-link busy cycles, `cmesh ++ rmesh ++ xmesh` flattened.
+    link_busy: Vec<Cycle>,
+}
 
 /// The E16G3 (or a scaled N×M sibling) machine model.
 pub struct Chip {
@@ -42,6 +55,10 @@ pub struct Chip {
     phase_energy0: f64,
     /// eLink busy cycles at the open phase's start.
     phase_elink0: Cycle,
+    /// Mesh statistics at the open phase's start.
+    phase_mesh0: MeshSnapshot,
+    /// Event tracer (disabled by default; see [`Chip::set_tracer`]).
+    tracer: Tracer,
 }
 
 impl Chip {
@@ -61,9 +78,29 @@ impl Chip {
             phases: PhaseTimeline::new(),
             phase_energy0: 0.0,
             phase_elink0: Cycle::ZERO,
+            phase_mesh0: MeshSnapshot::default(),
+            tracer: Tracer::disabled(),
             mesh,
             params,
         }
+    }
+
+    /// Attach a tracer to the whole machine: cores, DMA engines, all
+    /// three meshes, the eLink, local stores and the SDRAM emit onto
+    /// the shared timeline. Disabled tracers cost one branch per
+    /// emission point.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.fabric.set_tracer(tracer.clone());
+        self.sdram.set_tracer(tracer.clone());
+        for (core, store) in self.stores.iter_mut().enumerate() {
+            store.set_tracer(tracer.clone(), Track::Core(core as u32));
+        }
+        self.tracer = tracer;
+    }
+
+    /// The tracer attached to this chip (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The 16-core E16G3.
@@ -181,7 +218,10 @@ impl Chip {
     /// Execute an already-lowered compute block.
     pub fn compute_block(&mut self, core: CoreId, block: &CostBlock) {
         let cycles = Cycle(block.cycles(&self.params));
+        let start = self.t[core];
         self.spend(core, cycles);
+        self.tracer
+            .span(Track::Core(core as u32), "compute", start, self.t[core]);
         let c = &mut self.counters[core];
         c.add("fpu_instr", block.fpu_instrs);
         c.add("ialu_ls_instr", block.ialu_ls_instrs);
@@ -213,10 +253,13 @@ impl Chip {
     /// stalls until the data is back.
     pub fn read_remote(&mut self, core: CoreId, src_core: CoreId, bytes: u64) -> Cycle {
         self.spend(core, Cycle(self.params.read_issue_cycles));
+        let issued = self.t[core];
         let res =
             self.fabric
                 .read_onchip(self.t[core], self.node(core), self.node(src_core), bytes);
         self.stall_until(core, res.arrival);
+        self.tracer
+            .span(Track::Core(core as u32), "rd_remote", issued, self.t[core]);
         let c = &mut self.counters[core];
         c.bump("remote_read");
         c.add("remote_read_bytes", bytes);
@@ -232,11 +275,14 @@ impl Chip {
             "read_external wants an external address"
         );
         self.spend(core, Cycle(self.params.read_issue_cycles));
+        let issued = self.t[core];
         let mem = self.sdram.latency_of(addr.0);
         let res = self
             .fabric
             .read_offchip(self.t[core], self.node(core), bytes, mem);
         self.stall_until(core, res.arrival);
+        self.tracer
+            .span(Track::Core(core as u32), "rd_ext", issued, self.t[core]);
         let c = &mut self.counters[core];
         c.bump("ext_read");
         c.add("ext_read_bytes", bytes);
@@ -262,7 +308,14 @@ impl Chip {
                                        // buffer horizon, the core stalls until the backlog drains.
         let horizon = self.t[core] + Cycle(self.params.write_buffer_cycles);
         if res.arrival > horizon {
+            let stall_from = self.t[core];
             self.stall_until(core, res.arrival - Cycle(self.params.write_buffer_cycles));
+            self.tracer.span(
+                Track::Core(core as u32),
+                "wr_backpressure",
+                stall_from,
+                self.t[core],
+            );
         }
         let c = &mut self.counters[core];
         c.bump("ext_write");
@@ -313,6 +366,13 @@ impl Chip {
             }
         };
         self.dma[core].commit(done, bytes);
+        let dma_name = match dir {
+            DmaDirection::ExternalToLocal => "dma_in",
+            DmaDirection::LocalToExternal => "dma_out",
+            DmaDirection::LocalToRemote => "dma_remote",
+        };
+        self.tracer
+            .span(Track::Dma(core as u32), dma_name, start, done);
         self.counters[core].add("dma_bytes", bytes);
         done
     }
@@ -320,7 +380,10 @@ impl Chip {
     /// Block `core` until its DMA engine reaches `completion`.
     pub fn dma_wait(&mut self, core: CoreId, completion: Cycle) {
         self.counters[core].bump("dma_wait");
+        let from = self.t[core];
         self.stall_until(core, completion);
+        self.tracer
+            .span(Track::Core(core as u32), "dma_wait", from, self.t[core]);
     }
 
     /// Start a strided (2D) DMA descriptor: `rows` rows of `row_bytes`
@@ -342,6 +405,7 @@ impl Chip {
         assert!(rows > 0 && row_bytes > 0, "degenerate 2D descriptor");
         self.spend(core, Cycle(self.params.dma_setup_cycles));
         let mut t = self.dma[core].earliest_start(self.t[core]);
+        let started = t;
         for row in 0..rows {
             let row_addr = GlobalAddr(addr.0 + row * stride_bytes);
             t = match dir {
@@ -376,6 +440,8 @@ impl Chip {
             };
         }
         self.dma[core].commit(t, rows as u64 * row_bytes);
+        self.tracer
+            .span(Track::Dma(core as u32), "dma_2d", started, t);
         self.counters[core].add("dma_bytes", rows as u64 * row_bytes);
         self.counters[core].bump("dma_2d");
         t
@@ -386,6 +452,7 @@ impl Chip {
     /// (which sits in reset — it is stalled, not busy). Returns the
     /// completion time.
     pub fn host_load(&mut self, core: CoreId, src: GlobalAddr, bytes: u64) -> Cycle {
+        let begun = self.t[core];
         let r = self.fabric.elink_request(self.t[core], bytes + 8);
         self.sdram.latency_of(src.0);
         let res =
@@ -394,6 +461,8 @@ impl Chip {
                 .transfer(r.end, self.fabric.elink_node(), self.node(core), bytes + 8);
         let landed = self.stores[core].access_bank(res.arrival, 0, bytes);
         self.stall_until(core, landed.end);
+        self.tracer
+            .span(Track::Host, "host_load", begun, landed.end);
         let c = &mut self.counters[core];
         c.bump("host_load");
         c.add("host_load_bytes", bytes);
@@ -424,7 +493,10 @@ impl Chip {
     /// time returned by [`Chip::write_remote`]) and pays one poll cost.
     pub fn wait_flag(&mut self, core: CoreId, ready: Cycle) {
         self.spend(core, Cycle(self.params.flag_poll_cycles));
+        let from = self.t[core];
         self.stall_until(core, ready);
+        self.tracer
+            .span(Track::Core(core as u32), "wait_flag", from, self.t[core]);
         self.counters[core].bump("flag_wait");
     }
 
@@ -438,7 +510,10 @@ impl Chip {
             .unwrap_or(Cycle::ZERO);
         let release = latest + Cycle(self.params.barrier_base_cycles);
         for &c in cores {
+            let from = self.t[c];
             self.stall_until(c, release);
+            self.tracer
+                .span(Track::Core(c as u32), "barrier", from, self.t[c]);
             self.counters[c].bump("barrier");
         }
     }
@@ -463,6 +538,21 @@ impl Chip {
             .begin(name, self.elapsed(), self.merged_counters());
         self.phase_energy0 = self.energy().total_j();
         self.phase_elink0 = self.fabric.elink.busy_cycles();
+        self.phase_mesh0 = self.mesh_snapshot();
+    }
+
+    fn mesh_snapshot(&self) -> MeshSnapshot {
+        let f = &self.fabric;
+        let mut link_busy = f.cmesh.link_busy_vec();
+        link_busy.extend(f.rmesh.link_busy_vec());
+        link_busy.extend(f.xmesh.link_busy_vec());
+        MeshSnapshot {
+            cmesh_byte_hops: f.cmesh.byte_hops(),
+            rmesh_byte_hops: f.rmesh.byte_hops(),
+            xmesh_byte_hops: f.xmesh.byte_hops(),
+            transfers: f.cmesh.transfers() + f.rmesh.transfers() + f.xmesh.transfers(),
+            link_busy,
+        }
     }
 
     /// Attach a gauge (occupancy, queue depth, …) to the open phase.
@@ -481,8 +571,73 @@ impl Chip {
             .saturating_sub(self.phase_elink0);
         self.phases.metric("energy_j", energy);
         self.phases.metric("elink_busy_cycles", elink.raw() as f64);
+
+        // Mesh deltas since phase_begin, smuggled through reserved
+        // metric keys that report() lifts into PhaseRecord::mesh.
+        let now_mesh = self.mesh_snapshot();
+        let m0 = &self.phase_mesh0;
+        self.phases.metric(
+            "mesh::cmesh_byte_hops",
+            (now_mesh.cmesh_byte_hops - m0.cmesh_byte_hops) as f64,
+        );
+        self.phases.metric(
+            "mesh::rmesh_byte_hops",
+            (now_mesh.rmesh_byte_hops - m0.rmesh_byte_hops) as f64,
+        );
+        self.phases.metric(
+            "mesh::xmesh_byte_hops",
+            (now_mesh.xmesh_byte_hops - m0.xmesh_byte_hops) as f64,
+        );
+        self.phases.metric(
+            "mesh::transfers",
+            (now_mesh.transfers - m0.transfers) as f64,
+        );
+        let busy_delta: u64 = now_mesh
+            .link_busy
+            .iter()
+            .zip(&m0.link_busy)
+            .map(|(now, was)| now.saturating_sub(*was).raw())
+            .sum();
+        self.phases
+            .metric("mesh::link_busy_cycles", busy_delta as f64);
+        let max_link_delta = now_mesh
+            .link_busy
+            .iter()
+            .zip(&m0.link_busy)
+            .map(|(now, was)| now.saturating_sub(*was).raw())
+            .max()
+            .unwrap_or(0);
+
         let (now, merged) = (self.elapsed(), self.merged_counters());
+        // Like per-phase eLink utilisation, not asserted ≤ 1: link
+        // reservations made in this phase can extend past its end.
+        let span_cycles = self
+            .phases
+            .open_start()
+            .map(|s| now.saturating_sub(s).raw())
+            .unwrap_or(0);
+        let busiest = if span_cycles > 0 {
+            max_link_delta as f64 / span_cycles as f64
+        } else {
+            0.0
+        };
+        self.phases
+            .metric("mesh::busiest_link_utilization", busiest);
         self.phases.end(now, &merged);
+
+        // Run-track span + cumulative-energy sample for the timeline.
+        if self.tracer.is_enabled() {
+            if let Some(span) = self.phases.spans().last() {
+                self.tracer.span(
+                    Track::Run,
+                    format!("{}[{}]", span.name, span.index),
+                    span.start,
+                    span.start + span.cycles(),
+                );
+                self.tracer
+                    .counter(Track::Run, "energy_j", now, self.energy().total_j());
+            }
+        }
     }
 
     // ---- results ---------------------------------------------------------------
@@ -528,6 +683,56 @@ impl Chip {
             .max(self.fabric.xmesh.max_link_busy());
         record.elink_busy_cycles = self.fabric.elink.busy_cycles();
         record.sdram_row_hit_rate = self.sdram.row_hit_rate();
+
+        // Aggregate link statistics — present even with tracing off.
+        let f = &self.fabric;
+        record.counters.add("cmesh_byte_hops", f.cmesh.byte_hops());
+        record.counters.add("rmesh_byte_hops", f.rmesh.byte_hops());
+        record.counters.add("xmesh_byte_hops", f.xmesh.byte_hops());
+        record.counters.add(
+            "mesh_byte_hops",
+            f.cmesh.byte_hops() + f.rmesh.byte_hops() + f.xmesh.byte_hops(),
+        );
+        record.counters.add(
+            "mesh_transfers",
+            f.cmesh.transfers() + f.rmesh.transfers() + f.xmesh.transfers(),
+        );
+        record
+            .counters
+            .add("mesh_link_busy_cycles", f.total_link_busy().raw());
+        let mut lat = |name_p50: &'static str,
+                       name_p95: &'static str,
+                       name_max: &'static str,
+                       h: &Histogram| {
+            if h.count() > 0 {
+                record.counters.add(name_p50, h.quantile(0.5).unwrap_or(0));
+                record.counters.add(name_p95, h.quantile(0.95).unwrap_or(0));
+                record.counters.add(name_max, h.max().unwrap_or(0));
+            }
+        };
+        lat(
+            "cmesh_lat_p50",
+            "cmesh_lat_p95",
+            "cmesh_lat_max",
+            f.cmesh.latency(),
+        );
+        lat(
+            "rmesh_lat_p50",
+            "rmesh_lat_p95",
+            "rmesh_lat_max",
+            f.rmesh.latency(),
+        );
+        lat(
+            "xmesh_lat_p50",
+            "xmesh_lat_p95",
+            "xmesh_lat_max",
+            f.xmesh.latency(),
+        );
+        record.mesh_heatmap = Some(MeshHeatmap {
+            cols: self.mesh.cols() as usize,
+            rows: self.mesh.rows() as usize,
+            links: f.link_stats(self.elapsed()),
+        });
         // Run-level eLink utilisation is bounded by construction (the
         // chip is quiescent at report time), so the asserting path in
         // `RunRecord::elink_utilization` applies. Exercise it here so
@@ -541,6 +746,17 @@ impl Chip {
                 let mut metrics = span.metrics.clone();
                 let energy_j = metrics.remove("energy_j").unwrap_or(0.0);
                 let elink_busy = metrics.remove("elink_busy_cycles").unwrap_or(0.0);
+                let mesh = MeshUtilization {
+                    cmesh_byte_hops: metrics.remove("mesh::cmesh_byte_hops").unwrap_or(0.0) as u64,
+                    rmesh_byte_hops: metrics.remove("mesh::rmesh_byte_hops").unwrap_or(0.0) as u64,
+                    xmesh_byte_hops: metrics.remove("mesh::xmesh_byte_hops").unwrap_or(0.0) as u64,
+                    transfers: metrics.remove("mesh::transfers").unwrap_or(0.0) as u64,
+                    link_busy_cycles: metrics.remove("mesh::link_busy_cycles").unwrap_or(0.0)
+                        as u64,
+                    busiest_link_utilization: metrics
+                        .remove("mesh::busiest_link_utilization")
+                        .unwrap_or(0.0),
+                };
                 for (name, delta) in span.counters.iter() {
                     metrics.insert(name.to_string(), delta as f64);
                 }
@@ -562,6 +778,7 @@ impl Chip {
                     time_ms: TimeSpan::new(span.cycles(), self.params.clock).millis(),
                     energy_j,
                     elink_utilization,
+                    mesh,
                     metrics,
                 }
             })
@@ -586,6 +803,7 @@ impl Chip {
         self.phases.clear();
         self.phase_energy0 = 0.0;
         self.phase_elink0 = Cycle::ZERO;
+        self.phase_mesh0 = MeshSnapshot::default();
     }
 }
 
@@ -869,6 +1087,134 @@ mod tests {
         // Phase energy must sum to no more than the run total.
         let phase_sum: f64 = r.phases.iter().map(|p| p.energy_j).sum();
         assert!(phase_sum <= r.energy.total_j() + 1e-12);
+    }
+
+    #[test]
+    fn heatmap_sums_to_total_byte_hops() {
+        let mut c = chip();
+        c.phase_begin("merge");
+        c.write_remote(0, 15, 512);
+        c.read_remote(3, 12, 256);
+        c.write_external(5, ext(0), 1024);
+        c.read_external(9, ext(4096), 128);
+        c.phase_end();
+        let r = c.report("mesh", 16);
+
+        let map = r.mesh_heatmap.as_ref().expect("heatmap present");
+        assert_eq!((map.cols, map.rows), (4, 4));
+        assert_eq!(
+            map.total_byte_hops(),
+            r.counters.get("mesh_byte_hops"),
+            "heatmap must sum to the run's total byte-hops"
+        );
+        assert_eq!(
+            r.counters.get("mesh_byte_hops"),
+            r.counters.get("cmesh_byte_hops")
+                + r.counters.get("rmesh_byte_hops")
+                + r.counters.get("xmesh_byte_hops")
+        );
+        assert!(r.counters.get("cmesh_lat_p50") > 0);
+        // p95 is a bucket upper bound and may exceed the exact max;
+        // quantiles are monotone within the same bucketing.
+        assert!(r.counters.get("cmesh_lat_p95") >= r.counters.get("cmesh_lat_p50"));
+        assert!(r.counters.get("cmesh_lat_max") > 0);
+
+        // The single phase saw all of the run's mesh traffic.
+        let pm = &r.phases[0].mesh;
+        assert!(pm.is_modelled());
+        assert_eq!(pm.total_byte_hops(), r.counters.get("mesh_byte_hops"));
+        assert_eq!(pm.transfers, r.counters.get("mesh_transfers"));
+        assert!(pm.busiest_link_utilization > 0.0);
+        // Reserved keys were lifted out of the free-form metrics.
+        assert!(r.phases[0].metrics.keys().all(|k| !k.starts_with("mesh::")));
+    }
+
+    #[test]
+    fn phase_mesh_deltas_are_per_phase() {
+        let mut c = chip();
+        c.phase_begin("a");
+        c.write_remote(0, 3, 256);
+        c.phase_end();
+        c.phase_begin("b");
+        c.write_remote(4, 7, 512);
+        c.write_remote(8, 11, 512);
+        c.phase_end();
+        let r = c.report("two", 16);
+        let (a, b) = (&r.phases[0].mesh, &r.phases[1].mesh);
+        assert!(b.cmesh_byte_hops > a.cmesh_byte_hops);
+        assert_eq!(
+            a.cmesh_byte_hops + b.cmesh_byte_hops,
+            r.counters.get("cmesh_byte_hops")
+        );
+        assert_eq!(a.transfers + b.transfers, r.counters.get("mesh_transfers"));
+    }
+
+    #[test]
+    fn tracer_threads_through_the_whole_machine() {
+        use desim::trace::{EventKind, MeshKind};
+        let mut c = chip();
+        let t = Tracer::enabled();
+        c.set_tracer(t.clone());
+        c.phase_begin("merge");
+        c.compute(
+            2,
+            &OpCounts {
+                flops: 100,
+                ..OpCounts::default()
+            },
+        );
+        c.write_remote(0, 15, 256);
+        c.read_external(1, ext(0), 64);
+        let done = c.dma_start(3, DmaDirection::ExternalToLocal, ext(8192), 2, 4096);
+        c.dma_wait(3, done);
+        c.phase_end();
+
+        let events = t.snapshot();
+        let has = |track: Track| events.iter().any(|e| e.track == track);
+        assert!(has(Track::Core(2)), "compute span");
+        assert!(has(Track::Core(1)), "external-read stall span");
+        assert!(has(Track::Dma(3)), "dma engine span");
+        assert!(has(Track::Run), "phase span");
+        assert!(has(Track::ELink), "eLink occupancy");
+        assert!(
+            events.iter().any(|e| matches!(
+                e.track,
+                Track::MeshLink {
+                    mesh: MeshKind::CMesh,
+                    ..
+                }
+            )),
+            "cMesh link spans"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.track == Track::Run && matches!(e.kind, EventKind::Counter { .. })),
+            "energy counter sample"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_changes_no_results() {
+        let run = |traced: bool| {
+            let mut c = chip();
+            if traced {
+                c.set_tracer(Tracer::enabled());
+            }
+            c.phase_begin("m");
+            c.compute(
+                0,
+                &OpCounts {
+                    flops: 500,
+                    ..OpCounts::default()
+                },
+            );
+            c.write_external(0, ext(0), 512);
+            c.phase_end();
+            let r = c.report("x", 1);
+            (r.elapsed.cycles, r.counters.get("mesh_byte_hops"))
+        };
+        assert_eq!(run(false), run(true), "tracing must not perturb timing");
     }
 
     #[test]

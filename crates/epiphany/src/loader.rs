@@ -69,6 +69,14 @@ pub fn load_programs(chip: &mut Chip, targets: &[CoreId], programs: &[ProgramIma
             store_half
         );
         let finished = chip.host_load(core, GlobalAddr::external(0), img.bytes);
+        // Gate the format!: names must not allocate on the disabled path.
+        if chip.tracer().is_enabled() {
+            chip.tracer().instant(
+                desim::trace::Track::Host,
+                format!("loaded {} -> core {core}", img.name),
+                finished,
+            );
+        }
         done = done.max(finished);
         bytes += img.bytes;
     }

@@ -7,14 +7,17 @@
 //! * `--json`   — print the versioned record document instead of prose,
 //! * `--out P`  — write the document to `P` (default
 //!   `results/<bench>.json`),
-//! * `--no-write` — skip writing the document to disk.
+//! * `--no-write` — skip writing the document to disk,
+//! * `--trace P` — export a Chrome `trace_event` timeline to `P`,
+//! * `--heatmap` — print the per-link mesh heatmap after each run.
 //!
 //! Binaries keep their own extra flags; [`BenchHarness::flag`] and
 //! [`BenchHarness::value`] read them from the same argument list.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use desim::trace::Tracer;
 use desim::{Cycle, Frequency, Json, RunRecord, TimeSpan, RUN_RECORD_VERSION};
 
 /// Where bench documents land unless `--out` overrides it.
@@ -70,6 +73,53 @@ impl BenchHarness {
     /// Whether machine-readable output was requested.
     pub fn json(&self) -> bool {
         self.flag("json")
+    }
+
+    /// The `--trace` output path, if tracing was requested.
+    pub fn trace_path(&self) -> Option<&str> {
+        self.value("trace")
+    }
+
+    /// Whether `--heatmap` asked for the per-link mesh table.
+    pub fn heatmap(&self) -> bool {
+        self.flag("heatmap")
+    }
+
+    /// A tracer matching the flags: recording when `--trace` was
+    /// passed, disabled (zero-cost) otherwise.
+    pub fn tracer(&self) -> Tracer {
+        if self.trace_path().is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// Serialise `tracer`'s timeline as Chrome `trace_event` JSON at
+    /// `path`; `clock` converts cycles to microseconds. Reports the
+    /// write (or the failure) on stdout/stderr.
+    pub fn write_trace(&self, path: impl AsRef<Path>, tracer: &Tracer, clock: Frequency) {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+        let doc = tracer.to_chrome_json(clock);
+        match std::fs::write(path, doc.to_string_pretty()) {
+            Ok(()) => self.say(format_args!(
+                "wrote trace {} ({} events{})",
+                path.display(),
+                tracer.event_count(),
+                if tracer.dropped() > 0 {
+                    format!(", {} dropped", tracer.dropped())
+                } else {
+                    String::new()
+                }
+            )),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
     }
 
     /// Print prose output (suppressed under `--json` so the document

@@ -25,7 +25,7 @@ pub mod workload;
 
 pub use cli::{BenchHarness, RESULTS_DIR};
 pub use desim::{PhaseRecord, RunRecord, RUN_RECORD_VERSION};
-pub use mapping::{run, HarnessError, Mapping, MappingRun};
+pub use mapping::{run, run_traced, HarnessError, Mapping, MappingRun};
 pub use platform::{
     all_platforms, platform_named, EpiphanyPlatform, HostPlatform, Platform, PlatformKind,
     RefCpuPlatform, EPIPHANY_POWER_W, INTEL_POWER_W,

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use desim::trace::{Tracer, Track};
 use desim::RunRecord;
 use sar_core::image::ComplexImage;
 
@@ -85,20 +86,39 @@ pub trait Mapping {
     fn supports(&self, kind: PlatformKind) -> bool;
     /// Run the workload. Called through [`crate::run`], which validates
     /// kernel/platform compatibility first and stamps record identity
-    /// after.
+    /// after. `tracer` is the run's event timeline — disabled unless
+    /// the caller requested a trace; drivers with machine models hand
+    /// it to the chip, others may ignore it (the harness synthesises
+    /// phase spans from the record).
     fn execute(
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError>;
 }
 
 /// The single entry point: validate the kernel × machine pair, execute,
-/// and stamp the record with its full identity.
+/// and stamp the record with its full identity. Runs untraced — use
+/// [`run_traced`] to capture an event timeline.
 pub fn run(
     mapping: &dyn Mapping,
     workload: &Workload,
     platform: &dyn Platform,
+) -> Result<MappingRun, HarnessError> {
+    run_traced(mapping, workload, platform, &Tracer::disabled())
+}
+
+/// [`run`] with an event timeline: every span/instant the machine
+/// models emit lands in `tracer`. For mappings whose driver has no
+/// tracer-aware machine model (reference CPU, host threads), the
+/// closed record's phases are replayed as [`Track::Run`] spans so a
+/// trace of *any* registered pair has at least its phase timeline.
+pub fn run_traced(
+    mapping: &dyn Mapping,
+    workload: &Workload,
+    platform: &dyn Platform,
+    tracer: &Tracer,
 ) -> Result<MappingRun, HarnessError> {
     if workload.kernel() != mapping.kernel() {
         return Err(HarnessError::KernelMismatch {
@@ -112,12 +132,32 @@ pub fn run(
             platform: platform.label().to_string(),
         });
     }
-    let mut out = mapping.execute(workload, platform)?;
+    let mut out = mapping.execute(workload, platform, tracer)?;
     out.record.kernel = mapping.kernel().to_string();
     out.record.mapping = mapping.name().to_string();
     out.record.platform = platform.label().to_string();
     out.record.power_w = platform.datasheet_power_w();
+    if tracer.is_enabled() && !tracer.has_span_on(Track::Run) {
+        replay_phases(&out.record, tracer);
+    }
     Ok(out)
+}
+
+/// Synthesise [`Track::Run`] phase spans from a closed record, for
+/// drivers that never saw the tracer (their timing lives only in
+/// `PhaseRecord`s). Millisecond offsets are mapped back to cycles at
+/// the record's clock.
+fn replay_phases(record: &RunRecord, tracer: &Tracer) {
+    let clock = record.elapsed.clock;
+    let to_cycles = |ms: f64| clock.cycles_in(ms / 1e3);
+    for p in &record.phases {
+        tracer.span(
+            Track::Run,
+            format!("{}[{}]", p.name, p.index),
+            to_cycles(p.start_ms),
+            to_cycles(p.start_ms + p.time_ms),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -137,9 +177,25 @@ mod tests {
         fn supports(&self, kind: PlatformKind) -> bool {
             kind == PlatformKind::Epiphany
         }
-        fn execute(&self, _w: &Workload, _p: &dyn Platform) -> Result<MappingRun, HarnessError> {
+        fn execute(
+            &self,
+            _w: &Workload,
+            _p: &dyn Platform,
+            _tracer: &Tracer,
+        ) -> Result<MappingRun, HarnessError> {
             let span = TimeSpan::new(Cycle(1000), Frequency::ghz(1.0));
-            Ok(MappingRun::record_only(RunRecord::new("null", span)))
+            let mut record = RunRecord::new("null", span);
+            record.phases.push(desim::PhaseRecord {
+                name: "stage".into(),
+                index: 0,
+                start_ms: 0.0,
+                time_ms: 1e-3,
+                energy_j: 0.0,
+                elink_utilization: 0.0,
+                mesh: desim::MeshUtilization::default(),
+                metrics: Default::default(),
+            });
+            Ok(MappingRun::record_only(record))
         }
     }
 
@@ -166,5 +222,17 @@ mod tests {
             .unwrap();
         assert!(matches!(err, HarnessError::UnsupportedPlatform { .. }));
         assert!(format!("{err}").contains("refcpu"));
+    }
+
+    #[test]
+    fn run_traced_replays_phases_for_tracer_blind_drivers() {
+        let w = Workload::named("ffbp", true).unwrap();
+        let t = Tracer::enabled();
+        let out = run_traced(&NullFfbp, &w, &EpiphanyPlatform::default(), &t).unwrap();
+        assert_eq!(out.record.phases.len(), 1);
+        assert!(
+            t.has_span_on(Track::Run),
+            "phases must be replayed as Run-track spans"
+        );
     }
 }

@@ -96,9 +96,21 @@ pub struct AutofocusMpmdRun {
 
 /// Execute the autofocus workload on the 13-core pipeline.
 pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> AutofocusMpmdRun {
+    run_traced(w, params, place, desim::trace::Tracer::disabled())
+}
+
+/// [`run`] with an event timeline: the chip emits its spans into
+/// `tracer`.
+pub fn run_traced(
+    w: &AutofocusWorkload,
+    params: EpiphanyParams,
+    place: Placement,
+    tracer: desim::trace::Tracer,
+) -> AutofocusMpmdRun {
     let cores = place.cores();
     assert_eq!(cores.len(), 13, "the mapping must use 13 distinct cores");
     let mut chip = Chip::e16g3(params);
+    chip.set_tracer(tracer);
 
     // Initial load: each range core DMAs its block from SDRAM.
     for (blk, range_cores) in place.range.iter().enumerate() {

@@ -186,7 +186,19 @@ pub struct AutofocusNetRun {
 
 /// Run the workload on the declarative pipeline with `place`.
 pub fn run(w: &AutofocusWorkload, params: EpiphanyParams, place: Placement) -> AutofocusNetRun {
-    let chip = Chip::e16g3(params);
+    run_traced(w, params, place, desim::trace::Tracer::disabled())
+}
+
+/// [`run`] with an event timeline: the chip emits its spans into
+/// `tracer`.
+pub fn run_traced(
+    w: &AutofocusWorkload,
+    params: EpiphanyParams,
+    place: Placement,
+    tracer: desim::trace::Tracer,
+) -> AutofocusNetRun {
+    let mut chip = Chip::e16g3(params);
+    chip.set_tracer(tracer);
     let mut net: Network<AfToken> = Network::new(chip);
     let results = Rc::new(RefCell::new(Vec::new()));
 

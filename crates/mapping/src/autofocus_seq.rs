@@ -38,7 +38,18 @@ pub struct AutofocusSeqRun {
 
 /// Execute the autofocus workload on one core of the Epiphany model.
 pub fn run(w: &AutofocusWorkload, params: EpiphanyParams) -> AutofocusSeqRun {
+    run_traced(w, params, desim::trace::Tracer::disabled())
+}
+
+/// [`run`] with an event timeline: the chip emits its spans into
+/// `tracer`.
+pub fn run_traced(
+    w: &AutofocusWorkload,
+    params: EpiphanyParams,
+    tracer: desim::trace::Tracer,
+) -> AutofocusSeqRun {
     let mut chip = Chip::e16g3(params);
+    chip.set_tracer(tracer);
     let core = 0usize;
     let mut counts = OpCounts::default();
     let mut charged = OpCounts::default();

@@ -28,9 +28,20 @@ pub struct FfbpSeqRun {
 
 /// Execute the FFBP workload on one core of the Epiphany model.
 pub fn run(w: &FfbpWorkload, params: EpiphanyParams) -> FfbpSeqRun {
+    run_traced(w, params, desim::trace::Tracer::disabled())
+}
+
+/// [`run`] with an event timeline: the chip emits its spans into
+/// `tracer`.
+pub fn run_traced(
+    w: &FfbpWorkload,
+    params: EpiphanyParams,
+    tracer: desim::trace::Tracer,
+) -> FfbpSeqRun {
     let geom = &w.geom;
     let layout = ExternalLayout::new(geom.num_pulses as u32, geom.num_bins as u32);
     let mut chip = Chip::e16g3(params);
+    chip.set_tracer(tracer);
     let core = 0usize;
     let mut counts = OpCounts::default();
     let mut charged = OpCounts::default();

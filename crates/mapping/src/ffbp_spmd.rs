@@ -61,9 +61,21 @@ pub struct FfbpSpmdRun {
 
 /// Execute the FFBP workload on the Epiphany model with `opts`.
 pub fn run(w: &FfbpWorkload, params: EpiphanyParams, opts: SpmdOptions) -> FfbpSpmdRun {
+    run_traced(w, params, opts, desim::trace::Tracer::disabled())
+}
+
+/// [`run`] with an event timeline: the chip emits its spans into
+/// `tracer`.
+pub fn run_traced(
+    w: &FfbpWorkload,
+    params: EpiphanyParams,
+    opts: SpmdOptions,
+    tracer: desim::trace::Tracer,
+) -> FfbpSpmdRun {
     let geom = &w.geom;
     let n_cores = opts.cores;
     let mut chip = Chip::with_cores(params, n_cores);
+    chip.set_tracer(tracer);
     assert!(
         n_cores <= chip.cores(),
         "requested more cores than the chip has"

@@ -7,6 +7,7 @@
 //! platform supplies — so a record produced through the harness prices
 //! exactly like one from the direct driver call.
 
+use desim::trace::Tracer;
 use sim_harness::{HarnessError, Mapping, MappingRun, Platform, PlatformKind, Workload};
 
 use crate::autofocus_mpmd::Placement;
@@ -47,6 +48,7 @@ impl Mapping for FfbpRefMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        _tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .ffbp()
@@ -81,6 +83,7 @@ impl Mapping for FfbpSeqMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .ffbp()
@@ -88,7 +91,7 @@ impl Mapping for FfbpSeqMapping {
         let params = platform
             .epiphany_params()
             .ok_or_else(|| unsupported(self, platform))?;
-        let r = ffbp_seq::run(w, params);
+        let r = ffbp_seq::run_traced(w, params, tracer.clone());
         Ok(MappingRun {
             record: r.record,
             image: Some(r.image),
@@ -119,6 +122,7 @@ impl Mapping for FfbpSpmdMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .ffbp()
@@ -126,7 +130,7 @@ impl Mapping for FfbpSpmdMapping {
         let params = platform
             .epiphany_params()
             .ok_or_else(|| unsupported(self, platform))?;
-        let r = ffbp_spmd::run(w, params, self.opts);
+        let r = ffbp_spmd::run_traced(w, params, self.opts, tracer.clone());
         Ok(MappingRun {
             record: r.record,
             image: Some(r.image),
@@ -153,6 +157,7 @@ impl Mapping for FfbpHostMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        _tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .ffbp()
@@ -192,6 +197,7 @@ impl Mapping for AutofocusRefMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        _tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .autofocus()
@@ -227,6 +233,7 @@ impl Mapping for AutofocusSeqMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .autofocus()
@@ -235,7 +242,7 @@ impl Mapping for AutofocusSeqMapping {
             .epiphany_params()
             .ok_or_else(|| unsupported(self, platform))?;
         params.pairing_efficiency = AUTOFOCUS_PAIRING;
-        let r = autofocus_seq::run(w, params);
+        let r = autofocus_seq::run_traced(w, params, tracer.clone());
         Ok(MappingRun {
             record: r.record,
             image: None,
@@ -273,6 +280,7 @@ impl Mapping for AutofocusMpmdMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .autofocus()
@@ -281,7 +289,7 @@ impl Mapping for AutofocusMpmdMapping {
             .epiphany_params()
             .ok_or_else(|| unsupported(self, platform))?;
         params.pairing_efficiency = AUTOFOCUS_PAIRING;
-        let r = autofocus_mpmd::run(w, params, self.place);
+        let r = autofocus_mpmd::run_traced(w, params, self.place, tracer.clone());
         Ok(MappingRun {
             record: r.record,
             image: None,
@@ -319,6 +327,7 @@ impl Mapping for AutofocusNetMapping {
         &self,
         workload: &Workload,
         platform: &dyn Platform,
+        tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError> {
         let w = workload
             .autofocus()
@@ -327,7 +336,7 @@ impl Mapping for AutofocusNetMapping {
             .epiphany_params()
             .ok_or_else(|| unsupported(self, platform))?;
         params.pairing_efficiency = AUTOFOCUS_PAIRING;
-        let r = autofocus_net::run(w, params, self.place);
+        let r = autofocus_net::run_traced(w, params, self.place, tracer.clone());
         let mut run = MappingRun {
             record: r.record,
             image: None,

@@ -6,6 +6,7 @@
 //! bandwidth* that shape the paper's FFBP results; detailed DDR timing
 //! does not change who wins.
 
+use desim::trace::{Tracer, Track};
 use desim::{Cycle, FifoResource};
 
 /// SDRAM timing/geometry parameters (cycles are in the *core* clock
@@ -59,6 +60,7 @@ pub struct Sdram {
     accesses: u64,
     row_hits: u64,
     bytes: u64,
+    tracer: Tracer,
 }
 
 impl Sdram {
@@ -78,7 +80,14 @@ impl Sdram {
             accesses: 0,
             row_hits: 0,
             bytes: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; timed accesses emit bus-occupancy spans and
+    /// row-miss instants on [`Track::Sdram`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Parameters in use.
@@ -103,6 +112,12 @@ impl Sdram {
             self.params.row_miss_cycles
         });
         let r = self.bus.request(at + latency, bytes);
+        if self.tracer.is_enabled() {
+            self.tracer.span(Track::Sdram, "access", r.start, r.end);
+            if !row_hit {
+                self.tracer.instant(Track::Sdram, "row_miss", at);
+            }
+        }
         self.accesses += 1;
         self.row_hits += row_hit as u64;
         self.bytes += bytes;

@@ -6,6 +6,7 @@
 //! the two *upper* banks precisely so DMA refill and compute touch
 //! different banks.
 
+use desim::trace::{Tracer, Track};
 use desim::{Cycle, FifoResource, Reservation};
 
 /// Local-store geometry.
@@ -34,6 +35,8 @@ pub struct LocalStore {
     params: SramParams,
     ports: Vec<FifoResource>,
     conflicts: u64,
+    tracer: Tracer,
+    track: Track,
 }
 
 impl LocalStore {
@@ -53,7 +56,16 @@ impl LocalStore {
             params,
             ports,
             conflicts: 0,
+            tracer: Tracer::disabled(),
+            track: Track::Core(0),
         }
+    }
+
+    /// Attach a tracer; bank conflicts emit an instant on `track`
+    /// (the owning core's track).
+    pub fn set_tracer(&mut self, tracer: Tracer, track: Track) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Geometry in use.
@@ -83,11 +95,7 @@ impl LocalStore {
     /// a bank conflict occurred.
     pub fn access(&mut self, at: Cycle, offset: u32, bytes: u64) -> Reservation {
         let bank = self.bank_of(offset);
-        let r = self.ports[bank].request(at, bytes);
-        if r.start > at {
-            self.conflicts += 1;
-        }
-        r
+        self.access_bank(at, bank, bytes)
     }
 
     /// Reserve port time on an explicit bank (used by DMA descriptors
@@ -96,6 +104,7 @@ impl LocalStore {
         let r = self.ports[bank].request(at, bytes);
         if r.start > at {
             self.conflicts += 1;
+            self.tracer.instant(self.track, "bank_conflict", at);
         }
         r
     }

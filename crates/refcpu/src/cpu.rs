@@ -166,6 +166,7 @@ impl RefCpu {
                     time_ms,
                     energy_j: self.params.power_w * time_ms * 1e-3,
                     elink_utilization: 0.0,
+                    mesh: desim::record::MeshUtilization::default(),
                     metrics,
                 }
             })
