@@ -5,20 +5,28 @@
 //!
 //! ```text
 //! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
-//!     [--workload ffbp|autofocus] [--small] [--json] [--list] \
-//!     [--trace out.json] [--heatmap]
+//!     [--workload ffbp|autofocus] [--placement neighbor|scattered] \
+//!     [--small] [--json] [--list] [--analyze] [--trace out.json] [--heatmap]
 //! ```
 //!
 //! Omitted selectors mean "all": with no flags the runner executes
 //! every supported mapping × platform pair on its kernel's workload.
-//! `--list` prints the registries and exits. `--trace P` exports a
-//! Chrome `trace_event` timeline per executed pair (the first pair
-//! writes `P`, later ones `P` with `-1`, `-2`, … before the
+//! `--list` prints the registries and exits. `--analyze` runs the
+//! `sarlint` static checks on each pair first and *refuses to
+//! simulate* any pair with a hard diagnostic (exit 1). `--trace P`
+//! exports a Chrome `trace_event` timeline per executed pair (the
+//! first pair writes `P`, later ones `P` with `-1`, `-2`, … before the
 //! extension); `--heatmap` prints the per-link mesh table after each
 //! Epiphany run.
+//!
+//! Bad command lines exit 2 with a `CLI***` diagnostic on stderr.
 
-use sar_epiphany::harness_impls::{all_mappings, mapping_named};
-use sim_harness::{all_platforms, platform_named, run_traced, BenchHarness, Platform, Workload};
+use sar_epiphany::autofocus_mpmd::Placement;
+use sar_epiphany::harness_impls::{all_mappings, mapping_named_placed};
+use sim_harness::{
+    all_platforms, platform_named, run_traced, BenchHarness, Diagnostic, Mapping, Platform,
+    Workload,
+};
 
 /// `path` for run 0, `path` with `-n` spliced before the extension for
 /// later runs (so an unselective sweep doesn't overwrite its traces).
@@ -32,30 +40,76 @@ fn trace_file(path: &str, n: usize) -> String {
     }
 }
 
-fn main() {
-    let mut h = BenchHarness::new("run");
+/// Print a command-line diagnostic and exit 2 (the CLI error status;
+/// 1 is reserved for "ran, found problems").
+fn fail(d: &Diagnostic) -> ! {
+    eprintln!("{d}");
+    eprintln!("try --list for the registered names");
+    std::process::exit(2);
+}
 
-    let mappings = match h.value("mapping") {
-        Some(name) => vec![mapping_named(name).unwrap_or_else(|| {
-            eprintln!("unknown mapping '{name}'; try --list");
-            std::process::exit(2);
+/// `h.operand(name)`, with a missing-operand diagnostic fatal.
+fn operand<'a>(h: &'a BenchHarness, name: &str) -> Option<&'a str> {
+    h.operand(name).unwrap_or_else(|d| fail(&d))
+}
+
+/// What the selector flags resolved to: mappings, platforms, and the
+/// optional kernel filter.
+type Selection = (
+    Vec<Box<dyn Mapping>>,
+    Vec<Box<dyn Platform>>,
+    Option<String>,
+);
+
+fn selection(h: &BenchHarness) -> Selection {
+    let place = operand(h, "placement").map_or_else(Placement::neighbor, |name| {
+        Placement::named(name).unwrap_or_else(|| {
+            fail(&Diagnostic::hard(
+                "CLI003",
+                format!("--placement {name}"),
+                "unknown placement; expected 'neighbor' or 'scattered'",
+            ))
+        })
+    });
+    let mappings = match operand(h, "mapping") {
+        Some(name) => vec![mapping_named_placed(name, place).unwrap_or_else(|| {
+            fail(&Diagnostic::hard(
+                "CLI001",
+                format!("--mapping {name}"),
+                "unknown mapping name",
+            ))
         })],
-        None => all_mappings(),
+        None => all_mappings()
+            .iter()
+            .map(|m| mapping_named_placed(m.name(), place).expect("registry name resolves"))
+            .collect(),
     };
-    let platforms: Vec<Box<dyn Platform>> = match h.value("platform") {
+    let platforms: Vec<Box<dyn Platform>> = match operand(h, "platform") {
         Some(name) => vec![platform_named(name).unwrap_or_else(|| {
-            eprintln!("unknown platform '{name}'; try --list");
-            std::process::exit(2);
+            fail(&Diagnostic::hard(
+                "CLI001",
+                format!("--platform {name}"),
+                "unknown platform name",
+            ))
         })],
         None => all_platforms(),
     };
-    let kernel = h.value("workload").map(str::to_string);
+    let kernel = operand(h, "workload").map(str::to_string);
     if let Some(k) = &kernel {
         if Workload::named(k, true).is_none() {
-            eprintln!("unknown workload '{k}'; try --list");
-            std::process::exit(2);
+            fail(&Diagnostic::hard(
+                "CLI001",
+                format!("--workload {k}"),
+                "unknown workload name; expected 'ffbp' or 'autofocus'",
+            ));
         }
     }
+    (mappings, platforms, kernel)
+}
+
+fn main() {
+    let mut h = BenchHarness::new("run");
+    let (mappings, platforms, kernel) = selection(&h);
 
     if h.flag("list") {
         println!("mappings  :");
@@ -67,28 +121,65 @@ fn main() {
             println!("  {}", p.label());
         }
         println!("workloads : ffbp, autofocus");
+        println!("placements: neighbor, scattered");
         return;
     }
 
     h.say(format_args!(
-        "unified runner — {} scale",
-        if h.small() { "small" } else { "paper" }
+        "unified runner — {} scale{}",
+        if h.small() { "small" } else { "paper" },
+        if h.flag("analyze") {
+            ", sarlint gate on"
+        } else {
+            ""
+        }
     ));
     h.say(format_args!(
         "\n{:<16} {:>10} {:>6} {:>12} {:>9} {:>12}",
         "mapping", "platform", "cores", "time (ms)", "power W", "energy (J)"
     ));
     let mut ran = 0usize;
+    let mut refused = 0usize;
     for m in &mappings {
         if kernel.as_deref().is_some_and(|k| k != m.kernel()) {
             continue;
         }
-        let workload = Workload::named(m.kernel(), h.small()).expect("registered kernel");
+        let workload = Workload::named(m.kernel(), h.small()).unwrap_or_else(|| {
+            fail(&Diagnostic::hard(
+                "CLI001",
+                m.kernel().to_string(),
+                "mapping names a kernel with no registered workload",
+            ))
+        });
         for p in &platforms {
+            if !m.supports(p.kind()) {
+                continue; // unsupported pair — skip, don't fail
+            }
+            if h.flag("analyze") {
+                let report = sarlint::analyze_pair(m.as_ref(), &workload, p.as_ref());
+                if !report.is_clean() {
+                    eprintln!(
+                        "refusing to simulate {} x {}: {} hard sarlint finding(s)",
+                        m.name(),
+                        p.label(),
+                        report.hard_count()
+                    );
+                    for d in report.hard() {
+                        eprintln!("{d}");
+                    }
+                    refused += 1;
+                    continue;
+                }
+            }
             let tracer = h.tracer();
             let r = match run_traced(m.as_ref(), &workload, p.as_ref(), &tracer) {
                 Ok(r) => r,
-                Err(_) => continue, // unsupported pair — skip, don't fail
+                Err(e) => {
+                    // supports() said yes but execute() refused: a
+                    // registry bug worth surfacing, not skipping.
+                    eprintln!("{} x {}: {e}", m.name(), p.label());
+                    continue;
+                }
             };
             h.say(format_args!(
                 "{:<16} {:>10} {:>6} {:>12.3} {:>9.1} {:>12.6}",
@@ -111,9 +202,13 @@ fn main() {
             ran += 1;
         }
     }
-    if ran == 0 {
+    if ran == 0 && refused == 0 {
         eprintln!("no supported mapping x platform pair matched the selection");
         std::process::exit(1);
     }
     h.finish();
+    if refused > 0 {
+        eprintln!("{refused} pair(s) refused by the sarlint gate");
+        std::process::exit(1);
+    }
 }

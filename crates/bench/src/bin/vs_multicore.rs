@@ -33,7 +33,7 @@ fn main() {
     ));
 
     let mut host_best = f64::MAX;
-    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let max_threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     for threads in [1usize, 2, 4, max_threads] {
         let (mut record, _run) =
             BenchHarness::host_record(&format!("FFBP / host, {threads} threads"), || {

@@ -24,6 +24,8 @@
 //! `--small` / `--json` / `--out P` / `--no-write` flags, and one
 //! versioned record document written under `results/`.
 
+#![forbid(unsafe_code)]
+
 use sar_core::geometry::SarGeometry;
 use sar_core::scene::{simulate_compressed_data, Scene};
 use sar_epiphany::workloads::FfbpWorkload;

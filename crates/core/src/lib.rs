@@ -30,6 +30,8 @@
 //! * [`parallel`] — host-thread parallel FFBP (the Lidberg-style
 //!   multicore comparison point).
 
+#![forbid(unsafe_code)]
+
 pub mod autofocus;
 pub mod complex;
 pub mod ffbp;

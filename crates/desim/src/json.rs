@@ -116,7 +116,7 @@ impl Json {
             Json::Num(x) => write_number(out, *x),
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
-                items[i].write(out, ind)
+                items[i].write(out, ind);
             }),
             Json::Obj(members) => write_seq(out, indent, '{', '}', members.len(), |out, i, ind| {
                 write_string(out, &members[i].0);

@@ -33,6 +33,8 @@
 //! assert_eq!(fired, vec![(Cycle(5), 3), (Cycle(10), 7)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod queue;
 pub mod record;

@@ -20,6 +20,8 @@
 //! The stand-alone [`arbiter::RoundRobinArbiter`] implements the
 //! five-direction rotating-priority grant used for same-cycle conflicts.
 
+#![forbid(unsafe_code)]
+
 pub mod arbiter;
 pub mod network;
 pub mod packet;

@@ -175,7 +175,7 @@ impl MeshNetwork {
         self.links
             .iter()
             .flatten()
-            .map(|l| l.busy_cycles())
+            .map(desim::FifoResource::busy_cycles)
             .max()
             .unwrap_or(Cycle::ZERO)
     }
@@ -191,7 +191,7 @@ impl MeshNetwork {
         self.links
             .iter()
             .flatten()
-            .map(|l| l.busy_cycles())
+            .map(desim::FifoResource::busy_cycles)
             .fold(Cycle::ZERO, |a, b| a + b)
     }
 
@@ -201,7 +201,7 @@ impl MeshNetwork {
         self.links
             .iter()
             .flatten()
-            .map(|l| l.busy_cycles())
+            .map(desim::FifoResource::busy_cycles)
             .collect()
     }
 

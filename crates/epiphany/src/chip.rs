@@ -242,6 +242,15 @@ impl Chip {
         // Inbound mesh write lands in a destination bank; model the port
         // time so concurrent core accesses to that bank see conflicts.
         let _ = self.stores[dst].access_bank(res.arrival, 0, bytes);
+        if self.tracer.is_enabled() {
+            // Landing marker for the sarlint dynamic cross-check: the
+            // observed access must fit a statically declared buffer.
+            self.tracer.instant(
+                Track::Dma(dst as u32),
+                format!("land:bank0+{bytes}"),
+                res.arrival,
+            );
+        }
         let c = &mut self.counters[core];
         c.bump("remote_write");
         c.add("remote_write_bytes", bytes);
@@ -344,6 +353,14 @@ impl Chip {
                 let res = self.fabric.read_offchip(start, self.node(core), bytes, mem);
                 // Landing in the chosen local bank.
                 let landed = self.stores[core].access_bank(res.arrival, bank, bytes);
+                if self.tracer.is_enabled() {
+                    // Landing marker for the sarlint dynamic cross-check.
+                    self.tracer.instant(
+                        Track::Dma(core as u32),
+                        format!("land:bank{bank}+{bytes}"),
+                        landed.end,
+                    );
+                }
                 landed.end
             }
             DmaDirection::LocalToExternal => {
@@ -412,9 +429,16 @@ impl Chip {
                 DmaDirection::ExternalToLocal => {
                     let mem = self.sdram.latency_of(row_addr.0);
                     let res = self.fabric.read_offchip(t, self.node(core), row_bytes, mem);
-                    self.stores[core]
-                        .access_bank(res.arrival, bank, row_bytes)
-                        .end
+                    let landed = self.stores[core].access_bank(res.arrival, bank, row_bytes);
+                    if self.tracer.is_enabled() {
+                        // Landing marker for the sarlint dynamic cross-check.
+                        self.tracer.instant(
+                            Track::Dma(core as u32),
+                            format!("land:bank{bank}+{row_bytes}"),
+                            landed.end,
+                        );
+                    }
+                    landed.end
                 }
                 DmaDirection::LocalToExternal => {
                     let drained = self.stores[core].access_bank(t, bank, row_bytes);
@@ -489,15 +513,29 @@ impl Chip {
 
     // ---- synchronisation -----------------------------------------------------
 
-    /// Flag-based consumer wait: `core` polls until `ready` (a delivery
-    /// time returned by [`Chip::write_remote`]) and pays one poll cost.
+    /// Flag-based consumer wait: `core` spins on the flag word until
+    /// `ready` (a delivery time returned by [`Chip::write_remote`]).
+    /// The poll loop retires one check every `flag_poll_cycles` for as
+    /// long as the flag stays down (capped at `flag_poll_max_polls`,
+    /// minimum one check), so a long wait costs proportionally more
+    /// energy than a hit — but the core's cursor still lands exactly
+    /// where a single-check model would put it, `max(now + one poll,
+    /// ready)`, because the charged polls fit inside the wait.
     pub fn wait_flag(&mut self, core: CoreId, ready: Cycle) {
-        self.spend(core, Cycle(self.params.flag_poll_cycles));
         let from = self.t[core];
+        let waited = ready.saturating_sub(from).0;
+        let polls = (waited / self.params.flag_poll_cycles.max(1))
+            .clamp(1, self.params.flag_poll_max_polls.max(1));
+        self.spend(core, Cycle(polls * self.params.flag_poll_cycles));
         self.stall_until(core, ready);
         self.tracer
             .span(Track::Core(core as u32), "wait_flag", from, self.t[core]);
-        self.counters[core].bump("flag_wait");
+        let c = &mut self.counters[core];
+        c.bump("flag_wait");
+        c.add("flag_polls", polls);
+        // Each poll iteration is a local load + compare on the IALU/LS
+        // pipe; charge it so spin time shows up in the energy account.
+        c.add("ialu_ls_instr", polls);
     }
 
     /// Barrier across `cores`: every participant advances to the
@@ -614,8 +652,7 @@ impl Chip {
         let span_cycles = self
             .phases
             .open_start()
-            .map(|s| now.saturating_sub(s).raw())
-            .unwrap_or(0);
+            .map_or(0, |s| now.saturating_sub(s).raw());
         let busiest = if span_cycles > 0 {
             max_link_delta as f64 / span_cycles as f64
         } else {
@@ -798,7 +835,9 @@ impl Chip {
         }
         self.t.iter_mut().for_each(|t| *t = Cycle::ZERO);
         self.busy.iter_mut().for_each(|b| *b = Cycle::ZERO);
-        self.counters.iter_mut().for_each(|c| c.clear());
+        self.counters
+            .iter_mut()
+            .for_each(desim::stats::Counters::clear);
         self.timers.iter_mut().for_each(|t| *t = [None; 2]);
         self.phases.clear();
         self.phase_energy0 = 0.0;
@@ -981,6 +1020,44 @@ mod tests {
         let ready = c.write_remote(0, 1, 128);
         c.wait_flag(1, ready);
         assert!(c.now(1) >= ready);
+    }
+
+    #[test]
+    fn wait_flag_charges_polls_proportional_to_the_wait() {
+        let p = EpiphanyParams::default();
+        // Short wait: the flag is already up — exactly one poll.
+        let mut c = chip();
+        c.wait_flag(0, Cycle::ZERO);
+        assert_eq!(c.counters(0).get("flag_polls"), 1);
+        assert_eq!(c.busy(0), Cycle(p.flag_poll_cycles));
+
+        // Medium wait: the consumer spins, one poll per poll period.
+        let mut c = chip();
+        c.wait_flag(0, Cycle(20 * p.flag_poll_cycles));
+        assert_eq!(c.counters(0).get("flag_polls"), 20);
+        assert_eq!(c.busy(0), Cycle(20 * p.flag_poll_cycles));
+        // The polls fit inside the wait: the cursor still lands on
+        // the delivery time.
+        assert_eq!(c.now(0), Cycle(20 * p.flag_poll_cycles));
+
+        // Long wait: the poll charge saturates at the cap.
+        let mut c = chip();
+        c.wait_flag(0, Cycle(1_000_000));
+        assert_eq!(c.counters(0).get("flag_polls"), p.flag_poll_max_polls);
+        assert_eq!(c.now(0), Cycle(1_000_000), "makespan must not change");
+        assert!(c.busy(0) < Cycle(1_000_000));
+    }
+
+    #[test]
+    fn wait_flag_spin_shows_up_in_compute_energy() {
+        let mut idle = chip();
+        idle.wait_flag(0, Cycle::ZERO);
+        let mut spinning = chip();
+        spinning.wait_flag(0, Cycle(100));
+        assert!(
+            spinning.energy().compute_j > idle.energy().compute_j,
+            "a longer spin must cost more energy"
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! standard transaction-level trade: per-cycle interleaving fidelity is
 //! given up, aggregate bandwidth/latency/queueing behaviour is kept.
 
+#![forbid(unsafe_code)]
+
 pub mod chip;
 pub mod cost;
 pub mod dma;

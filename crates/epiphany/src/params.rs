@@ -52,6 +52,13 @@ pub struct EpiphanyParams {
     pub dma_setup_cycles: u64,
     /// Cost of a synchronization flag check (poll iteration).
     pub flag_poll_cycles: u64,
+    /// Cap on charged poll iterations per flag wait. A consumer spins
+    /// on the flag word for the whole wait, but the loop is a local
+    /// load + branch hitting the same bank line, so after the line is
+    /// hot the energy per iteration collapses; the cap models that
+    /// saturation (and keeps a pathological wait from dominating the
+    /// energy account).
+    pub flag_poll_max_polls: u64,
     /// Barrier cost per participant pair (flag write + poll across the
     /// mesh; dominated by two neighbour hops each way).
     pub barrier_base_cycles: u64,
@@ -99,6 +106,7 @@ impl Default for EpiphanyParams {
             write_buffer_cycles: 32,
             dma_setup_cycles: 20,
             flag_poll_cycles: 2,
+            flag_poll_max_polls: 64,
             barrier_base_cycles: 12,
             emesh: EMeshParams::default(),
             sram: SramParams::default(),

@@ -20,6 +20,8 @@ use std::time::Instant;
 use desim::trace::Tracer;
 use desim::{Cycle, Frequency, Json, RunRecord, TimeSpan, RUN_RECORD_VERSION};
 
+use crate::diag::Diagnostic;
+
 /// Where bench documents land unless `--out` overrides it.
 pub const RESULTS_DIR: &str = "results";
 
@@ -63,6 +65,25 @@ impl BenchHarness {
             .position(|a| a == &key)
             .and_then(|i| self.args.get(i + 1))
             .map(String::as_str)
+    }
+
+    /// Like [`BenchHarness::value`], but a present flag whose operand
+    /// is missing (end of line, or another `--flag`) is a `CLI002`
+    /// diagnostic instead of silently reading `None` — the error path
+    /// the unified runner exits through.
+    pub fn operand(&self, name: &str) -> Result<Option<&str>, Diagnostic> {
+        let key = format!("--{name}");
+        match self.args.iter().position(|a| a == &key) {
+            None => Ok(None),
+            Some(i) => match self.args.get(i + 1).map(String::as_str) {
+                Some(v) if !v.starts_with("--") => Ok(Some(v)),
+                _ => Err(Diagnostic::hard(
+                    "CLI002",
+                    key,
+                    format!("--{name} requires an operand"),
+                )),
+            },
+        }
     }
 
     /// Whether the reduced workload scale was requested.
@@ -185,10 +206,10 @@ impl BenchHarness {
         if self.flag("no-write") {
             return;
         }
-        let path = self
-            .value("out")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from(RESULTS_DIR).join(format!("{}.json", self.name)));
+        let path = self.value("out").map_or_else(
+            || PathBuf::from(RESULTS_DIR).join(format!("{}.json", self.name)),
+            PathBuf::from,
+        );
         if let Some(dir) = path.parent() {
             if let Err(e) = std::fs::create_dir_all(dir) {
                 eprintln!("warning: cannot create {}: {e}", dir.display());
@@ -207,7 +228,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
+        list.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -217,6 +238,17 @@ mod tests {
         assert_eq!(h.value("out"), Some("x.json"));
         assert_eq!(h.value("missing"), None);
         assert!(!h.flag("no-write"));
+    }
+
+    #[test]
+    fn operand_distinguishes_missing_flag_from_missing_value() {
+        let h = BenchHarness::with_args("t", args(&["--out", "x.json", "--trace", "--json"]));
+        assert_eq!(h.operand("out").unwrap(), Some("x.json"));
+        assert_eq!(h.operand("mapping").unwrap(), None);
+        let err = h.operand("trace").unwrap_err();
+        assert_eq!(err.code, "CLI002");
+        let h = BenchHarness::with_args("t", args(&["--out"]));
+        assert_eq!(h.operand("out").unwrap_err().code, "CLI002");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Diagnostics shared by the static analyzer (`sarlint`) and the CLI
+//! front ends: one coded finding plus the report that aggregates them.
+//!
+//! Codes are stable identifiers (`SL***` for analyzer findings,
+//! `CLI***` for argument errors) so tests and CI can gate on *which*
+//! invariant broke, not on message wording.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (e.g. "no model declared, checks vacuous").
+    Note,
+    /// Suspicious but not proven wrong; does not fail a gate.
+    Warning,
+    /// A proven invariant violation; fails the gate and refuses a run.
+    Hard,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Hard => "error",
+        })
+    }
+}
+
+/// One coded finding about a mapping, a platform pair, or a command
+/// line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`SL001`, `CLI001`, ...).
+    pub code: &'static str,
+    /// Gate behaviour.
+    pub severity: Severity,
+    /// What the finding is about (a buffer, a channel, a flag name).
+    pub subject: String,
+    /// Human-readable explanation naming the violated invariant.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A gate-failing finding.
+    pub fn hard(
+        code: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Hard,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A non-fatal finding.
+    pub fn warning(
+        code: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// An informational finding.
+    pub fn note(
+        code: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Note,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.subject, self.message
+        )
+    }
+}
+
+/// Aggregated findings from one analysis pass.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every finding, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Record a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Absorb another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Gate-failing findings.
+    pub fn hard(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Hard)
+    }
+
+    /// Number of gate-failing findings.
+    pub fn hard_count(&self) -> usize {
+        self.hard().count()
+    }
+
+    /// Whether the gate passes (warnings and notes allowed).
+    pub fn is_clean(&self) -> bool {
+        self.hard_count() == 0
+    }
+
+    /// Whether some finding carries `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Hard > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn report_gates_on_hard_findings_only() {
+        let mut r = Report::new();
+        r.push(Diagnostic::note("SL000", "m", "no model"));
+        r.push(Diagnostic::warning("SL005", "ch", "2 hops"));
+        assert!(r.is_clean());
+        r.push(Diagnostic::hard("SL001", "buf", "overflows bank"));
+        assert!(!r.is_clean());
+        assert_eq!(r.hard_count(), 1);
+        assert!(r.has_code("SL001") && !r.has_code("SL002"));
+    }
+
+    #[test]
+    fn display_carries_code_and_subject() {
+        let d = Diagnostic::hard("SL003", "loop", "cycle a->b->a");
+        let s = format!("{d}");
+        assert!(s.contains("SL003") && s.contains("loop") && s.contains("error"));
+    }
+}

@@ -18,14 +18,20 @@
 //! on: common `--small`/`--json`/`--out` flags and one versioned JSON
 //! document shape under `results/`.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
+pub mod diag;
 pub mod mapping;
+pub mod model;
 pub mod platform;
 pub mod workload;
 
 pub use cli::{BenchHarness, RESULTS_DIR};
 pub use desim::{PhaseRecord, RunRecord, RUN_RECORD_VERSION};
+pub use diag::{Diagnostic, Report, Severity};
 pub use mapping::{run, run_traced, HarnessError, Mapping, MappingRun};
+pub use model::{BarrierDecl, BufferDecl, ChannelDecl, FlagDecl, ProgramModel};
 pub use platform::{
     all_platforms, platform_named, EpiphanyPlatform, HostPlatform, Platform, PlatformKind,
     RefCpuPlatform, EPIPHANY_POWER_W, INTEL_POWER_W,

@@ -7,6 +7,7 @@ use desim::trace::{Tracer, Track};
 use desim::RunRecord;
 use sar_core::image::ComplexImage;
 
+use crate::model::ProgramModel;
 use crate::platform::{Platform, PlatformKind};
 use crate::workload::Workload;
 
@@ -96,6 +97,14 @@ pub trait Mapping {
         platform: &dyn Platform,
         tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError>;
+    /// What the mapping declares about its memory, channels and
+    /// synchronisation — the input to the `sarlint` static checks
+    /// (DESIGN.md §3 S14). `None` means the mapping makes no checkable
+    /// claims (host threads, the reference CPU).
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        let _ = (workload, platform);
+        None
+    }
 }
 
 /// The single entry point: validate the kernel × machine pair, execute,

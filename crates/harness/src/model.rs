@@ -1,0 +1,176 @@
+//! The declarative side of a mapping: what it *claims* about memory,
+//! communication and synchronisation, checkable without running the
+//! simulation (DESIGN.md §3 S14).
+//!
+//! A [`ProgramModel`] is exported by [`crate::Mapping::program_model`]
+//! and consumed by the `sarlint` analyzer: per-core buffer allocations
+//! against the local-store banks, the streaming channel graph, flag
+//! set/wait sites and barrier membership. The model describes one
+//! steady-state round of the mapping (one merge iteration, one
+//! hypothesis) — the analyzer's invariants are all per-round.
+
+/// One live buffer in a core's local store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferDecl {
+    /// What the buffer holds (e.g. `"child_beam_a"`).
+    pub label: String,
+    /// Owning core (row-major node id).
+    pub core: usize,
+    /// Local-store bank the buffer lives in.
+    pub bank: usize,
+    /// Byte offset within the bank.
+    pub offset: u32,
+    /// Buffer size in bytes.
+    pub bytes: u32,
+}
+
+/// One streaming channel of the pipeline graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelDecl {
+    /// Channel name (e.g. `"range00->beam01"`).
+    pub label: String,
+    /// Producing core.
+    pub from: usize,
+    /// Consuming core.
+    pub to: usize,
+    /// Buffering credits available on the consumer side (tokens the
+    /// producer may post before the consumer drains).
+    pub capacity_tokens: u32,
+    /// Tokens one producer firing posts into the channel.
+    pub tokens_per_firing: u32,
+}
+
+/// One flag-synchronisation site: `setter` posts data and sets the
+/// flag, `waiter` polls it. `sets`/`waits` count events per round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagDecl {
+    /// Flag name (e.g. `"r00->b01.ready"`).
+    pub label: String,
+    /// Core that sets the flag.
+    pub setter: usize,
+    /// Core that waits on it.
+    pub waiter: usize,
+    /// Sets per round.
+    pub sets: u64,
+    /// Waits per round.
+    pub waits: u64,
+}
+
+/// One barrier: which cores the algorithm assumes participate, and
+/// which cores actually arrive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierDecl {
+    /// Barrier name (e.g. `"merge_end"`).
+    pub label: String,
+    /// Cores the release condition counts.
+    pub participants: Vec<usize>,
+    /// Cores that reach the barrier each round.
+    pub arrivals: Vec<usize>,
+}
+
+/// Everything a mapping declares about itself.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramModel {
+    /// Mesh geometry `(cols, rows)` the placement targets.
+    pub mesh: (u16, u16),
+    /// Cores the mapping occupies (row-major node ids).
+    pub cores: Vec<usize>,
+    /// Live local-store buffers.
+    pub buffers: Vec<BufferDecl>,
+    /// The streaming channel graph.
+    pub channels: Vec<ChannelDecl>,
+    /// Flag set/wait sites.
+    pub flags: Vec<FlagDecl>,
+    /// Barriers.
+    pub barriers: Vec<BarrierDecl>,
+}
+
+impl ProgramModel {
+    /// An empty model on a `(cols, rows)` mesh.
+    pub fn new(cols: u16, rows: u16) -> ProgramModel {
+        ProgramModel {
+            mesh: (cols, rows),
+            ..ProgramModel::default()
+        }
+    }
+
+    /// Declare a buffer.
+    pub fn buffer(
+        &mut self,
+        label: impl Into<String>,
+        core: usize,
+        bank: usize,
+        offset: u32,
+        bytes: u32,
+    ) {
+        self.buffers.push(BufferDecl {
+            label: label.into(),
+            core,
+            bank,
+            offset,
+            bytes,
+        });
+    }
+
+    /// Declare a channel, with a matching one-set/one-wait flag (the
+    /// flag-signalled posted-write protocol every streaming channel in
+    /// the repo uses).
+    pub fn channel(&mut self, label: impl Into<String>, from: usize, to: usize) {
+        let label = label.into();
+        self.flags.push(FlagDecl {
+            label: format!("{label}.ready"),
+            setter: from,
+            waiter: to,
+            sets: 1,
+            waits: 1,
+        });
+        self.channels.push(ChannelDecl {
+            label,
+            from,
+            to,
+            capacity_tokens: 1,
+            tokens_per_firing: 1,
+        });
+    }
+
+    /// `(x, y)` mesh coordinates of row-major node `core`.
+    pub fn node_xy(&self, core: usize) -> (u16, u16) {
+        let cols = self.mesh.0.max(1) as usize;
+        ((core % cols) as u16, (core / cols) as u16)
+    }
+
+    /// Manhattan distance between two cores on the mesh.
+    pub fn manhattan(&self, a: usize, b: usize) -> u16 {
+        let (ax, ay) = self.node_xy(a);
+        let (bx, by) = self.node_xy(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_are_row_major() {
+        let m = ProgramModel::new(4, 4);
+        assert_eq!(m.node_xy(0), (0, 0));
+        assert_eq!(m.node_xy(5), (1, 1));
+        assert_eq!(m.node_xy(13), (1, 3));
+        assert_eq!(m.manhattan(0, 5), 2);
+        assert_eq!(m.manhattan(0, 15), 6);
+        assert_eq!(m.manhattan(9, 9), 0);
+    }
+
+    #[test]
+    fn channel_declares_its_protocol_flag() {
+        let mut m = ProgramModel::new(4, 4);
+        m.channel("a->b", 1, 2);
+        assert_eq!(m.channels.len(), 1);
+        assert_eq!(m.flags.len(), 1);
+        let f = &m.flags[0];
+        assert_eq!((f.setter, f.waiter), (1, 2));
+        assert_eq!((f.sets, f.waits), (1, 1));
+        assert!(f.label.ends_with(".ready"));
+    }
+}

@@ -105,7 +105,7 @@ pub struct HostPlatform {
 
 impl Default for HostPlatform {
     fn default() -> HostPlatform {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         HostPlatform { threads }
     }
 }

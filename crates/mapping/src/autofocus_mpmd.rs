@@ -67,6 +67,15 @@ impl Placement {
         }
     }
 
+    /// Resolve a `--placement` name: `"neighbor"` or `"scattered"`.
+    pub fn named(name: &str) -> Option<Placement> {
+        match name {
+            "neighbor" => Some(Placement::neighbor()),
+            "scattered" => Some(Placement::scattered()),
+            _ => None,
+        }
+    }
+
     /// All thirteen distinct cores.
     pub fn cores(&self) -> Vec<usize> {
         let mut v: Vec<usize> = self

@@ -8,7 +8,9 @@
 //! exactly like one from the direct driver call.
 
 use desim::trace::Tracer;
-use sim_harness::{HarnessError, Mapping, MappingRun, Platform, PlatformKind, Workload};
+use sim_harness::{
+    HarnessError, Mapping, MappingRun, Platform, PlatformKind, ProgramModel, Workload,
+};
 
 use crate::autofocus_mpmd::Placement;
 use crate::autofocus_ref::AUTOFOCUS_SUSTAINED_IPC;
@@ -99,6 +101,13 @@ impl Mapping for FfbpSeqMapping {
             best: None,
         })
     }
+    fn program_model(
+        &self,
+        _workload: &Workload,
+        _platform: &dyn Platform,
+    ) -> Option<ProgramModel> {
+        Some(crate::program_model::ffbp_seq_model())
+    }
 }
 
 /// FFBP on 16 Epiphany cores, SPMD (Table I row 3).
@@ -137,6 +146,11 @@ impl Mapping for FfbpSpmdMapping {
             sweep: None,
             best: None,
         })
+    }
+    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .ffbp()
+            .map(|w| crate::program_model::ffbp_spmd_model(w, &self.opts))
     }
 }
 
@@ -250,6 +264,13 @@ impl Mapping for AutofocusSeqMapping {
             best: Some(r.best),
         })
     }
+    fn program_model(
+        &self,
+        _workload: &Workload,
+        _platform: &dyn Platform,
+    ) -> Option<ProgramModel> {
+        Some(crate::program_model::autofocus_seq_model())
+    }
 }
 
 /// Autofocus as the hand-written 13-core MPMD pipeline (Table I row 6).
@@ -296,6 +317,11 @@ impl Mapping for AutofocusMpmdMapping {
             sweep: Some(r.sweep),
             best: Some(r.best),
         })
+    }
+    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .autofocus()
+            .map(|w| crate::program_model::autofocus_pipeline_model(w, &self.place))
     }
 }
 
@@ -346,6 +372,11 @@ impl Mapping for AutofocusNetMapping {
         run.record.set_metric("firings", r.firings as f64);
         Ok(run)
     }
+    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .autofocus()
+            .map(|w| crate::program_model::autofocus_pipeline_model(w, &self.place))
+    }
 }
 
 /// Every mapping, for exhaustive cross-machine sweeps.
@@ -366,6 +397,17 @@ pub fn all_mappings() -> Vec<Box<dyn Mapping>> {
 /// unified runner).
 pub fn mapping_named(name: &str) -> Option<Box<dyn Mapping>> {
     all_mappings().into_iter().find(|m| m.name() == name)
+}
+
+/// [`mapping_named`] with a stage-to-core placement override — only
+/// the two pipeline mappings are placeable; other names return their
+/// registry default.
+pub fn mapping_named_placed(name: &str, place: Placement) -> Option<Box<dyn Mapping>> {
+    match name {
+        "autofocus_mpmd" => Some(Box::new(AutofocusMpmdMapping { place })),
+        "autofocus_net" => Some(Box::new(AutofocusNetMapping { place })),
+        _ => mapping_named(name),
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,8 @@
 //! observation) while feeding operation counts and memory traffic to
 //! the machine model under evaluation.
 
+#![forbid(unsafe_code)]
+
 pub mod autofocus_mpmd;
 pub mod autofocus_net;
 pub mod autofocus_ref;
@@ -27,9 +29,10 @@ pub mod ffbp_seq;
 pub mod ffbp_spmd;
 pub mod harness_impls;
 pub mod layout;
+pub mod program_model;
 pub mod table1;
 pub mod workloads;
 
-pub use harness_impls::{all_mappings, mapping_named};
+pub use harness_impls::{all_mappings, mapping_named, mapping_named_placed};
 pub use table1::{table1, Table1, Table1Row};
 pub use workloads::{AutofocusWorkload, FfbpWorkload};

@@ -1,0 +1,217 @@
+//! Declarative [`ProgramModel`]s for the registered mappings — the
+//! static claims `sarlint` checks without executing a simulation
+//! (DESIGN.md §3 S14).
+//!
+//! Each builder states, for one steady-state round of its driver,
+//! exactly what the driver code does: which banks hold which live
+//! buffers (`crate::layout`), which producer→consumer channels stream
+//! (the same graph `crate::autofocus_net` wires up), and where flags
+//! and barriers synchronise. Keeping builder and driver side by side
+//! in this crate is the contract: a driver change that moves a buffer
+//! or a channel must update its model, and the analyzer (plus the
+//! dynamic trace cross-check) catches the drift.
+
+use epiphany::Chip;
+use sim_harness::{BarrierDecl, FlagDecl, ProgramModel};
+
+use crate::autofocus_mpmd::Placement;
+use crate::ffbp_spmd::SpmdOptions;
+use crate::layout::{ExternalLayout, BANK_CHILD_A, BANK_CHILD_B};
+use crate::workloads::{AutofocusWorkload, FfbpWorkload};
+
+/// Bytes of one autofocus block in a range core's prefetch bank (a
+/// 6x6 block of complex pixels, as DMA'd by the pipeline drivers).
+pub const AUTOFOCUS_BLOCK_BYTES: u32 = 288;
+
+/// The `(cols, rows)` mesh [`Chip::with_cores`] would build.
+fn mesh_for(cores: usize) -> (u16, u16) {
+    if cores <= 16 {
+        (4, 4)
+    } else {
+        Chip::mesh_for_cores(cores)
+    }
+}
+
+/// FFBP on one Epiphany core: core 0 streams every contributing
+/// element from external memory — no prefetch buffers, no channels.
+pub fn ffbp_seq_model() -> ProgramModel {
+    let mut m = ProgramModel::new(4, 4);
+    m.cores = vec![0];
+    m
+}
+
+/// The SPMD FFBP mapping (§V-A): every core prefetches its two child
+/// beams into the upper banks, drains its posted writes behind a
+/// per-core flag, and joins the end-of-merge barrier.
+pub fn ffbp_spmd_model(w: &FfbpWorkload, opts: &SpmdOptions) -> ProgramModel {
+    let (cols, rows) = mesh_for(opts.cores);
+    let mut m = ProgramModel::new(cols, rows);
+    m.cores = (0..opts.cores).collect();
+    let layout = ExternalLayout::new(w.geom.num_pulses as u32, w.geom.num_bins as u32);
+    let beam_bytes = u32::try_from(layout.beam_bytes()).expect("beam fits u32");
+    for &c in &m.cores {
+        if opts.prefetch {
+            m.buffers.push(sim_harness::BufferDecl {
+                label: format!("child_a[{c}]"),
+                core: c,
+                bank: BANK_CHILD_A,
+                offset: 0,
+                bytes: beam_bytes,
+            });
+            m.buffers.push(sim_harness::BufferDecl {
+                label: format!("child_b[{c}]"),
+                core: c,
+                bank: BANK_CHILD_B,
+                offset: 0,
+                bytes: beam_bytes,
+            });
+        }
+        // Posted-write drain at end of merge: each core sets and waits
+        // its own flag once per round.
+        m.flags.push(FlagDecl {
+            label: format!("drain[{c}]"),
+            setter: c,
+            waiter: c,
+            sets: 1,
+            waits: 1,
+        });
+    }
+    m.barriers.push(BarrierDecl {
+        label: "merge_end".to_string(),
+        participants: m.cores.clone(),
+        arrivals: m.cores.clone(),
+    });
+    m
+}
+
+/// Autofocus on one Epiphany core: one DMA'd block pair in an upper
+/// bank, everything else register/stack traffic.
+pub fn autofocus_seq_model() -> ProgramModel {
+    let mut m = ProgramModel::new(4, 4);
+    m.cores = vec![0];
+    m.buffer("block_pair", 0, BANK_CHILD_A, 0, 2 * AUTOFOCUS_BLOCK_BYTES);
+    m
+}
+
+/// The 13-core autofocus pipeline (§V-B), shared by the hand-written
+/// MPMD driver and the `streams` network — both stream the same
+/// channel graph over the same placement.
+///
+/// Buffers: each range core holds its DMA'd source block in an upper
+/// bank; each beam core's bank 0 receives three posted range messages
+/// per round; the correlator's bank 0 receives six beam messages.
+/// Channels: range `(blk, win)` feeds all three beam cores of its
+/// block, every beam core feeds the correlator — 24 channels, each
+/// with its flag-signalled posted-write protocol.
+pub fn autofocus_pipeline_model(w: &AutofocusWorkload, place: &Placement) -> ProgramModel {
+    let mut m = ProgramModel::new(4, 4);
+    m.cores = place.cores();
+    let per_it = u32::try_from(w.config.samples_per_iteration()).expect("samples fit u32");
+    let range_msg = 6 * per_it * 8;
+    let beam_msg = 3 * per_it * 8;
+
+    for (blk, range_cores) in place.range.iter().enumerate() {
+        for (win, &rc) in range_cores.iter().enumerate() {
+            m.buffer(
+                format!("block{blk}[r{win}]"),
+                rc,
+                BANK_CHILD_A,
+                0,
+                AUTOFOCUS_BLOCK_BYTES,
+            );
+        }
+    }
+    for (blk, beam_cores) in place.beam.iter().enumerate() {
+        for (bi, &bc) in beam_cores.iter().enumerate() {
+            for win in 0..3u32 {
+                m.buffer(
+                    format!("inbox_b{blk}{bi}[r{win}]"),
+                    bc,
+                    0,
+                    win * range_msg,
+                    range_msg,
+                );
+            }
+        }
+    }
+    for slot in 0..6u32 {
+        m.buffer(
+            format!("inbox_corr[{slot}]"),
+            place.corr,
+            0,
+            slot * beam_msg,
+            beam_msg,
+        );
+    }
+
+    for blk in 0..2 {
+        for win in 0..3 {
+            for bi in 0..3 {
+                m.channel(
+                    format!("range{blk}{win}->beam{blk}{bi}"),
+                    place.range[blk][win],
+                    place.beam[blk][bi],
+                );
+            }
+        }
+        for bi in 0..3 {
+            m.channel(
+                format!("beam{blk}{bi}->corr"),
+                place.beam[blk][bi],
+                place.corr,
+            );
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmd_model_declares_the_paper_footprint() {
+        let w = FfbpWorkload::paper();
+        let m = ffbp_spmd_model(&w, &SpmdOptions::default());
+        assert_eq!(m.mesh, (4, 4));
+        assert_eq!(m.cores.len(), 16);
+        // Two 8,008 B beams per core, one per upper bank (§V-A).
+        assert_eq!(m.buffers.len(), 32);
+        assert!(m.buffers.iter().all(|b| b.bytes == 8008));
+        assert!(m
+            .buffers
+            .iter()
+            .all(|b| b.bank == BANK_CHILD_A || b.bank == BANK_CHILD_B));
+        assert_eq!(m.barriers.len(), 1);
+        assert_eq!(m.barriers[0].participants.len(), 16);
+    }
+
+    #[test]
+    fn spmd_model_without_prefetch_has_no_buffers() {
+        let w = FfbpWorkload::small();
+        let m = ffbp_spmd_model(
+            &w,
+            &SpmdOptions {
+                prefetch: false,
+                ..SpmdOptions::default()
+            },
+        );
+        assert!(m.buffers.is_empty());
+    }
+
+    #[test]
+    fn pipeline_model_matches_the_dataflow() {
+        let w = AutofocusWorkload::small();
+        let m = autofocus_pipeline_model(&w, &Placement::neighbor());
+        assert_eq!(m.cores.len(), 13);
+        // 18 range->beam + 6 beam->corr channels, one flag each.
+        assert_eq!(m.channels.len(), 24);
+        assert_eq!(m.flags.len(), 24);
+        // 6 range blocks + 18 beam inboxes + 6 correlator inboxes.
+        assert_eq!(m.buffers.len(), 30);
+        // Message sizes follow samples_per_iteration (48/3 = 16).
+        assert!(m.buffers.iter().any(|b| b.bytes == 6 * 16 * 8));
+        assert!(m.buffers.iter().any(|b| b.bytes == 3 * 16 * 8));
+        assert!(m.barriers.is_empty());
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`hierarchy`] — L1/L2/L3 + DRAM hierarchy with per-level hit
 //!   costs; used by the `refcpu` baseline model.
 
+#![forbid(unsafe_code)]
+
 pub mod address;
 pub mod cache;
 pub mod hierarchy;

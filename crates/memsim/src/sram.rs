@@ -30,6 +30,17 @@ impl Default for SramParams {
     }
 }
 
+impl SramParams {
+    /// Whether a buffer occupying `[offset, offset + bytes)` of one
+    /// bank fits inside that bank (the static capacity invariant the
+    /// mapping analyzer checks declarations against).
+    pub fn fits_bank(&self, offset: u32, bytes: u32) -> bool {
+        offset
+            .checked_add(bytes)
+            .is_some_and(|end| end <= self.bank_bytes)
+    }
+}
+
 /// One core's banked local store.
 pub struct LocalStore {
     params: SramParams,
@@ -140,6 +151,16 @@ mod tests {
         assert_eq!(s.bank_of(8 * 1024), 1);
         assert_eq!(s.bank_of(16 * 1024), 2);
         assert_eq!(s.bank_of(32 * 1024 - 1), 3);
+    }
+
+    #[test]
+    fn fits_bank_checks_the_interval_end() {
+        let p = SramParams::default();
+        assert!(p.fits_bank(0, 8 * 1024));
+        assert!(p.fits_bank(184, 8008)); // a paper beam after a header
+        assert!(!p.fits_bank(185, 8008));
+        assert!(!p.fits_bank(0, 8 * 1024 + 1));
+        assert!(!p.fits_bank(u32::MAX, 8)); // offset overflow is a miss
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! Energy follows the paper's own methodology: datasheet power times
 //! measured time (no activity model — the paper uses the spec figure).
 
+#![forbid(unsafe_code)]
+
 pub mod cpu;
 pub mod params;
 

@@ -1,0 +1,113 @@
+//! Check 1 — capacity and overlap (`SL001`, `SL002`): every declared
+//! buffer fits its SRAM bank, and no two live buffers of the same
+//! `(core, bank)` overlap. This is the §V-A invariant made checkable:
+//! two 8,008 B child beams only work because each sits alone in its
+//! own 8 KB upper bank.
+
+use memsim::SramParams;
+use sim_harness::{Diagnostic, ProgramModel, Report};
+
+/// Run the capacity/overlap check against `sram` geometry.
+pub fn check(model: &ProgramModel, sram: &SramParams, report: &mut Report) {
+    for b in &model.buffers {
+        if b.bank >= sram.banks {
+            report.push(Diagnostic::hard(
+                "SL001",
+                b.label.clone(),
+                format!(
+                    "core {} declares bank {} but the local store has {} banks",
+                    b.core, b.bank, sram.banks
+                ),
+            ));
+            continue;
+        }
+        if !sram.fits_bank(b.offset, b.bytes) {
+            report.push(Diagnostic::hard(
+                "SL001",
+                b.label.clone(),
+                format!(
+                    "core {} bank {}: [{}, {}) overflows the {} B bank",
+                    b.core,
+                    b.bank,
+                    b.offset,
+                    u64::from(b.offset) + u64::from(b.bytes),
+                    sram.bank_bytes
+                ),
+            ));
+        }
+    }
+
+    // Overlap: sort each (core, bank) group by offset and compare
+    // neighbours. Out-of-bank buffers were already reported above and
+    // still participate — overlap is a property of the declarations.
+    let mut by_slot: Vec<&sim_harness::BufferDecl> = model.buffers.iter().collect();
+    by_slot.sort_by_key(|b| (b.core, b.bank, b.offset));
+    for pair in by_slot.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.core == b.core
+            && a.bank == b.bank
+            && u64::from(a.offset) + u64::from(a.bytes) > u64::from(b.offset)
+        {
+            report.push(Diagnostic::hard(
+                "SL002",
+                format!("{} / {}", a.label, b.label),
+                format!(
+                    "core {} bank {}: [{}, {}) overlaps [{}, {})",
+                    a.core,
+                    a.bank,
+                    a.offset,
+                    u64::from(a.offset) + u64::from(a.bytes),
+                    b.offset,
+                    u64::from(b.offset) + u64::from(b.bytes),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_with(buffers: &[(usize, usize, u32, u32)]) -> ProgramModel {
+        let mut m = ProgramModel::new(4, 4);
+        for (i, &(core, bank, offset, bytes)) in buffers.iter().enumerate() {
+            m.buffer(format!("b{i}"), core, bank, offset, bytes);
+        }
+        m
+    }
+
+    #[test]
+    fn fitting_buffers_pass() {
+        let m = model_with(&[(0, 2, 0, 8008), (0, 3, 0, 8008), (1, 2, 0, 8192)]);
+        let mut r = Report::new();
+        check(&m, &SramParams::default(), &mut r);
+        assert!(r.is_clean() && r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn overflow_and_bad_bank_are_sl001() {
+        let m = model_with(&[(0, 2, 200, 8008), (1, 7, 0, 8)]);
+        let mut r = Report::new();
+        check(&m, &SramParams::default(), &mut r);
+        assert_eq!(r.hard_count(), 2);
+        assert!(r.diagnostics.iter().all(|d| d.code == "SL001"));
+    }
+
+    #[test]
+    fn overlapping_buffers_are_sl002() {
+        let m = model_with(&[(3, 0, 0, 1024), (3, 0, 1000, 512)]);
+        let mut r = Report::new();
+        check(&m, &SramParams::default(), &mut r);
+        assert_eq!(r.hard_count(), 1);
+        assert!(r.has_code("SL002"));
+    }
+
+    #[test]
+    fn same_offsets_on_different_cores_or_banks_do_not_overlap() {
+        let m = model_with(&[(0, 2, 0, 4096), (0, 3, 0, 4096), (1, 2, 0, 4096)]);
+        let mut r = Report::new();
+        check(&m, &SramParams::default(), &mut r);
+        assert!(r.is_clean() && r.diagnostics.is_empty());
+    }
+}

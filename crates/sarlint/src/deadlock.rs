@@ -1,0 +1,116 @@
+//! Check 2 — deadlock (`SL003`, `SL004`): the streaming channel graph
+//! must be acyclic (a cycle of blocking producers/consumers never
+//! fires), and every channel must hold enough credits for one producer
+//! firing (a producer posting more tokens than the consumer side
+//! buffers wedges on the first round).
+
+use std::collections::BTreeMap;
+
+use sim_harness::{Diagnostic, ProgramModel, Report};
+
+/// Run the deadlock check.
+pub fn check(model: &ProgramModel, report: &mut Report) {
+    // Credit sufficiency per channel.
+    for ch in &model.channels {
+        if ch.capacity_tokens < ch.tokens_per_firing {
+            report.push(Diagnostic::hard(
+                "SL004",
+                ch.label.clone(),
+                format!(
+                    "channel holds {} credit(s) but one firing posts {} token(s): \
+                     the producer blocks before the consumer can drain",
+                    ch.capacity_tokens, ch.tokens_per_firing
+                ),
+            ));
+        }
+    }
+
+    // Cycle detection: Kahn's algorithm over the cores that carry
+    // channels; whatever survives elimination sits on a cycle.
+    let mut indegree: BTreeMap<usize, usize> = BTreeMap::new();
+    for ch in &model.channels {
+        indegree.entry(ch.from).or_insert(0);
+        *indegree.entry(ch.to).or_insert(0) += 1;
+    }
+    let mut queue: Vec<usize> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    while let Some(n) = queue.pop() {
+        indegree.remove(&n);
+        for ch in model.channels.iter().filter(|c| c.from == n) {
+            if let Some(d) = indegree.get_mut(&ch.to) {
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(ch.to);
+                }
+            }
+        }
+    }
+    if !indegree.is_empty() {
+        let stuck: Vec<usize> = indegree.keys().copied().collect();
+        let witness = model
+            .channels
+            .iter()
+            .find(|c| indegree.contains_key(&c.from) && indegree.contains_key(&c.to))
+            .map_or_else(|| "<channel>".to_string(), |c| c.label.clone());
+        report.push(Diagnostic::hard(
+            "SL003",
+            witness,
+            format!(
+                "channel graph has a cycle through cores {stuck:?}: \
+                 every stage waits on its own downstream output"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline(edges: &[(usize, usize)]) -> ProgramModel {
+        let mut m = ProgramModel::new(4, 4);
+        for &(a, b) in edges {
+            m.channel(format!("c{a}->{b}"), a, b);
+        }
+        m
+    }
+
+    #[test]
+    fn a_dag_passes() {
+        let m = pipeline(&[(0, 1), (1, 2), (0, 2), (3, 2)]);
+        let mut r = Report::new();
+        check(&m, &mut r);
+        assert!(r.is_clean() && r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn a_cycle_is_sl003() {
+        let m = pipeline(&[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let mut r = Report::new();
+        check(&m, &mut r);
+        assert_eq!(r.hard_count(), 1);
+        assert!(r.has_code("SL003"));
+        assert!(r.diagnostics[0].message.contains('0'));
+    }
+
+    #[test]
+    fn a_self_loop_is_a_cycle() {
+        let m = pipeline(&[(5, 5)]);
+        let mut r = Report::new();
+        check(&m, &mut r);
+        assert!(r.has_code("SL003"));
+    }
+
+    #[test]
+    fn starved_credits_are_sl004() {
+        let mut m = pipeline(&[(0, 1)]);
+        m.channels[0].capacity_tokens = 0;
+        let mut r = Report::new();
+        check(&m, &mut r);
+        assert_eq!(r.hard_count(), 1);
+        assert!(r.has_code("SL004"));
+    }
+}

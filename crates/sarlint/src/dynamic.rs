@@ -1,0 +1,144 @@
+//! Dynamic cross-check (`SL009`, `SL010`): replay one traced run and
+//! verify that every remote landing the machine model observed (posted
+//! writes, inbound DMA bursts) targets a `(core, bank)` slot the
+//! mapping *declared* a buffer in, with at least the observed burst
+//! size. This catches the gap static checks cannot: a model that
+//! passes all four lints but does not describe what the driver
+//! actually does.
+//!
+//! The chip emits a gated `land:bank{bank}+{bytes}` instant on
+//! [`Track::Dma`] at every remote landing; this module parses the
+//! snapshot back.
+
+use std::collections::BTreeSet;
+
+use desim::trace::{Tracer, Track};
+use sim_harness::{run_traced, Diagnostic, Mapping, Platform, ProgramModel, Report, Workload};
+
+/// One observed remote landing, parsed from the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Landing {
+    core: usize,
+    bank: usize,
+    bytes: u32,
+}
+
+/// Parse `land:bank{bank}+{bytes}` emitted on a DMA track.
+fn parse_landing(track: Track, name: &str) -> Option<Landing> {
+    let Track::Dma(core) = track else {
+        return None;
+    };
+    let rest = name.strip_prefix("land:bank")?;
+    let (bank, bytes) = rest.split_once('+')?;
+    Some(Landing {
+        core: core as usize,
+        bank: bank.parse().ok()?,
+        bytes: bytes.parse().ok()?,
+    })
+}
+
+/// Whether `model` declares a buffer that can absorb `l`.
+fn declared(model: &ProgramModel, l: Landing) -> bool {
+    model
+        .buffers
+        .iter()
+        .any(|b| b.core == l.core && b.bank == l.bank && b.bytes >= l.bytes)
+}
+
+/// Run the pair once with tracing on and cross-check every observed
+/// landing against the model's declared buffers.
+pub fn cross_check(mapping: &dyn Mapping, workload: &Workload, platform: &dyn Platform) -> Report {
+    let mut report = Report::new();
+    let Some(model) = mapping.program_model(workload, platform) else {
+        report.push(Diagnostic::note(
+            "SL000",
+            mapping.name().to_string(),
+            "mapping exports no program model; nothing to cross-check".to_string(),
+        ));
+        return report;
+    };
+    let tracer = Tracer::enabled();
+    if let Err(e) = run_traced(mapping, workload, platform, &tracer) {
+        report.push(Diagnostic::hard(
+            "SL010",
+            mapping.name().to_string(),
+            format!("traced run failed during dynamic cross-check: {e}"),
+        ));
+        return report;
+    }
+
+    let mut seen = 0u64;
+    let mut flagged: BTreeSet<Landing> = BTreeSet::new();
+    for e in tracer.snapshot() {
+        let Some(l) = parse_landing(e.track, e.name.as_ref()) else {
+            continue;
+        };
+        seen += 1;
+        if !declared(&model, l) && flagged.insert(l) {
+            report.push(Diagnostic::hard(
+                "SL009",
+                mapping.name().to_string(),
+                format!(
+                    "observed a {} B landing in core {} bank {} with no declared \
+                     buffer that large there: the model does not cover the run",
+                    l.bytes, l.core, l.bank
+                ),
+            ));
+        }
+    }
+    if seen == 0 {
+        report.push(Diagnostic::note(
+            "SL000",
+            mapping.name().to_string(),
+            "run emitted no remote landings; dynamic check is vacuous".to_string(),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Cycle;
+
+    #[test]
+    fn landing_lines_parse_and_others_do_not() {
+        let l = parse_landing(Track::Dma(7), "land:bank2+8008").unwrap();
+        assert_eq!((l.core, l.bank, l.bytes), (7, 2, 8008));
+        assert!(parse_landing(Track::Core(7), "land:bank2+8008").is_none());
+        assert!(parse_landing(Track::Dma(7), "dma_in").is_none());
+        assert!(parse_landing(Track::Dma(7), "land:bank+8").is_none());
+        assert!(parse_landing(Track::Dma(7), "land:bank2+x").is_none());
+    }
+
+    #[test]
+    fn declared_requires_matching_slot_and_size() {
+        let mut m = ProgramModel::new(4, 4);
+        m.buffer("inbox", 3, 0, 0, 768);
+        let hit = |core, bank, bytes| declared(&m, Landing { core, bank, bytes });
+        assert!(hit(3, 0, 768));
+        assert!(hit(3, 0, 128));
+        assert!(!hit(3, 0, 769));
+        assert!(!hit(3, 1, 8));
+        assert!(!hit(2, 0, 8));
+    }
+
+    #[test]
+    fn tracer_snapshot_round_trips_a_landing() {
+        let t = Tracer::enabled();
+        t.instant(Track::Dma(5), "land:bank0+384", Cycle(10));
+        let hits: Vec<Landing> = t
+            .snapshot()
+            .iter()
+            .filter_map(|e| parse_landing(e.track, e.name.as_ref()))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![Landing {
+                core: 5,
+                bank: 0,
+                bytes: 384
+            }]
+        );
+    }
+}

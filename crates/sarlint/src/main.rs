@@ -1,0 +1,133 @@
+//! `sarlint` — check registered Mapping × Platform pairs without
+//! simulating them.
+//!
+//! ```text
+//! sarlint --all [--small] [--dynamic]
+//! sarlint --mapping NAME [--platform NAME] [--placement NAME] [--small] [--dynamic]
+//! ```
+//!
+//! With `--all` (or no `--mapping`), every registered mapping is
+//! analyzed on every platform it supports. `--dynamic` additionally
+//! replays one traced run per pair and cross-checks observed remote
+//! landings against the declared buffers.
+//!
+//! Exit status: `0` clean, `1` hard findings, `2` command-line error.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use sar_epiphany::autofocus_mpmd::Placement;
+use sar_epiphany::{all_mappings, mapping_named_placed};
+use sarlint::{analyze_pair, dynamic};
+use sim_harness::{
+    all_platforms, platform_named, BenchHarness, Diagnostic, Mapping, Platform, Workload,
+};
+
+fn main() -> ExitCode {
+    let h = BenchHarness::with_args("sarlint", std::env::args().skip(1).collect());
+    match check(&h) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(d) => {
+            eprintln!("{d}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Resolve the requested pairs and analyze each; returns the number of
+/// hard findings, or the CLI diagnostic that stopped the run.
+fn check(h: &BenchHarness) -> Result<usize, Diagnostic> {
+    let place = match h.operand("placement")? {
+        None => None,
+        Some(name) => Some(Placement::named(name).ok_or_else(|| {
+            Diagnostic::hard(
+                "CLI003",
+                format!("--placement {name}"),
+                "unknown placement; expected 'neighbor' or 'scattered'",
+            )
+        })?),
+    };
+
+    let mappings: Vec<Box<dyn Mapping>> = match h.operand("mapping")? {
+        Some(name) => {
+            let m = mapping_named_placed(name, place.unwrap_or_else(Placement::neighbor))
+                .ok_or_else(|| {
+                    Diagnostic::hard(
+                        "CLI001",
+                        format!("--mapping {name}"),
+                        "unknown mapping name",
+                    )
+                })?;
+            vec![m]
+        }
+        None => match place {
+            // A placement override without --mapping re-places every
+            // placeable mapping and keeps the rest at their defaults.
+            Some(p) => all_mappings()
+                .iter()
+                .map(|m| mapping_named_placed(m.name(), p).expect("registry name resolves"))
+                .collect(),
+            None => all_mappings(),
+        },
+    };
+
+    let platform_override: Option<Box<dyn Platform>> = match h.operand("platform")? {
+        None => None,
+        Some(name) => Some(platform_named(name).ok_or_else(|| {
+            Diagnostic::hard(
+                "CLI001",
+                format!("--platform {name}"),
+                "unknown platform name",
+            )
+        })?),
+    };
+
+    let mut pairs = 0usize;
+    let mut hard = 0usize;
+    for m in &mappings {
+        let platforms: Vec<Box<dyn Platform>> = match &platform_override {
+            Some(p) => {
+                let p = platform_named(p.label()).expect("registry label resolves");
+                vec![p]
+            }
+            None => all_platforms()
+                .into_iter()
+                .filter(|p| m.supports(p.kind()))
+                .collect(),
+        };
+        if platforms.is_empty() {
+            return Err(Diagnostic::hard(
+                "CLI001",
+                m.name().to_string(),
+                "mapping supports no registered platform",
+            ));
+        }
+        for p in platforms {
+            let w = Workload::named(m.kernel(), h.small()).ok_or_else(|| {
+                Diagnostic::hard(
+                    "CLI001",
+                    m.kernel().to_string(),
+                    "mapping names a kernel with no registered workload",
+                )
+            })?;
+            let mut report = analyze_pair(m.as_ref(), &w, p.as_ref());
+            if h.flag("dynamic") && m.supports(p.kind()) {
+                report.merge(dynamic::cross_check(m.as_ref(), &w, p.as_ref()));
+            }
+            pairs += 1;
+            hard += report.hard_count();
+            println!(
+                "== {} x {} ({} workload): {}",
+                m.name(),
+                p.label(),
+                if h.small() { "small" } else { "paper" },
+                if report.is_clean() { "ok" } else { "FAIL" }
+            );
+            print!("{report}");
+        }
+    }
+    println!("{pairs} pair(s) analyzed, {hard} hard finding(s)");
+    Ok(hard)
+}

@@ -1,0 +1,99 @@
+//! Check 3 — placement lint (`SL005`): pipeline channels must stay
+//! within the neighbourhood the paper's §V-B mapping was designed
+//! around. Every hop adds mesh latency and byte-hop energy, so the
+//! analyzer flags any channel longer than [`HOP_BUDGET`] as a hard
+//! diagnostic naming the offending hop, and any non-adjacent channel
+//! (distance > 1) as a warning.
+
+use sim_harness::{Diagnostic, ProgramModel, Report};
+
+/// Longest acceptable producer→consumer Manhattan distance. The
+/// paper's neighbour placement keeps every stage-to-stage link within
+/// a column move plus the final fold into the correlator — at most 4
+/// hops on the 4×4 mesh; anything longer means stages were scattered.
+pub const HOP_BUDGET: u16 = 4;
+
+/// Run the placement lint.
+pub fn check(model: &ProgramModel, report: &mut Report) {
+    let (cols, rows) = model.mesh;
+    let nodes = usize::from(cols) * usize::from(rows);
+    for ch in &model.channels {
+        if ch.from >= nodes || ch.to >= nodes {
+            report.push(Diagnostic::hard(
+                "SL005",
+                ch.label.clone(),
+                format!(
+                    "endpoint off the {cols}x{rows} mesh: {} -> {}",
+                    ch.from, ch.to
+                ),
+            ));
+            continue;
+        }
+        let d = model.manhattan(ch.from, ch.to);
+        let (fx, fy) = model.node_xy(ch.from);
+        let (tx, ty) = model.node_xy(ch.to);
+        let hop = format!(
+            "core {} ({fx},{fy}) -> core {} ({tx},{ty}) is {d} hops",
+            ch.from, ch.to
+        );
+        if d > HOP_BUDGET {
+            report.push(Diagnostic::hard(
+                "SL005",
+                ch.label.clone(),
+                format!("{hop} (> {HOP_BUDGET} hop budget): stages are scattered"),
+            ));
+        } else if d > 1 {
+            report.push(Diagnostic::warning(
+                "SL005",
+                ch.label.clone(),
+                format!("{hop}: not a direct neighbour"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(m: &mut ProgramModel, from: usize, to: usize) {
+        m.channel(format!("c{from}->{to}"), from, to);
+    }
+
+    #[test]
+    fn neighbours_are_silent_and_short_hops_warn() {
+        let mut m = ProgramModel::new(4, 4);
+        chan(&mut m, 0, 1); // 1 hop
+        chan(&mut m, 1, 2); // 1 hop
+        chan(&mut m, 2, 13); // (2,0)->(1,3): 4 hops — budget edge
+        let mut r = Report::new();
+        check(&m, &mut r);
+        assert!(r.is_clean());
+        // Exactly one warning: the 4-hop fold into the correlator.
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].severity, sim_harness::Severity::Warning);
+    }
+
+    #[test]
+    fn scattered_hops_are_hard_sl005_naming_the_hop() {
+        let mut m = ProgramModel::new(4, 4);
+        chan(&mut m, 0, 14); // (0,0)->(2,3): 5 hops
+        let mut r = Report::new();
+        check(&m, &mut r);
+        assert_eq!(r.hard_count(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, "SL005");
+        assert!(d.message.contains("(0,0)") && d.message.contains("(2,3)"));
+        assert!(d.message.contains("5 hops"));
+    }
+
+    #[test]
+    fn off_mesh_endpoints_are_hard() {
+        let mut m = ProgramModel::new(2, 2);
+        chan(&mut m, 0, 9);
+        let mut r = Report::new();
+        check(&m, &mut r);
+        assert_eq!(r.hard_count(), 1);
+        assert!(r.has_code("SL005"));
+    }
+}

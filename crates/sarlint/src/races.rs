@@ -1,0 +1,153 @@
+//! Check 4 — flag and barrier races (`SL006`–`SL008`): every wait must
+//! be matched by a set (`SL006`), every set by a wait (`SL007` — an
+//! unconsumed second set overwrites data the consumer never
+//! acknowledged), and a barrier's arrival set must equal its declared
+//! participants (`SL008` — a missing arrival hangs the release, an
+//! extra one releases the barrier early).
+
+use sim_harness::{Diagnostic, ProgramModel, Report};
+
+/// Run the flag/barrier race check.
+pub fn check(model: &ProgramModel, report: &mut Report) {
+    for f in &model.flags {
+        if f.waits > 0 && f.sets == 0 {
+            report.push(Diagnostic::hard(
+                "SL006",
+                f.label.clone(),
+                format!(
+                    "core {} waits {} time(s) on a flag no core ever sets: \
+                     the waiter spins forever",
+                    f.waiter, f.waits
+                ),
+            ));
+        } else if f.sets > 0 && f.waits > f.sets {
+            report.push(Diagnostic::hard(
+                "SL006",
+                f.label.clone(),
+                format!(
+                    "core {} waits {} time(s) but core {} sets only {}: \
+                     the last {} wait(s) never release",
+                    f.waiter,
+                    f.waits,
+                    f.setter,
+                    f.sets,
+                    f.waits - f.sets
+                ),
+            ));
+        } else if f.waits > 0 && f.sets > f.waits {
+            report.push(Diagnostic::hard(
+                "SL007",
+                f.label.clone(),
+                format!(
+                    "core {} sets {} time(s) but core {} waits only {}: \
+                     set-set without an intervening wait overwrites unacknowledged data",
+                    f.setter, f.sets, f.waiter, f.waits
+                ),
+            ));
+        } else if f.sets > 0 && f.waits == 0 {
+            report.push(Diagnostic::warning(
+                "SL007",
+                f.label.clone(),
+                format!(
+                    "core {} sets a flag no core waits on: dead synchronisation",
+                    f.setter
+                ),
+            ));
+        }
+    }
+
+    for b in &model.barriers {
+        let mut want = b.participants.clone();
+        let mut got = b.arrivals.clone();
+        want.sort_unstable();
+        got.sort_unstable();
+        if want != got {
+            let missing: Vec<usize> = want.iter().filter(|c| !got.contains(c)).copied().collect();
+            let extra: Vec<usize> = got.iter().filter(|c| !want.contains(c)).copied().collect();
+            report.push(Diagnostic::hard(
+                "SL008",
+                b.label.clone(),
+                format!(
+                    "barrier counts {} participant(s) but {} core(s) arrive \
+                     (missing {missing:?}, uncounted {extra:?})",
+                    want.len(),
+                    got.len()
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_harness::{BarrierDecl, FlagDecl};
+
+    fn flag(sets: u64, waits: u64) -> ProgramModel {
+        let mut m = ProgramModel::new(4, 4);
+        m.flags.push(FlagDecl {
+            label: "f".into(),
+            setter: 0,
+            waiter: 1,
+            sets,
+            waits,
+        });
+        m
+    }
+
+    fn checked(m: &ProgramModel) -> Report {
+        let mut r = Report::new();
+        check(m, &mut r);
+        r
+    }
+
+    #[test]
+    fn matched_flags_pass() {
+        assert!(checked(&flag(1, 1)).diagnostics.is_empty());
+        assert!(checked(&flag(6, 6)).diagnostics.is_empty());
+        assert!(checked(&flag(0, 0)).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn wait_without_set_is_sl006() {
+        let r = checked(&flag(0, 1));
+        assert_eq!(r.hard_count(), 1);
+        assert_eq!(r.diagnostics[0].code, "SL006");
+        let r = checked(&flag(2, 5));
+        assert!(r.has_code("SL006"));
+    }
+
+    #[test]
+    fn set_set_without_wait_is_sl007() {
+        let r = checked(&flag(5, 2));
+        assert_eq!(r.hard_count(), 1);
+        assert_eq!(r.diagnostics[0].code, "SL007");
+        // Set-no-wait is dead sync: a warning, not hard.
+        let r = checked(&flag(3, 0));
+        assert_eq!(r.hard_count(), 0);
+        assert!(r.has_code("SL007"));
+    }
+
+    #[test]
+    fn barrier_membership_mismatch_is_sl008() {
+        let mut m = ProgramModel::new(4, 4);
+        m.barriers.push(BarrierDecl {
+            label: "merge_end".into(),
+            participants: vec![0, 1, 2, 3],
+            arrivals: vec![0, 1, 2],
+        });
+        let r = checked(&m);
+        assert_eq!(r.hard_count(), 1);
+        assert_eq!(r.diagnostics[0].code, "SL008");
+        assert!(r.diagnostics[0].message.contains("[3]"));
+
+        // Order does not matter.
+        let mut m = ProgramModel::new(4, 4);
+        m.barriers.push(BarrierDecl {
+            label: "b".into(),
+            participants: vec![2, 0, 1],
+            arrivals: vec![0, 1, 2],
+        });
+        assert!(checked(&m).diagnostics.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! The `sarlint` binary's observable contract: exit status 0 for a
+//! clean analysis, 1 for hard findings, 2 for a bad command line.
+
+use std::process::Command;
+
+fn sarlint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sarlint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn all_registered_pairs_pass_the_gate() {
+    let out = sarlint(&["--all", "--small"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("8 pair(s) analyzed, 0 hard finding(s)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn scattered_placement_fails_with_exit_1_and_sl005() {
+    let out = sarlint(&[
+        "--mapping",
+        "autofocus_mpmd",
+        "--placement",
+        "scattered",
+        "--small",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SL005"), "{stdout}");
+}
+
+#[test]
+fn bad_names_exit_2_with_cli_codes() {
+    let out = sarlint(&["--mapping", "nosuch"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CLI001"));
+
+    let out = sarlint(&["--placement", "diagonal"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CLI003"));
+
+    let out = sarlint(&["--mapping"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CLI002"));
+}

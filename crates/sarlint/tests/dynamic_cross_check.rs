@@ -1,0 +1,85 @@
+//! The dynamic cross-check end to end: a truthful mapping passes, a
+//! mapping whose model under-declares its landing sites is caught
+//! (`SL009`), and a model-less mapping reports the vacuous note.
+
+use desim::trace::Tracer;
+use sar_epiphany::mapping_named;
+use sarlint::dynamic::cross_check;
+use sim_harness::{
+    platform_named, HarnessError, Mapping, MappingRun, Platform, PlatformKind, ProgramModel,
+    Workload,
+};
+
+/// Delegates execution to a real mapping but exports a model with
+/// every inbox shrunk to a single word — the run's observed landings
+/// can no longer be covered by the declarations.
+struct UnderDeclared(Box<dyn Mapping>);
+
+impl Mapping for UnderDeclared {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn kernel(&self) -> &'static str {
+        self.0.kernel()
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        self.0.supports(kind)
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        tracer: &Tracer,
+    ) -> Result<MappingRun, HarnessError> {
+        self.0.execute(workload, platform, tracer)
+    }
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        let mut m = self.0.program_model(workload, platform)?;
+        for b in &mut m.buffers {
+            b.bytes = 8;
+        }
+        Some(m)
+    }
+}
+
+#[test]
+fn truthful_pipeline_mapping_passes_the_cross_check() {
+    let m = mapping_named("autofocus_mpmd").expect("registered");
+    let w = Workload::named("autofocus", true).expect("registered");
+    let p = platform_named("epiphany").expect("registered");
+    let r = cross_check(m.as_ref(), &w, p.as_ref());
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    // The check must not be vacuous: the run emitted landings, so no
+    // SL000 note either.
+    assert!(!r.has_code("SL000"), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn truthful_spmd_mapping_passes_the_cross_check() {
+    let m = mapping_named("ffbp_spmd").expect("registered");
+    let w = Workload::named("ffbp", true).expect("registered");
+    let p = platform_named("epiphany").expect("registered");
+    let r = cross_check(m.as_ref(), &w, p.as_ref());
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert!(!r.has_code("SL000"), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn under_declared_model_is_caught_as_sl009() {
+    let m = UnderDeclared(mapping_named("autofocus_mpmd").expect("registered"));
+    let w = Workload::named("autofocus", true).expect("registered");
+    let p = platform_named("epiphany").expect("registered");
+    let r = cross_check(&m, &w, p.as_ref());
+    assert!(!r.is_clean());
+    assert!(r.has_code("SL009"), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn modelless_mapping_reports_the_vacuous_note() {
+    let m = mapping_named("ffbp_ref").expect("registered");
+    let w = Workload::named("ffbp", true).expect("registered");
+    let p = platform_named("refcpu").expect("registered");
+    let r = cross_check(m.as_ref(), &w, p.as_ref());
+    assert!(r.is_clean());
+    assert!(r.has_code("SL000"));
+}

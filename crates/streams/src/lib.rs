@@ -43,6 +43,8 @@
 //! net.run();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod network;
 
 pub use network::{Actor, ActorId, ChannelId, FireCtx, Network};

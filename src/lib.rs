@@ -1,5 +1,7 @@
 //! Umbrella crate: re-exports the workspace crates and hosts the
 //! cross-crate integration tests and runnable examples.
+
+#![forbid(unsafe_code)]
 pub use desim;
 pub use emesh;
 pub use epiphany;
