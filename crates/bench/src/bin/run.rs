@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
 //!     [--workload ffbp|autofocus] [--placement neighbor|scattered] \
+//!     [--faults spec.json] [--seed N] \
 //!     [--small] [--json] [--list] [--analyze] [--trace out.json] [--heatmap]
 //! ```
 //!
@@ -19,13 +20,21 @@
 //! extension); `--heatmap` prints the per-link mesh table after each
 //! Epiphany run.
 //!
-//! Bad command lines exit 2 with a `CLI***` diagnostic on stderr.
+//! `--faults spec.json` arms deterministic fault injection: the spec's
+//! random groups expand from `--seed N` (default 0), each executed
+//! pair gets a fresh schedule, and the per-run fault/recovery totals
+//! land in the record (`faults_injected`, `retries`, …). Same seed +
+//! same spec reproduce the run exactly.
+//!
+//! Bad command lines exit 2 with a `CLI***` diagnostic on stderr:
+//! `CLI004` for a malformed `--seed`, `CLI005` for an unreadable or
+//! malformed `--faults` spec.
 
 use sar_epiphany::autofocus_mpmd::Placement;
 use sar_epiphany::harness_impls::{all_mappings, mapping_named_placed};
 use sim_harness::{
-    all_platforms, platform_named, run_traced, BenchHarness, Diagnostic, Mapping, Platform,
-    Workload,
+    all_platforms, platform_named, run_ctx, BenchHarness, Diagnostic, FaultPlan, FaultState,
+    Mapping, Platform, RunContext, Workload,
 };
 
 /// `path` for run 0, `path` with `-n` spliced before the extension for
@@ -125,6 +134,32 @@ fn main() {
         return;
     }
 
+    let seed: u64 = operand(&h, "seed").map_or(0, |s| {
+        s.parse().unwrap_or_else(|_| {
+            fail(&Diagnostic::hard(
+                "CLI004",
+                format!("--seed {s}"),
+                "malformed seed; expected an unsigned 64-bit integer",
+            ))
+        })
+    });
+    let fault_plan: Option<FaultPlan> = operand(&h, "faults").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            fail(&Diagnostic::hard(
+                "CLI005",
+                format!("--faults {path}"),
+                format!("cannot read fault spec: {e}"),
+            ))
+        });
+        FaultPlan::parse(&text, seed).unwrap_or_else(|e| {
+            fail(&Diagnostic::hard(
+                "CLI005",
+                format!("--faults {path}"),
+                format!("malformed fault spec: {e}"),
+            ))
+        })
+    });
+
     h.say(format_args!(
         "unified runner — {} scale{}",
         if h.small() { "small" } else { "paper" },
@@ -172,7 +207,13 @@ fn main() {
                 }
             }
             let tracer = h.tracer();
-            let r = match run_traced(m.as_ref(), &workload, p.as_ref(), &tracer) {
+            let mut ctx = RunContext::traced(tracer.clone());
+            if let Some(plan) = &fault_plan {
+                // Each pair gets a fresh schedule, so a sweep injects
+                // the same faults into every run.
+                ctx = ctx.with_faults(FaultState::from_plan(plan));
+            }
+            let r = match run_ctx(m.as_ref(), &workload, p.as_ref(), &ctx) {
                 Ok(r) => r,
                 Err(e) => {
                     // supports() said yes but execute() refused: a
@@ -190,6 +231,18 @@ fn main() {
                 r.record.power_w,
                 r.record.energy_j()
             ));
+            if r.record.faults.any() {
+                let f = &r.record.faults;
+                h.say(format_args!(
+                    "  faults: {} injected, {} retries, {} recovery cycles, \
+                     {} degraded core(s), {:.6} J recovery energy",
+                    f.faults_injected,
+                    f.retries,
+                    f.recovery_cycles,
+                    f.degraded_cores,
+                    f.recovery_energy_j
+                ));
+            }
             if let Some(path) = h.trace_path() {
                 h.write_trace(trace_file(path, ran), &tracer, r.record.elapsed.clock);
             }

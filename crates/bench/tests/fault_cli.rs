@@ -1,0 +1,74 @@
+//! The unified runner's fault-injection surface: `--faults`/`--seed`
+//! drive deterministic injection, malformed values exit 2 with their
+//! `CLI004`/`CLI005` diagnostics, and a recovered run converges (exit
+//! 0 with nonzero fault accounting on stdout).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_run"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_spec(name: &str, text: &str) -> String {
+    let path = std::env::temp_dir().join(format!("{name}-{}.json", std::process::id()));
+    std::fs::write(&path, text).expect("spec written");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn malformed_seed_exits_2_with_cli004() {
+    let out = run(&["--seed", "banana", "--small", "--no-write"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CLI004"));
+}
+
+#[test]
+fn malformed_fault_spec_exits_2_with_cli005() {
+    let spec = temp_spec("fault-cli-bad", r#"{"version": 1, "faults": [{"at": 5}]}"#);
+    let out = run(&["--faults", &spec, "--small", "--no-write"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CLI005"));
+    let _ = std::fs::remove_file(&spec);
+
+    // An unreadable path is the same contract.
+    let out = run(&[
+        "--faults",
+        "/nonexistent/spec.json",
+        "--small",
+        "--no-write",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CLI005"));
+}
+
+#[test]
+fn faulted_pair_converges_and_reports_recovery() {
+    let spec = temp_spec(
+        "fault-cli-ok",
+        r#"{"version": 1, "faults": [
+            {"kind": "flag_drop", "at": 2000},
+            {"kind": "core_halt", "core": 5, "at": 20000}
+        ]}"#,
+    );
+    let out = run(&[
+        "--faults",
+        &spec,
+        "--seed",
+        "42",
+        "--mapping",
+        "autofocus_mpmd",
+        "--platform",
+        "epiphany",
+        "--small",
+        "--no-write",
+    ]);
+    let _ = std::fs::remove_file(&spec);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("autofocus_mpmd"), "{stdout}");
+    assert!(stdout.contains("faults: 2 injected"), "{stdout}");
+    assert!(stdout.contains("1 degraded core(s)"), "{stdout}");
+}

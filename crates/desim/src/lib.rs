@@ -48,7 +48,7 @@ pub mod work;
 pub use json::Json;
 pub use queue::{EventQueue, Simulator};
 pub use record::{
-    EnergyRecord, LinkLoad, MeshHeatmap, MeshUtilization, PhaseRecord, RunRecord,
+    EnergyRecord, FaultRecord, LinkLoad, MeshHeatmap, MeshUtilization, PhaseRecord, RunRecord,
     RUN_RECORD_VERSION,
 };
 pub use resource::{FifoResource, Reservation};

@@ -16,7 +16,53 @@ use crate::stats::Counters;
 use crate::time::{Cycle, Frequency, TimeSpan};
 
 /// Bump when the serialised shape changes incompatibly.
-pub const RUN_RECORD_VERSION: u32 = 2;
+pub const RUN_RECORD_VERSION: u32 = 3;
+
+/// Fault-injection and recovery accounting for one run (v3). All-zero
+/// when the run executed with faults disabled — the serialised block is
+/// present either way so tooling can rely on the shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultRecord {
+    /// Scheduled fault events that actually fired during the run.
+    pub faults_injected: u64,
+    /// Message re-sends performed by recovery protocols (e.g. the
+    /// reliable flag-write retry loop).
+    pub retries: u64,
+    /// Extra cycles spent detecting faults and re-executing work
+    /// (timeouts, redone iterations, drain-and-restart).
+    pub recovery_cycles: u64,
+    /// Cores permanently written off and excluded from later phases.
+    pub degraded_cores: u64,
+    /// Modelled energy attributable to recovery work, joules.
+    pub recovery_energy_j: f64,
+}
+
+impl FaultRecord {
+    /// Whether any fault activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultRecord::default()
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("faults_injected", self.faults_injected)
+            .with("retries", self.retries)
+            .with("recovery_cycles", self.recovery_cycles)
+            .with("degraded_cores", self.degraded_cores)
+            .with("recovery_energy_j", self.recovery_energy_j)
+    }
+
+    fn from_json(json: &Json) -> Option<FaultRecord> {
+        let u = |key: &str| json.get(key).and_then(Json::as_u64);
+        Some(FaultRecord {
+            faults_injected: u("faults_injected")?,
+            retries: u("retries")?,
+            recovery_cycles: u("recovery_cycles")?,
+            degraded_cores: u("degraded_cores")?,
+            recovery_energy_j: json.get("recovery_energy_j")?.as_f64()?,
+        })
+    }
+}
 
 /// Modelled energy in joules, by component. All-zero means the
 /// platform has no activity-based energy model (datasheet power × time
@@ -379,6 +425,9 @@ pub struct RunRecord {
     pub elink_busy_cycles: Cycle,
     /// SDRAM open-row hit rate.
     pub sdram_row_hit_rate: f64,
+    /// Fault-injection and recovery accounting (all-zero when the run
+    /// executed fault-free).
+    pub faults: FaultRecord,
     /// Per-directed-link load summary (absent when no mesh is
     /// modelled).
     pub mesh_heatmap: Option<MeshHeatmap>,
@@ -405,6 +454,7 @@ impl RunRecord {
             busiest_link_cycles: Cycle::ZERO,
             elink_busy_cycles: Cycle::ZERO,
             sdram_row_hit_rate: 0.0,
+            faults: FaultRecord::default(),
             mesh_heatmap: None,
             phases: Vec::new(),
         }
@@ -488,7 +538,8 @@ impl RunRecord {
             .with("metrics", metrics)
             .with("busiest_link_cycles", self.busiest_link_cycles.raw())
             .with("elink_busy_cycles", self.elink_busy_cycles.raw())
-            .with("sdram_row_hit_rate", self.sdram_row_hit_rate);
+            .with("sdram_row_hit_rate", self.sdram_row_hit_rate)
+            .with("faults", self.faults.to_json());
         if let Some(heatmap) = &self.mesh_heatmap {
             doc.set("mesh_heatmap", heatmap.to_json());
         }
@@ -535,6 +586,11 @@ impl RunRecord {
             busiest_link_cycles: Cycle(u("busiest_link_cycles")?),
             elink_busy_cycles: Cycle(u("elink_busy_cycles")?),
             sdram_row_hit_rate: f("sdram_row_hit_rate")?,
+            // Pre-v3 documents lack the block; default to fault-free.
+            faults: json
+                .get("faults")
+                .and_then(FaultRecord::from_json)
+                .unwrap_or_default(),
             mesh_heatmap: json.get("mesh_heatmap").and_then(MeshHeatmap::from_json),
             phases,
         })
@@ -565,6 +621,17 @@ impl fmt::Display for RunRecord {
             "  SDRAM row hits : {:.1}%",
             self.sdram_row_hit_rate * 100.0
         )?;
+        if self.faults.any() {
+            writeln!(
+                f,
+                "  faults         : {} injected, {} retries, {} recovery cycles, {} degraded cores, {:.5} J",
+                self.faults.faults_injected,
+                self.faults.retries,
+                self.faults.recovery_cycles,
+                self.faults.degraded_cores,
+                self.faults.recovery_energy_j
+            )?;
+        }
         for p in &self.phases {
             writeln!(
                 f,
@@ -645,6 +712,13 @@ mod tests {
         r.counters.add("dma_bytes", 456);
         r.set_metric("local_hits", 99.0);
         r.busiest_link_cycles = Cycle(777);
+        r.faults = FaultRecord {
+            faults_injected: 3,
+            retries: 2,
+            recovery_cycles: 4096,
+            degraded_cores: 1,
+            recovery_energy_j: 1.5e-5,
+        };
         r.mesh_heatmap = Some(MeshHeatmap {
             cols: 4,
             rows: 4,
@@ -687,6 +761,8 @@ mod tests {
         assert_eq!(back.counters.get("flop"), 123);
         assert_eq!(back.metric("local_hits"), Some(99.0));
         assert_eq!(back.busiest_link_cycles, Cycle(777));
+        assert_eq!(back.faults, r.faults);
+        assert!(back.faults.any());
         assert_eq!(back.mesh_heatmap, r.mesh_heatmap);
         assert_eq!(back.phases, r.phases);
         assert_eq!(back.phases[0].mesh.total_byte_hops(), 4096 + 128 + 64);
@@ -724,6 +800,20 @@ mod tests {
         assert!(text.contains("(2,1)->W"));
         // Top-1 keeps only the most occupied link.
         assert!(!map.render(1).contains("cmesh"));
+    }
+
+    #[test]
+    fn record_without_faults_block_parses_fault_free() {
+        // Pre-v3 documents lack the "faults" key: parse as fault-free.
+        let mut r = record(100);
+        r.kernel = "ffbp".into();
+        r.mapping = "ffbp_seq".into();
+        r.platform = "epiphany".into();
+        let mut doc = r.to_json();
+        doc.set("faults", Json::Null);
+        let back = RunRecord::from_json(&doc).unwrap();
+        assert_eq!(back.faults, FaultRecord::default());
+        assert!(!back.faults.any());
     }
 
     #[test]

@@ -70,6 +70,24 @@ impl SmallRng {
         let span = (range.end - range.start) as u128;
         range.start + ((self.next_u64() as u128 * span) >> 64) as usize
     }
+
+    /// Uniform `u64` in `[range.start, range.end)` (multiply-shift).
+    pub fn gen_u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = u128::from(range.end - range.start);
+        range.start + ((u128::from(self.next_u64()) * span) >> 64) as u64
+    }
+
+    /// Fork an independent child stream: one draw from this generator
+    /// seeds a fresh splitmix64-initialised state. The parent advances
+    /// exactly one step, so `split` is itself deterministic — N splits
+    /// from the same seed always yield the same N child streams, and a
+    /// child's output does not depend on how much the parent is used
+    /// afterwards. The fault scheduler leans on this to give every
+    /// fault group its own stream.
+    pub fn split(&mut self) -> SmallRng {
+        SmallRng::seed_from_u64(self.next_u64())
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +132,55 @@ mod tests {
         }
         // Roughly uniform: both halves get a sizeable share.
         assert!(lo_half > 3_000 && hi_half > 3_000, "{lo_half}/{hi_half}");
+    }
+
+    #[test]
+    fn split_streams_are_deterministic_and_independent() {
+        // Same seed, same split sequence -> identical child streams.
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut ca1 = a.split();
+        let mut ca2 = a.split();
+        let mut cb1 = b.split();
+        let mut cb2 = b.split();
+        let s = |r: &mut SmallRng| (0..8).map(|_| r.next_u64()).collect::<Vec<_>>();
+        assert_eq!(s(&mut ca1), s(&mut cb1));
+        assert_eq!(s(&mut ca2), s(&mut cb2));
+        // Sibling streams differ from each other and from the parent.
+        let mut fresh1 = SmallRng::seed_from_u64(42).split();
+        let mut fresh2 = {
+            let mut p = SmallRng::seed_from_u64(42);
+            p.split();
+            p.split()
+        };
+        assert_ne!(s(&mut fresh1), s(&mut fresh2));
+        assert_ne!(s(&mut fresh1), s(&mut SmallRng::seed_from_u64(42)));
+    }
+
+    #[test]
+    fn split_child_is_insulated_from_parent_use() {
+        // Drawing from the parent after the split must not change what
+        // an earlier child produces.
+        let mut p1 = SmallRng::seed_from_u64(9);
+        let mut c1 = p1.split();
+        let _ = p1.next_u64();
+        let _ = p1.next_u64();
+        let mut p2 = SmallRng::seed_from_u64(9);
+        let mut c2 = p2.split();
+        let xs: Vec<u64> = (0..16).map(|_| c1.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| c2.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn gen_u64_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_u64(100..1_000_000);
+            assert!((100..1_000_000).contains(&v), "{v}");
+        }
+        // Degenerate single-value range always yields that value.
+        assert_eq!(rng.gen_u64(7..8), 7);
     }
 
     #[test]

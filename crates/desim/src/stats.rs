@@ -37,6 +37,12 @@ impl Counters {
         self.map.get(key).copied().unwrap_or(0)
     }
 
+    /// Whether `key` was ever touched (distinguishes an absent counter
+    /// from one that accumulated zero).
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
     /// Iterate `(name, value)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.map.iter().map(|(k, v)| (*k, *v))
@@ -375,6 +381,53 @@ mod tests {
         assert!((500..=1024).contains(&p50), "p50={p50}");
         assert!(h.quantile(1.0).unwrap() >= 999);
         assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_empty_has_no_order_statistics() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_single_sample_pins_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.min(), Some(100));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 100.0).abs() < 1e-12);
+        // Every quantile lands in the one occupied bucket [64, 128):
+        // the reported upper bound must cover the sample.
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((100..=128).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_all_equal_samples_collapse_to_one_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(37);
+        }
+        assert_eq!(h.count(), 1_000);
+        assert_eq!(h.min(), Some(37));
+        assert_eq!(h.max(), Some(37));
+        assert!((h.mean() - 37.0).abs() < 1e-12);
+        // All mass in bucket [32, 64): p01 through p100 agree.
+        let lo = h.quantile(0.01).unwrap();
+        let hi = h.quantile(1.0).unwrap();
+        assert_eq!(lo, hi);
+        assert!((37..=64).contains(&lo), "{lo}");
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(-1.0), Some(lo));
+        assert_eq!(h.quantile(2.0), Some(hi));
     }
 
     #[test]

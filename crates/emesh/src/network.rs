@@ -4,6 +4,7 @@ use desim::record::LinkLoad;
 use desim::stats::Histogram;
 use desim::trace::{direction_letter, MeshKind, Tracer, Track};
 use desim::{Cycle, FifoResource, Reservation};
+use faultsim::FaultState;
 
 use crate::routing::{route_xy, Direction};
 use crate::topology::{Coord, Mesh2D, NodeId};
@@ -45,6 +46,7 @@ pub struct MeshNetwork {
     byte_hops: u64,
     latency: Histogram,
     tracer: Tracer,
+    faults: FaultState,
 }
 
 impl MeshNetwork {
@@ -70,6 +72,7 @@ impl MeshNetwork {
             byte_hops: 0,
             latency: Histogram::new(),
             tracer: Tracer::disabled(),
+            faults: FaultState::disabled(),
         }
     }
 
@@ -77,6 +80,12 @@ impl MeshNetwork {
     /// on its [`Track::MeshLink`] track.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach fault state; armed stall events perturb subsequent
+    /// transfers (exactly one transfer per event).
+    pub fn set_faults(&mut self, faults: FaultState) {
+        self.faults = faults;
     }
 
     fn units_for(&self, wire_bytes: u64) -> u64 {
@@ -133,11 +142,32 @@ impl MeshNetwork {
             LinkMode::BytesPerCycle(b) => Cycle(wire_bytes.max(1).div_ceil(b)),
             LinkMode::TransactionPerCycle => Cycle(1),
         };
-        let arrival = if route.is_empty() {
+        let mut arrival = if route.is_empty() {
             at + Cycle(self.hop_latency) + serialization
         } else {
             t + serialization
         };
+        if self.faults.is_enabled() {
+            if let Some(extra) = self.faults.mesh_stall(self.kind, at) {
+                // A stall window holds the message at its last
+                // traversed link (a local delivery stalls at the
+                // source router).
+                arrival += Cycle(extra);
+                let (node, dir) = route.last().map_or_else(
+                    || (self.mesh.node(sc).raw() as u32, 0u8),
+                    |hop| (self.mesh.node(hop.from).raw() as u32, hop.dir.index() as u8),
+                );
+                self.tracer.instant(
+                    Track::MeshLink {
+                        mesh: self.kind,
+                        node,
+                        dir,
+                    },
+                    "fault:mesh_stall",
+                    arrival,
+                );
+            }
+        }
         self.transfers += 1;
         self.bytes += wire_bytes;
         self.byte_hops += wire_bytes * route.len() as u64;
@@ -297,6 +327,7 @@ pub struct EMesh {
     pub elink: FifoResource,
     elink_node: NodeId,
     tracer: Tracer,
+    faults: FaultState,
 }
 
 impl EMesh {
@@ -325,6 +356,7 @@ impl EMesh {
             elink: FifoResource::per_units(1, params.elink_bytes_per_cycle),
             elink_node: mesh.elink_node(),
             tracer: Tracer::disabled(),
+            faults: FaultState::disabled(),
         }
     }
 
@@ -335,6 +367,28 @@ impl EMesh {
         self.rmesh.set_tracer(tracer.clone());
         self.xmesh.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attach fault state to the fabric: the three meshes take stall
+    /// events, the eLink takes degradation windows.
+    pub fn set_faults(&mut self, faults: FaultState) {
+        self.cmesh.set_faults(faults.clone());
+        self.rmesh.set_faults(faults.clone());
+        self.xmesh.set_faults(faults.clone());
+        self.faults = faults;
+    }
+
+    /// Extra start delay for an eLink operation at `at` when a
+    /// degradation window has armed (link retraining: the port is
+    /// unavailable for the window).
+    fn elink_fault_delay(&mut self, at: Cycle) -> Cycle {
+        match self.faults.elink_degrade(at) {
+            Some(extra) => {
+                self.tracer.instant(Track::ELink, "fault:elink_degrade", at);
+                Cycle(extra)
+            }
+            None => Cycle::ZERO,
+        }
     }
 
     /// Load summary of every loaded link across all three meshes.
@@ -395,7 +449,8 @@ impl EMesh {
     /// time the payload has left the chip.
     pub fn write_offchip(&mut self, at: Cycle, src: NodeId, bytes: u64) -> TransferResult {
         let to_edge = self.xmesh.transfer(at, src, self.elink_node, bytes + 8);
-        let r = self.elink.request(to_edge.arrival, bytes + 8);
+        let delay = self.elink_fault_delay(to_edge.arrival);
+        let r = self.elink.request(to_edge.arrival + delay, bytes + 8);
         self.tracer.span(Track::ELink, "wr_out", r.start, r.end);
         TransferResult {
             arrival: r.end,
@@ -417,7 +472,8 @@ impl EMesh {
         memory_cycles: Cycle,
     ) -> TransferResult {
         let req = self.rmesh.transfer(at, src, self.elink_node, 8);
-        let out = self.elink.request(req.arrival, 8);
+        let delay = self.elink_fault_delay(req.arrival);
+        let out = self.elink.request(req.arrival + delay, 8);
         let data_ready = out.end + memory_cycles;
         let back = self.elink.request(data_ready, bytes + 8);
         self.tracer.span(Track::ELink, "rd_req", out.start, out.end);
@@ -435,7 +491,8 @@ impl EMesh {
 
     /// Reserve the raw eLink (used by DMA models).
     pub fn elink_request(&mut self, at: Cycle, bytes: u64) -> Reservation {
-        let r = self.elink.request(at, bytes);
+        let delay = self.elink_fault_delay(at);
+        let r = self.elink.request(at + delay, bytes);
         self.tracer.span(Track::ELink, "dma", r.start, r.end);
         r
     }
@@ -619,6 +676,70 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.track == Track::ELink && matches!(e.kind, EventKind::Span { .. })));
+    }
+
+    #[test]
+    fn mesh_stall_fault_perturbs_exactly_one_transfer() {
+        use faultsim::{FaultEvent, FaultPlan};
+        let mut clean = fabric();
+        let baseline = clean
+            .write_onchip(Cycle(0), NodeId(0), NodeId(3), 64)
+            .arrival;
+
+        let mut f = fabric();
+        let plan = FaultPlan::from_events(
+            0,
+            vec![FaultEvent::MeshStall {
+                mesh: MeshKind::CMesh,
+                at: Cycle(0),
+                extra: 500,
+            }],
+        );
+        let faults = FaultState::from_plan(&plan);
+        f.set_faults(faults.clone());
+        let hit = f.write_onchip(Cycle(0), NodeId(0), NodeId(3), 64).arrival;
+        assert_eq!(hit, baseline + Cycle(500));
+        // The event fired once: the next identical transfer only pays
+        // ordinary link contention, never the stall again.
+        let next = f.write_onchip(Cycle(10_000), NodeId(0), NodeId(3), 64);
+        assert_eq!(next.arrival, Cycle(10_000) + (baseline - Cycle(0)));
+        assert_eq!(faults.totals().faults_injected, 1);
+    }
+
+    #[test]
+    fn elink_degrade_fault_delays_the_offchip_path_once() {
+        use faultsim::{FaultEvent, FaultPlan};
+        let mut clean = fabric();
+        let baseline = clean.write_offchip(Cycle(0), NodeId(0), 128).arrival;
+
+        let mut f = fabric();
+        let faults = FaultState::from_plan(&FaultPlan::from_events(
+            0,
+            vec![FaultEvent::ElinkDegrade {
+                at: Cycle(0),
+                extra: 300,
+            }],
+        ));
+        f.set_faults(faults.clone());
+        let hit = f.write_offchip(Cycle(0), NodeId(0), 128).arrival;
+        assert_eq!(hit, baseline + Cycle(300));
+        assert_eq!(faults.totals().faults_injected, 1);
+        assert_eq!(faults.pending(), 0);
+    }
+
+    #[test]
+    fn disabled_faults_leave_timing_bit_identical() {
+        let mut a = fabric();
+        let mut b = fabric();
+        b.set_faults(FaultState::disabled());
+        for t in 0..50u64 {
+            let ra = a.write_onchip(Cycle(t), NodeId(0), NodeId(15), 256);
+            let rb = b.write_onchip(Cycle(t), NodeId(0), NodeId(15), 256);
+            assert_eq!(ra.arrival, rb.arrival);
+            let oa = a.read_offchip(Cycle(t), NodeId(3), 64, Cycle(40));
+            let ob = b.read_offchip(Cycle(t), NodeId(3), 64, Cycle(40));
+            assert_eq!(oa.arrival, ob.arrival);
+        }
     }
 
     #[test]

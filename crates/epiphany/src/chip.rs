@@ -11,6 +11,7 @@ use desim::trace::{Tracer, Track};
 use desim::{Cycle, TimeSpan};
 use emesh::network::TransferResult;
 use emesh::{EMesh, Mesh2D, NodeId};
+use faultsim::{FaultState, FlagFault};
 use memsim::{GlobalAddr, LocalStore, Sdram};
 
 use crate::cost::{CostBlock, OpCounts};
@@ -59,6 +60,8 @@ pub struct Chip {
     phase_mesh0: MeshSnapshot,
     /// Event tracer (disabled by default; see [`Chip::set_tracer`]).
     tracer: Tracer,
+    /// Fault schedule (disabled by default; see [`Chip::set_faults`]).
+    faults: FaultState,
 }
 
 impl Chip {
@@ -80,6 +83,7 @@ impl Chip {
             phase_elink0: Cycle::ZERO,
             phase_mesh0: MeshSnapshot::default(),
             tracer: Tracer::disabled(),
+            faults: FaultState::disabled(),
             mesh,
             params,
         }
@@ -102,6 +106,29 @@ impl Chip {
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }
+
+    /// Attach fault state to the whole machine: the fabric (mesh
+    /// stalls, eLink degradation), the SDRAM (transient bit errors)
+    /// and the chip itself (flag drops/delays, core halts) share one
+    /// schedule, so every armed event injects exactly once across all
+    /// injection points.
+    pub fn set_faults(&mut self, faults: FaultState) {
+        self.fabric.set_faults(faults.clone());
+        self.sdram.set_faults(faults.clone());
+        self.faults = faults;
+    }
+
+    /// The fault state attached to this chip (disabled by default).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Sentinel returned by [`Chip::write_remote`] when an armed fault
+    /// dropped the flag write: the data landed in the destination
+    /// store, but the consumer will never see the flag go up.
+    /// [`Chip::send_reliable`] turns this into a watchdog-driven
+    /// retry; passing it to [`Chip::wait_flag`] is a bug.
+    pub const DROPPED: Cycle = Cycle(u64::MAX);
 
     /// The 16-core E16G3.
     pub fn e16g3(params: EpiphanyParams) -> Chip {
@@ -254,7 +281,68 @@ impl Chip {
         let c = &mut self.counters[core];
         c.bump("remote_write");
         c.add("remote_write_bytes", bytes);
+        if self.faults.is_enabled() {
+            match self.faults.flag_fault(res.arrival) {
+                Some(FlagFault::Drop) => {
+                    self.tracer
+                        .instant(Track::Core(dst as u32), "fault:flag_drop", res.arrival);
+                    return Chip::DROPPED;
+                }
+                Some(FlagFault::Delay(extra)) => {
+                    let arrival = res.arrival + Cycle(extra);
+                    self.tracer
+                        .instant(Track::Core(dst as u32), "fault:flag_delay", arrival);
+                    return arrival;
+                }
+                None => {}
+            }
+        }
         res.arrival
+    }
+
+    /// Reliable flag-signalled send: [`Chip::write_remote`] wrapped in
+    /// a producer-side model of the consumer's watchdog. If the flag
+    /// write is lost (a fault dropped it), the consumer's watchdog
+    /// expires after `flag_retry_timeout_cycles`, NACKs the producer,
+    /// and the message is re-sent; the timeout doubles per attempt,
+    /// capped at 8x the base. With faults disabled this is exactly one
+    /// [`Chip::write_remote`] — bit-identical to calling it directly.
+    ///
+    /// # Panics
+    /// If `flag_retry_max` re-sends are all lost.
+    pub fn send_reliable(&mut self, core: CoreId, dst: CoreId, bytes: u64) -> Cycle {
+        let ready = self.write_remote(core, dst, bytes);
+        if ready != Chip::DROPPED {
+            return ready;
+        }
+        // Recovery path: snapshot time and energy so the retry storm
+        // lands in the fault record, not silently in the baseline.
+        let t0 = self.t[core];
+        let e0 = self.energy().total_j();
+        let base = self.params.flag_retry_timeout_cycles.max(1);
+        let mut timeout = base;
+        for _ in 0..self.params.flag_retry_max {
+            // Watchdog expiry at the consumer, NACK back over the
+            // rMesh: the producer idles until the NACK lands.
+            let expiry = self.t[core] + Cycle(timeout);
+            self.stall_until(core, expiry);
+            self.faults.add_retries(1);
+            self.tracer
+                .instant(Track::Core(core as u32), "fault:flag_retry", self.t[core]);
+            let ready = self.write_remote(core, dst, bytes);
+            if ready != Chip::DROPPED {
+                self.faults
+                    .add_recovery_cycles(self.t[core].saturating_sub(t0).raw());
+                self.faults
+                    .add_recovery_energy((self.energy().total_j() - e0).max(0.0));
+                return ready;
+            }
+            timeout = (timeout * 2).min(8 * base);
+        }
+        panic!(
+            "send_reliable: flag write from core {core} to {dst} lost {} times",
+            self.params.flag_retry_max
+        );
     }
 
     /// Blocking read of `bytes` from `src_core`'s local store: request
@@ -285,7 +373,7 @@ impl Chip {
         );
         self.spend(core, Cycle(self.params.read_issue_cycles));
         let issued = self.t[core];
-        let mem = self.sdram.latency_of(addr.0);
+        let mem = self.sdram.latency_of(self.t[core], addr.0);
         let res = self
             .fabric
             .read_offchip(self.t[core], self.node(core), bytes, mem);
@@ -312,9 +400,9 @@ impl Chip {
         let res = self
             .fabric
             .write_offchip(self.t[core], self.node(core), bytes);
-        self.sdram.latency_of(addr.0); // open-row bookkeeping
-                                       // Backpressure: if the write would complete far beyond the
-                                       // buffer horizon, the core stalls until the backlog drains.
+        self.sdram.latency_of(res.arrival, addr.0); // open-row bookkeeping
+                                                    // Backpressure: if the write would complete far beyond the
+                                                    // buffer horizon, the core stalls until the backlog drains.
         let horizon = self.t[core] + Cycle(self.params.write_buffer_cycles);
         if res.arrival > horizon {
             let stall_from = self.t[core];
@@ -349,7 +437,7 @@ impl Chip {
         let start = self.dma[core].earliest_start(self.t[core]);
         let done = match dir {
             DmaDirection::ExternalToLocal => {
-                let mem = self.sdram.latency_of(addr.0);
+                let mem = self.sdram.latency_of(start, addr.0);
                 let res = self.fabric.read_offchip(start, self.node(core), bytes, mem);
                 // Landing in the chosen local bank.
                 let landed = self.stores[core].access_bank(res.arrival, bank, bytes);
@@ -368,7 +456,7 @@ impl Chip {
                 let res = self
                     .fabric
                     .write_offchip(drained.end, self.node(core), bytes);
-                self.sdram.latency_of(addr.0);
+                self.sdram.latency_of(res.arrival, addr.0);
                 res.arrival
             }
             DmaDirection::LocalToRemote => {
@@ -427,7 +515,7 @@ impl Chip {
             let row_addr = GlobalAddr(addr.0 + row * stride_bytes);
             t = match dir {
                 DmaDirection::ExternalToLocal => {
-                    let mem = self.sdram.latency_of(row_addr.0);
+                    let mem = self.sdram.latency_of(t, row_addr.0);
                     let res = self.fabric.read_offchip(t, self.node(core), row_bytes, mem);
                     let landed = self.stores[core].access_bank(res.arrival, bank, row_bytes);
                     if self.tracer.is_enabled() {
@@ -445,7 +533,7 @@ impl Chip {
                     let res = self
                         .fabric
                         .write_offchip(drained.end, self.node(core), row_bytes);
-                    self.sdram.latency_of(row_addr.0);
+                    self.sdram.latency_of(res.arrival, row_addr.0);
                     res.arrival
                 }
                 DmaDirection::LocalToRemote => {
@@ -478,7 +566,7 @@ impl Chip {
     pub fn host_load(&mut self, core: CoreId, src: GlobalAddr, bytes: u64) -> Cycle {
         let begun = self.t[core];
         let r = self.fabric.elink_request(self.t[core], bytes + 8);
-        self.sdram.latency_of(src.0);
+        self.sdram.latency_of(r.end, src.0);
         let res =
             self.fabric
                 .cmesh
@@ -522,6 +610,11 @@ impl Chip {
     /// where a single-check model would put it, `max(now + one poll,
     /// ready)`, because the charged polls fit inside the wait.
     pub fn wait_flag(&mut self, core: CoreId, ready: Cycle) {
+        debug_assert!(
+            ready != Chip::DROPPED,
+            "wait_flag on a dropped flag write; use Chip::send_reliable \
+             for fault-tolerant signalling"
+        );
         let from = self.t[core];
         let waited = ready.saturating_sub(from).0;
         let polls = (waited / self.params.flag_poll_cycles.max(1))
@@ -720,6 +813,7 @@ impl Chip {
             .max(self.fabric.xmesh.max_link_busy());
         record.elink_busy_cycles = self.fabric.elink.busy_cycles();
         record.sdram_row_hit_rate = self.sdram.row_hit_rate();
+        record.faults = self.faults.totals();
 
         // Aggregate link statistics — present even with tracing off.
         let f = &self.fabric;
@@ -1381,6 +1475,109 @@ mod tests {
         // The core waited (stalled), it did not burn busy cycles.
         assert_eq!(c.busy(5), Cycle::ZERO);
         assert!(c.now(5) >= done);
+    }
+
+    #[test]
+    fn flag_delay_fault_perturbs_exactly_one_send() {
+        use faultsim::{FaultEvent, FaultPlan, FaultState};
+        let mut c = chip();
+        let baseline = {
+            let mut b = chip();
+            (b.write_remote(0, 1, 64), b.write_remote(0, 1, 64))
+        };
+        c.set_faults(FaultState::from_plan(&FaultPlan::from_events(
+            0,
+            vec![FaultEvent::FlagDelay {
+                at: Cycle(0),
+                extra: 500,
+            }],
+        )));
+        let first = c.write_remote(0, 1, 64);
+        let second = c.write_remote(0, 1, 64);
+        assert_eq!(first, baseline.0 + Cycle(500), "armed delay applies once");
+        assert_eq!(second, baseline.1, "subsequent sends untouched");
+        assert_eq!(c.faults().totals().faults_injected, 1);
+    }
+
+    #[test]
+    fn send_reliable_recovers_a_dropped_flag() {
+        use faultsim::{FaultEvent, FaultPlan, FaultState};
+        let p = EpiphanyParams::default();
+        let mut c = chip();
+        c.set_faults(FaultState::from_plan(&FaultPlan::from_events(
+            0,
+            vec![FaultEvent::FlagDrop { at: Cycle(0) }],
+        )));
+        let ready = c.send_reliable(0, 1, 64);
+        assert_ne!(ready, Chip::DROPPED);
+        // The producer sat out at least one watchdog timeout.
+        assert!(c.now(0).raw() >= p.flag_retry_timeout_cycles);
+        let totals = c.faults().totals();
+        assert_eq!(totals.faults_injected, 1);
+        assert_eq!(totals.retries, 1);
+        assert!(totals.recovery_cycles >= p.flag_retry_timeout_cycles);
+        assert!(totals.recovery_energy_j > 0.0);
+        // The consumer can wait on the recovered delivery as usual.
+        c.wait_flag(1, ready);
+        assert!(c.now(1) >= ready);
+        // And the report carries the fault block.
+        let r = c.report("recovered", 2);
+        assert_eq!(r.faults.retries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "send_reliable")]
+    fn send_reliable_gives_up_after_max_retries() {
+        use faultsim::{FaultEvent, FaultPlan, FaultState};
+        let p = EpiphanyParams {
+            flag_retry_max: 2,
+            ..Default::default()
+        };
+        let mut c = Chip::e16g3(p);
+        // More drops armed than the retry budget tolerates.
+        let drops = (0..8)
+            .map(|_| FaultEvent::FlagDrop { at: Cycle(0) })
+            .collect();
+        c.set_faults(FaultState::from_plan(&FaultPlan::from_events(0, drops)));
+        let _ = c.send_reliable(0, 1, 64);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_disabled() {
+        use faultsim::{FaultPlan, FaultState};
+        let run = |faults: Option<FaultState>| {
+            let mut c = chip();
+            if let Some(f) = faults {
+                c.set_faults(f);
+            }
+            c.phase_begin("m");
+            c.compute(
+                0,
+                &OpCounts {
+                    flops: 500,
+                    ..OpCounts::default()
+                },
+            );
+            let ready = c.send_reliable(0, 1, 256);
+            c.wait_flag(1, ready);
+            c.read_external(2, ext(0), 512);
+            c.write_external(3, ext(4096), 512);
+            let done = c.dma_start(4, DmaDirection::ExternalToLocal, ext(8192), 2, 4096);
+            c.dma_wait(4, done);
+            c.barrier(&[0, 1, 2, 3, 4]);
+            c.phase_end();
+            let r = c.report("x", 5);
+            (
+                r.elapsed.cycles,
+                r.counters.get("mesh_byte_hops"),
+                r.energy.total_j().to_bits(),
+                r.faults,
+            )
+        };
+        let plain = run(None);
+        let armed_but_empty = run(Some(FaultState::from_plan(&FaultPlan::empty(7))));
+        assert_eq!(plain, armed_but_empty, "empty plan must not perturb runs");
+        assert_eq!(plain.3, desim::FaultRecord::default());
     }
 
     #[test]

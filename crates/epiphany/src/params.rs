@@ -62,6 +62,14 @@ pub struct EpiphanyParams {
     /// Barrier cost per participant pair (flag write + poll across the
     /// mesh; dominated by two neighbour hops each way).
     pub barrier_base_cycles: u64,
+    /// Consumer watchdog timeout before a lost flag write is NACKed
+    /// and re-sent ([`crate::Chip::send_reliable`]). Sized well above
+    /// the worst-case on-chip delivery so the fault-free path never
+    /// trips it.
+    pub flag_retry_timeout_cycles: u64,
+    /// Re-send attempts before [`crate::Chip::send_reliable`] gives up
+    /// (the timeout doubles each attempt, capped at 8x the base).
+    pub flag_retry_max: u32,
 
     // ---- fabric & memory geometry --------------------------------------
     /// eMesh parameters (link width, hop latency, eLink width).
@@ -108,6 +116,8 @@ impl Default for EpiphanyParams {
             flag_poll_cycles: 2,
             flag_poll_max_polls: 64,
             barrier_base_cycles: 12,
+            flag_retry_timeout_cycles: 2048,
+            flag_retry_max: 8,
             emesh: EMeshParams::default(),
             sram: SramParams::default(),
             // Board SDRAM is reached through the eLink and an FPGA

@@ -1,0 +1,26 @@
+//! `faultsim` — deterministic fault schedules and injection state
+//! (DESIGN.md §3 S15).
+//!
+//! The simulator's timing model is fully deterministic, and fault
+//! injection keeps that property: a [`FaultPlan`] is a sorted list of
+//! fault events, either pinned to explicit cycles in a JSON spec or
+//! expanded from seeded random groups ([`desim::SmallRng`] child
+//! streams — same seed, same plan, always). At run time a [`FaultState`]
+//! carries the plan's per-site queues through the machine models; each
+//! injection site pops its queue when the simulation clock passes an
+//! event's cycle, so every scheduled event perturbs **exactly one**
+//! operation and a re-run with the same seed replays the same faults
+//! against the same operations.
+//!
+//! The state clones like [`desim::Tracer`] (a shared `Rc` handle, or
+//! `None` when disabled) and mirrors its overhead contract: a disabled
+//! `FaultState` never allocates and costs one branch per query, guarded
+//! by `tests/disabled_overhead.rs`.
+
+#![forbid(unsafe_code)]
+
+pub mod plan;
+pub mod state;
+
+pub use plan::{FaultEvent, FaultPlan, SpecError};
+pub use state::{FaultState, FlagFault};

@@ -1,0 +1,59 @@
+//! The fault hooks' overhead guarantee: a *disabled* [`FaultState`]
+//! must not allocate, no matter how many injection-point queries hit
+//! it — the no-`--faults` path must stay bit-identical and free. Same
+//! counting-allocator pattern as `desim`'s tracer guard.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use desim::trace::MeshKind;
+use desim::Cycle;
+use faultsim::FaultState;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_fault_state_never_allocates() {
+    let faults = FaultState::disabled();
+    // Warm up once so any lazy statics in the harness are paid for.
+    let _ = faults.mesh_stall(MeshKind::CMesh, Cycle(0));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        let now = Cycle(i);
+        assert!(faults.mesh_stall(MeshKind::CMesh, now).is_none());
+        assert!(faults.mesh_stall(MeshKind::XMesh, now).is_none());
+        assert!(faults.flag_fault(now).is_none());
+        assert!(faults.elink_degrade(now).is_none());
+        assert!(!faults.sdram_bit_error(now));
+        assert!(!faults.halted((i % 16) as u32, now));
+        faults.add_retries(1);
+        faults.add_recovery_cycles(10);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled fault state allocated {} times",
+        after - before
+    );
+    assert_eq!(faults.totals(), desim::FaultRecord::default());
+}

@@ -25,6 +25,35 @@ use crate::diag::Diagnostic;
 /// Where bench documents land unless `--out` overrides it.
 pub const RESULTS_DIR: &str = "results";
 
+/// Guard against silently replacing a results document a *different*
+/// schema version wrote: `Err(CLI006)` when `path` holds a parseable
+/// bench document whose `version` differs from this writer's
+/// [`RUN_RECORD_VERSION`], unless `force`. Missing files, unreadable
+/// files and non-document JSON are all fine to (over)write — the
+/// guard only protects documents it can actually identify.
+pub fn check_overwrite(path: &Path, force: bool) -> Result<(), Diagnostic> {
+    if force {
+        return Ok(());
+    }
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let existing = Json::parse(&text)
+        .ok()
+        .and_then(|d| d.get("version").and_then(Json::as_u64));
+    match existing {
+        Some(v) if v != u64::from(RUN_RECORD_VERSION) => Err(Diagnostic::hard(
+            "CLI006",
+            path.display().to_string(),
+            format!(
+                "refusing to overwrite a schema-version-{v} document with a \
+                 version-{RUN_RECORD_VERSION} one; pass --force to replace it"
+            ),
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// Per-binary runner: collects [`RunRecord`]s, mirrors human-readable
 /// prose to stdout (suppressed under `--json`), and serialises one
 /// versioned document at [`BenchHarness::finish`].
@@ -210,6 +239,10 @@ impl BenchHarness {
             || PathBuf::from(RESULTS_DIR).join(format!("{}.json", self.name)),
             PathBuf::from,
         );
+        if let Err(d) = check_overwrite(&path, self.flag("force")) {
+            eprintln!("{d}");
+            std::process::exit(2);
+        }
         if let Some(dir) = path.parent() {
             if let Err(e) = std::fs::create_dir_all(dir) {
                 eprintln!("warning: cannot create {}: {e}", dir.display());
@@ -282,6 +315,42 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(3)
         );
+    }
+
+    #[test]
+    fn check_overwrite_refuses_only_version_mismatches() {
+        let dir = std::env::temp_dir().join(format!("harness-cli006-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing file: fine.
+        assert!(check_overwrite(&dir.join("absent.json"), false).is_ok());
+        // Same version: fine.
+        let same = dir.join("same.json");
+        std::fs::write(
+            &same,
+            Json::obj()
+                .with("version", RUN_RECORD_VERSION)
+                .to_string_pretty(),
+        )
+        .unwrap();
+        assert!(check_overwrite(&same, false).is_ok());
+        // Unidentifiable contents: fine (nothing to protect).
+        let junk = dir.join("junk.json");
+        std::fs::write(&junk, "not json at all").unwrap();
+        assert!(check_overwrite(&junk, false).is_ok());
+        // Version mismatch: CLI006 unless forced.
+        let old = dir.join("old.json");
+        std::fs::write(
+            &old,
+            Json::obj()
+                .with("version", u64::from(RUN_RECORD_VERSION) + 1)
+                .to_string_pretty(),
+        )
+        .unwrap();
+        let err = check_overwrite(&old, false).unwrap_err();
+        assert_eq!(err.code, "CLI006");
+        assert!(err.message.contains("--force"));
+        assert!(check_overwrite(&old, true).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,10 +27,11 @@ pub mod model;
 pub mod platform;
 pub mod workload;
 
-pub use cli::{BenchHarness, RESULTS_DIR};
+pub use cli::{check_overwrite, BenchHarness, RESULTS_DIR};
 pub use desim::{PhaseRecord, RunRecord, RUN_RECORD_VERSION};
 pub use diag::{Diagnostic, Report, Severity};
-pub use mapping::{run, run_traced, HarnessError, Mapping, MappingRun};
+pub use faultsim::{FaultPlan, FaultState};
+pub use mapping::{run, run_ctx, run_traced, HarnessError, Mapping, MappingRun, RunContext};
 pub use model::{BarrierDecl, BufferDecl, ChannelDecl, FlagDecl, ProgramModel};
 pub use platform::{
     all_platforms, platform_named, EpiphanyPlatform, HostPlatform, Platform, PlatformKind,

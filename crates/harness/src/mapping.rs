@@ -5,11 +5,56 @@ use std::fmt;
 
 use desim::trace::{Tracer, Track};
 use desim::RunRecord;
+use faultsim::FaultState;
 use sar_core::image::ComplexImage;
 
 use crate::model::ProgramModel;
 use crate::platform::{Platform, PlatformKind};
 use crate::workload::Workload;
+
+/// Everything a driver may consult while executing: the run's event
+/// timeline and its fault schedule. [`run_ctx`] passes it through to
+/// [`Mapping::execute_ctx`]; [`run_traced`] wraps a bare tracer in a
+/// fault-free context, so the two entry points price identically when
+/// no faults are armed.
+#[derive(Clone)]
+pub struct RunContext {
+    /// Event timeline (disabled unless the caller requested a trace).
+    pub tracer: Tracer,
+    /// Fault schedule (disabled unless the caller armed one).
+    pub faults: FaultState,
+}
+
+impl Default for RunContext {
+    fn default() -> RunContext {
+        RunContext {
+            tracer: Tracer::disabled(),
+            faults: FaultState::disabled(),
+        }
+    }
+}
+
+impl RunContext {
+    /// Neither tracing nor faults — the plain [`run`] path.
+    pub fn plain() -> RunContext {
+        RunContext::default()
+    }
+
+    /// Tracing only.
+    pub fn traced(tracer: Tracer) -> RunContext {
+        RunContext {
+            tracer,
+            ..RunContext::default()
+        }
+    }
+
+    /// Replace the fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultState) -> RunContext {
+        self.faults = faults;
+        self
+    }
+}
 
 /// What a mapping returns: the machine record plus whichever functional
 /// outputs the kernel produces (used by the cross-machine identity
@@ -97,6 +142,19 @@ pub trait Mapping {
         platform: &dyn Platform,
         tracer: &Tracer,
     ) -> Result<MappingRun, HarnessError>;
+    /// Run the workload with a full run context (tracer + fault
+    /// schedule). The default forwards to [`Mapping::execute`] and
+    /// ignores the fault schedule — only mappings with a recovery
+    /// story override this, and they must keep the fault-free path
+    /// bit-identical to `execute`.
+    fn execute_ctx(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        ctx: &RunContext,
+    ) -> Result<MappingRun, HarnessError> {
+        self.execute(workload, platform, &ctx.tracer)
+    }
     /// What the mapping declares about its memory, channels and
     /// synchronisation — the input to the `sarlint` static checks
     /// (DESIGN.md §3 S14). `None` means the mapping makes no checkable
@@ -129,6 +187,23 @@ pub fn run_traced(
     platform: &dyn Platform,
     tracer: &Tracer,
 ) -> Result<MappingRun, HarnessError> {
+    run_ctx(
+        mapping,
+        workload,
+        platform,
+        &RunContext::traced(tracer.clone()),
+    )
+}
+
+/// The full entry point: [`run_traced`] plus a fault schedule. When
+/// faults are armed the seed is stamped into the record's counters
+/// (`fault_seed`), so a record alone is enough to reproduce its run.
+pub fn run_ctx(
+    mapping: &dyn Mapping,
+    workload: &Workload,
+    platform: &dyn Platform,
+    ctx: &RunContext,
+) -> Result<MappingRun, HarnessError> {
     if workload.kernel() != mapping.kernel() {
         return Err(HarnessError::KernelMismatch {
             mapping: mapping.name().to_string(),
@@ -141,13 +216,16 @@ pub fn run_traced(
             platform: platform.label().to_string(),
         });
     }
-    let mut out = mapping.execute(workload, platform, tracer)?;
+    let mut out = mapping.execute_ctx(workload, platform, ctx)?;
     out.record.kernel = mapping.kernel().to_string();
     out.record.mapping = mapping.name().to_string();
     out.record.platform = platform.label().to_string();
     out.record.power_w = platform.datasheet_power_w();
-    if tracer.is_enabled() && !tracer.has_span_on(Track::Run) {
-        replay_phases(&out.record, tracer);
+    if let Some(seed) = ctx.faults.seed() {
+        out.record.counters.add("fault_seed", seed);
+    }
+    if ctx.tracer.is_enabled() && !ctx.tracer.has_span_on(Track::Run) {
+        replay_phases(&out.record, &ctx.tracer);
     }
     Ok(out)
 }
@@ -231,6 +309,22 @@ mod tests {
             .unwrap();
         assert!(matches!(err, HarnessError::UnsupportedPlatform { .. }));
         assert!(format!("{err}").contains("refcpu"));
+    }
+
+    #[test]
+    fn run_ctx_stamps_the_fault_seed_only_when_armed() {
+        use faultsim::FaultPlan;
+        let w = Workload::named("ffbp", true).unwrap();
+        let plain = run(&NullFfbp, &w, &EpiphanyPlatform::default()).unwrap();
+        assert!(
+            !plain.record.counters.contains("fault_seed"),
+            "fault-free records must not grow a seed counter"
+        );
+        let ctx = RunContext::plain().with_faults(FaultState::from_plan(&FaultPlan::empty(42)));
+        let armed = run_ctx(&NullFfbp, &w, &EpiphanyPlatform::default(), &ctx).unwrap();
+        assert_eq!(armed.record.counters.get("fault_seed"), 42);
+        // Identity stamping is shared with the traced path.
+        assert_eq!(armed.record.mapping, "ffbp_null");
     }
 
     #[test]

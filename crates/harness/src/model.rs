@@ -38,6 +38,10 @@ pub struct ChannelDecl {
     pub capacity_tokens: u32,
     /// Tokens one producer firing posts into the channel.
     pub tokens_per_firing: u32,
+    /// Declared fault-recovery policy (e.g. `"retry_backoff"`,
+    /// `"drain_restart"`). `None` means the channel has no recovery
+    /// story — the `sarlint` SL011 check flags it.
+    pub recovery: Option<String>,
 }
 
 /// One flag-synchronisation site: `setter` posts data and sets the
@@ -54,6 +58,10 @@ pub struct FlagDecl {
     pub sets: u64,
     /// Waits per round.
     pub waits: u64,
+    /// Declared fault-recovery policy (e.g. `"checkpoint_restart"`).
+    /// `None` means a lost flag write hangs the waiter forever — the
+    /// `sarlint` SL012 check flags it.
+    pub recovery: Option<String>,
 }
 
 /// One barrier: which cores the algorithm assumes participate, and
@@ -123,6 +131,7 @@ impl ProgramModel {
             waiter: to,
             sets: 1,
             waits: 1,
+            recovery: None,
         });
         self.channels.push(ChannelDecl {
             label,
@@ -130,7 +139,33 @@ impl ProgramModel {
             to,
             capacity_tokens: 1,
             tokens_per_firing: 1,
+            recovery: None,
         });
+    }
+
+    /// Declare the fault-recovery policy for every channel and flag
+    /// whose label starts with `prefix` (a channel's protocol flag
+    /// shares the channel's label, so one call covers both). Returns
+    /// how many declarations matched.
+    pub fn declare_recovery(&mut self, prefix: &str, policy: &str) -> usize {
+        let mut matched = 0;
+        for c in self
+            .channels
+            .iter_mut()
+            .filter(|c| c.label.starts_with(prefix))
+        {
+            c.recovery = Some(policy.to_string());
+            matched += 1;
+        }
+        for f in self
+            .flags
+            .iter_mut()
+            .filter(|f| f.label.starts_with(prefix))
+        {
+            f.recovery = Some(policy.to_string());
+            matched += 1;
+        }
+        matched
     }
 
     /// `(x, y)` mesh coordinates of row-major node `core`.
@@ -172,5 +207,23 @@ mod tests {
         assert_eq!((f.setter, f.waiter), (1, 2));
         assert_eq!((f.sets, f.waits), (1, 1));
         assert!(f.label.ends_with(".ready"));
+        assert_eq!(f.recovery, None, "recovery is an explicit declaration");
+    }
+
+    #[test]
+    fn declare_recovery_covers_channel_and_protocol_flag() {
+        let mut m = ProgramModel::new(4, 4);
+        m.channel("range00->beam01", 0, 1);
+        m.channel("range02->beam03", 2, 3);
+        // One channel + its .ready flag match the full-label prefix.
+        assert_eq!(m.declare_recovery("range00->beam01", "retry_backoff"), 2);
+        assert_eq!(m.channels[0].recovery.as_deref(), Some("retry_backoff"));
+        assert_eq!(m.flags[0].recovery.as_deref(), Some("retry_backoff"));
+        assert_eq!(m.channels[1].recovery, None);
+        // A shared prefix covers the rest in one declaration.
+        assert_eq!(m.declare_recovery("range", "drain_restart"), 4);
+        assert_eq!(m.channels[1].recovery.as_deref(), Some("drain_restart"));
+        // No match, no effect.
+        assert_eq!(m.declare_recovery("nope", "x"), 0);
     }
 }

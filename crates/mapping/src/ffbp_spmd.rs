@@ -17,6 +17,7 @@
 use desim::{Cycle, OpCounts, RunRecord};
 use epiphany::dma::DmaDirection;
 use epiphany::{Chip, EpiphanyParams};
+use faultsim::FaultState;
 use sar_core::ffbp::grid::Subaperture;
 use sar_core::ffbp::interp::nearest_indices;
 use sar_core::ffbp::merge::combine_sample_with_lookup;
@@ -72,15 +73,39 @@ pub fn run_traced(
     opts: SpmdOptions,
     tracer: desim::trace::Tracer,
 ) -> FfbpSpmdRun {
+    run_faulted(w, params, opts, tracer, FaultState::disabled())
+}
+
+/// [`run_traced`] under a fault schedule. The recovery story is
+/// checkpoint/restart at merge-iteration granularity: every
+/// iteration's inputs live in SDRAM (the previous stage's output), so
+/// a core that halts mid-iteration is detected at the end-of-merge
+/// health check, dropped from the active set, and the whole iteration
+/// is redone on the survivors — the paper's 16-core mapping degrades
+/// to a 15-core one instead of hanging. The redone work is accounted
+/// as recovery cycles/energy in the fault record; the formed image is
+/// bit-identical to the fault-free run because the restart recomputes
+/// the same output slice values. With `faults` disabled this is
+/// exactly [`run_traced`].
+pub fn run_faulted(
+    w: &FfbpWorkload,
+    params: EpiphanyParams,
+    opts: SpmdOptions,
+    tracer: desim::trace::Tracer,
+    faults: FaultState,
+) -> FfbpSpmdRun {
     let geom = &w.geom;
     let n_cores = opts.cores;
     let mut chip = Chip::with_cores(params, n_cores);
     chip.set_tracer(tracer);
+    chip.set_faults(faults.clone());
     assert!(
         n_cores <= chip.cores(),
         "requested more cores than the chip has"
     );
-    let cores: Vec<usize> = (0..n_cores).collect();
+    // Cores still participating; halted cores drop out at the
+    // end-of-iteration health check.
+    let mut active: Vec<usize> = (0..n_cores).collect();
 
     let layout = ExternalLayout::new(geom.num_pulses as u32, geom.num_bins as u32);
     let mut counts = OpCounts::default();
@@ -93,127 +118,165 @@ pub fn run_traced(
     let mut stage_idx = 0u32;
 
     while stage.len() > 1 {
-        chip.phase_begin("merge");
-        let (hits0, misses0) = (local_hits, external_misses);
-        let child_beams = stage[0].grid.n_beams as u32;
-        let out_grid = stage[0].grid.refined();
-        let mut next: Vec<Subaperture> = stage
-            .chunks(2)
-            .map(|p| {
-                Subaperture::zeros(
-                    (p[0].center_y + p[1].center_y) / 2.0,
-                    p[0].length + p[1].length,
-                    out_grid,
-                    geom.num_bins,
-                )
-            })
-            .collect();
+        // One checkpointed attempt per pass: if a core halts during
+        // the iteration, drop it from the active set and redo the
+        // whole iteration — the inputs (previous stage) are still in
+        // SDRAM, and the output region is simply rewritten.
+        let next = loop {
+            let attempt_t0 = chip.elapsed();
+            let attempt_e0 = if faults.is_enabled() {
+                chip.energy().total_j()
+            } else {
+                0.0
+            };
+            chip.phase_begin("merge");
+            let (hits0, misses0) = (local_hits, external_misses);
+            let child_beams = stage[0].grid.n_beams as u32;
+            let out_grid = stage[0].grid.refined();
+            let mut next: Vec<Subaperture> = stage
+                .chunks(2)
+                .map(|p| {
+                    Subaperture::zeros(
+                        (p[0].center_y + p[1].center_y) / 2.0,
+                        p[0].length + p[1].length,
+                        out_grid,
+                        geom.num_bins,
+                    )
+                })
+                .collect();
 
-        // Work units: one output beam each, dealt round-robin.
-        let mut last_write: Vec<Cycle> = vec![Cycle::ZERO; n_cores];
-        let mut task = 0usize;
-        for (pair_idx, pair) in stage.chunks(2).enumerate() {
-            let (a, b) = (&pair[0], &pair[1]);
-            let l = b.center_y - a.center_y;
-            let beam_base_a = 2 * pair_idx as u32 * child_beams;
-            let beam_base_b = beam_base_a + child_beams;
-            let out_beam_base = pair_idx as u32 * out_grid.n_beams as u32;
+            // Work units: one output beam each, dealt round-robin
+            // over the surviving cores.
+            let mut last_write: Vec<Cycle> = vec![Cycle::ZERO; n_cores];
+            let mut task = 0usize;
+            for (pair_idx, pair) in stage.chunks(2).enumerate() {
+                let (a, b) = (&pair[0], &pair[1]);
+                let l = b.center_y - a.center_y;
+                let beam_base_a = 2 * pair_idx as u32 * child_beams;
+                let beam_base_b = beam_base_a + child_beams;
+                let out_beam_base = pair_idx as u32 * out_grid.n_beams as u32;
 
-            for j in 0..out_grid.n_beams {
-                let core = cores[task % n_cores];
-                task += 1;
-                let theta = out_grid.beam_theta(j);
+                for j in 0..out_grid.n_beams {
+                    let core = active[task % active.len()];
+                    task += 1;
+                    let theta = out_grid.beam_theta(j);
 
-                // Which child beams does this output beam map to at mid
-                // range? Prefetch those two (one per upper bank).
-                let mut pf_counts = OpCounts::default();
-                let mid = merge_geometry(r_mid, theta, l, &mut pf_counts);
-                let pf_a = nearest_indices(a, geom, mid.r1, mid.theta1).map(|(_, beam)| beam);
-                let pf_b = nearest_indices(b, geom, mid.r2, mid.theta2).map(|(_, beam)| beam);
-                if opts.prefetch {
-                    chip.compute(core, &pf_counts);
-                    let mut done = Cycle::ZERO;
-                    if let Some(beam) = pf_a {
-                        let addr = layout.addr(stage_idx, beam_base_a + beam as u32, 0);
-                        done = done.max(chip.dma_start(
-                            core,
-                            DmaDirection::ExternalToLocal,
-                            addr,
-                            BANK_CHILD_A,
-                            layout.beam_bytes(),
-                        ));
+                    // Which child beams does this output beam map to at mid
+                    // range? Prefetch those two (one per upper bank).
+                    let mut pf_counts = OpCounts::default();
+                    let mid = merge_geometry(r_mid, theta, l, &mut pf_counts);
+                    let pf_a = nearest_indices(a, geom, mid.r1, mid.theta1).map(|(_, beam)| beam);
+                    let pf_b = nearest_indices(b, geom, mid.r2, mid.theta2).map(|(_, beam)| beam);
+                    if opts.prefetch {
+                        chip.compute(core, &pf_counts);
+                        let mut done = Cycle::ZERO;
+                        if let Some(beam) = pf_a {
+                            let addr = layout.addr(stage_idx, beam_base_a + beam as u32, 0);
+                            done = done.max(chip.dma_start(
+                                core,
+                                DmaDirection::ExternalToLocal,
+                                addr,
+                                BANK_CHILD_A,
+                                layout.beam_bytes(),
+                            ));
+                        }
+                        if let Some(beam) = pf_b {
+                            let addr = layout.addr(stage_idx, beam_base_b + beam as u32, 0);
+                            done = done.max(chip.dma_start(
+                                core,
+                                DmaDirection::ExternalToLocal,
+                                addr,
+                                BANK_CHILD_B,
+                                layout.beam_bytes(),
+                            ));
+                        }
+                        chip.dma_wait(core, done);
                     }
-                    if let Some(beam) = pf_b {
-                        let addr = layout.addr(stage_idx, beam_base_b + beam as u32, 0);
-                        done = done.max(chip.dma_start(
-                            core,
-                            DmaDirection::ExternalToLocal,
-                            addr,
-                            BANK_CHILD_B,
-                            layout.beam_bytes(),
-                        ));
-                    }
-                    chip.dma_wait(core, done);
-                }
 
-                for i in 0..geom.num_bins {
-                    let r = geom.bin_range(i);
-                    let (v, look) = combine_sample_with_lookup(
-                        a,
-                        b,
-                        geom,
-                        r,
-                        theta,
-                        l,
-                        w.config.interp,
-                        w.config.phase_correct,
-                        &mut counts,
-                    );
-                    // Classify each contributing element: prefetched
-                    // bank (local load, already in the op counts) or
-                    // blocking external read.
-                    for (child, base, pf) in [
-                        (
-                            nearest_indices(a, geom, look.r1, look.theta1),
-                            beam_base_a,
-                            pf_a,
-                        ),
-                        (
-                            nearest_indices(b, geom, look.r2, look.theta2),
-                            beam_base_b,
-                            pf_b,
-                        ),
-                    ] {
-                        if let Some((bin, beam)) = child {
-                            if opts.prefetch && pf == Some(beam) {
-                                local_hits += 1;
-                            } else {
-                                external_misses += 1;
-                                let addr = layout.addr(stage_idx, base + beam as u32, bin as u32);
-                                chip.read_external(core, addr, 8);
+                    for i in 0..geom.num_bins {
+                        let r = geom.bin_range(i);
+                        let (v, look) = combine_sample_with_lookup(
+                            a,
+                            b,
+                            geom,
+                            r,
+                            theta,
+                            l,
+                            w.config.interp,
+                            w.config.phase_correct,
+                            &mut counts,
+                        );
+                        // Classify each contributing element: prefetched
+                        // bank (local load, already in the op counts) or
+                        // blocking external read.
+                        for (child, base, pf) in [
+                            (
+                                nearest_indices(a, geom, look.r1, look.theta1),
+                                beam_base_a,
+                                pf_a,
+                            ),
+                            (
+                                nearest_indices(b, geom, look.r2, look.theta2),
+                                beam_base_b,
+                                pf_b,
+                            ),
+                        ] {
+                            if let Some((bin, beam)) = child {
+                                if opts.prefetch && pf == Some(beam) {
+                                    local_hits += 1;
+                                } else {
+                                    external_misses += 1;
+                                    let addr =
+                                        layout.addr(stage_idx, base + beam as u32, bin as u32);
+                                    chip.read_external(core, addr, 8);
+                                }
                             }
                         }
+                        *next[pair_idx].data.at_mut(j, i) = v;
                     }
-                    *next[pair_idx].data.at_mut(j, i) = v;
+                    let delta = counts.since(&charged);
+                    charged = counts;
+                    chip.compute(core, &delta);
+                    let row_addr = layout.addr(stage_idx + 1, out_beam_base + j as u32, 0);
+                    let arrival = chip.write_external(core, row_addr, layout.beam_bytes());
+                    last_write[core] = last_write[core].max(arrival);
                 }
-                let delta = counts.since(&charged);
-                charged = counts;
-                chip.compute(core, &delta);
-                let row_addr = layout.addr(stage_idx + 1, out_beam_base + j as u32, 0);
-                let arrival = chip.write_external(core, row_addr, layout.beam_bytes());
-                last_write[core] = last_write[core].max(arrival);
             }
-        }
 
-        // End of iteration: drain posted writes (the next stage reads
-        // this one's output), then barrier.
-        for &core in &cores {
-            chip.wait_flag(core, last_write[core]);
-        }
-        chip.barrier(&cores);
-        chip.phase_metric("local_hits", (local_hits - hits0) as f64);
-        chip.phase_metric("external_misses", (external_misses - misses0) as f64);
-        chip.phase_end();
+            // End of iteration: drain posted writes (the next stage
+            // reads this one's output), then barrier.
+            for &core in &active {
+                chip.wait_flag(core, last_write[core]);
+            }
+            chip.barrier(&active);
+            chip.phase_metric("local_hits", (local_hits - hits0) as f64);
+            chip.phase_metric("external_misses", (external_misses - misses0) as f64);
+
+            // Health check at the checkpoint: cores that halted during
+            // this iteration may have dropped their output slices, so
+            // the iteration cannot be trusted and is redone without
+            // them.
+            let dead: Vec<usize> = faults
+                .newly_halted(chip.elapsed())
+                .into_iter()
+                .map(|c| c as usize)
+                .filter(|c| active.contains(c))
+                .collect();
+            if dead.is_empty() {
+                chip.phase_end();
+                break next;
+            }
+            chip.phase_metric("halted_cores", dead.len() as f64);
+            chip.phase_end();
+            active.retain(|c| !dead.contains(c));
+            assert!(
+                !active.is_empty(),
+                "every core halted; the SPMD mapping cannot recover"
+            );
+            faults.add_degraded_cores(dead.len() as u64);
+            faults.add_recovery_cycles(chip.elapsed().saturating_sub(attempt_t0).raw());
+            faults.add_recovery_energy((chip.energy().total_j() - attempt_e0).max(0.0));
+        };
         stage = next;
         stage_idx += 1;
     }
@@ -334,6 +397,72 @@ mod tests {
         );
         assert!(without.record.elapsed.seconds() > with.record.elapsed.seconds());
         assert_eq!(without.local_hits, 0);
+    }
+
+    #[test]
+    fn core_halt_degrades_to_fifteen_cores_with_an_identical_image() {
+        use faultsim::{FaultEvent, FaultPlan};
+        let w = FfbpWorkload::small();
+        let clean = run(&w, EpiphanyParams::default(), SpmdOptions::default());
+        let plan = FaultPlan::from_events(
+            11,
+            vec![FaultEvent::CoreHalt {
+                core: 5,
+                at: Cycle(1_000),
+            }],
+        );
+        let faults = FaultState::from_plan(&plan);
+        let r = run_faulted(
+            &w,
+            EpiphanyParams::default(),
+            SpmdOptions::default(),
+            desim::trace::Tracer::disabled(),
+            faults.clone(),
+        );
+        assert_eq!(
+            r.image.as_slice(),
+            clean.image.as_slice(),
+            "checkpoint/restart must reproduce the fault-free image bit-for-bit"
+        );
+        let totals = faults.totals();
+        assert_eq!(totals.degraded_cores, 1);
+        assert_eq!(totals.faults_injected, 1);
+        assert!(
+            totals.recovery_cycles > 0,
+            "the redone iteration is paid for"
+        );
+        assert!(totals.recovery_energy_j > 0.0);
+        assert_eq!(r.record.faults, totals, "report() stamps the fault totals");
+        assert!(
+            r.record.elapsed.cycles.raw() > clean.record.elapsed.cycles.raw(),
+            "recovery cannot be free"
+        );
+    }
+
+    #[test]
+    fn core_halt_recovery_is_deterministic() {
+        use faultsim::{FaultEvent, FaultPlan};
+        let w = FfbpWorkload::small();
+        let plan = FaultPlan::from_events(
+            7,
+            vec![FaultEvent::CoreHalt {
+                core: 3,
+                at: Cycle(5_000),
+            }],
+        );
+        let go = || {
+            run_faulted(
+                &w,
+                EpiphanyParams::default(),
+                SpmdOptions::default(),
+                desim::trace::Tracer::disabled(),
+                FaultState::from_plan(&plan),
+            )
+        };
+        let (a, b) = (go(), go());
+        assert_eq!(a.record.elapsed.cycles, b.record.elapsed.cycles);
+        assert_eq!(a.record.faults, b.record.faults);
+        assert_eq!(a.image.as_slice(), b.image.as_slice());
     }
 
     #[test]

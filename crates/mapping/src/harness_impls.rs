@@ -9,7 +9,7 @@
 
 use desim::trace::Tracer;
 use sim_harness::{
-    HarnessError, Mapping, MappingRun, Platform, PlatformKind, ProgramModel, Workload,
+    HarnessError, Mapping, MappingRun, Platform, PlatformKind, ProgramModel, RunContext, Workload,
 };
 
 use crate::autofocus_mpmd::Placement;
@@ -140,6 +140,27 @@ impl Mapping for FfbpSpmdMapping {
             .epiphany_params()
             .ok_or_else(|| unsupported(self, platform))?;
         let r = ffbp_spmd::run_traced(w, params, self.opts, tracer.clone());
+        Ok(MappingRun {
+            record: r.record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+    fn execute_ctx(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        ctx: &RunContext,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .ffbp()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let r =
+            ffbp_spmd::run_faulted(w, params, self.opts, ctx.tracer.clone(), ctx.faults.clone());
         Ok(MappingRun {
             record: r.record,
             image: Some(r.image),
@@ -318,10 +339,37 @@ impl Mapping for AutofocusMpmdMapping {
             best: Some(r.best),
         })
     }
+    fn execute_ctx(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        ctx: &RunContext,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .autofocus()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let mut params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        params.pairing_efficiency = AUTOFOCUS_PAIRING;
+        let r = autofocus_mpmd::run_faulted(
+            w,
+            params,
+            self.place,
+            ctx.tracer.clone(),
+            ctx.faults.clone(),
+        );
+        Ok(MappingRun {
+            record: r.record,
+            image: None,
+            sweep: Some(r.sweep),
+            best: Some(r.best),
+        })
+    }
     fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
         workload
             .autofocus()
-            .map(|w| crate::program_model::autofocus_pipeline_model(w, &self.place))
+            .map(|w| crate::program_model::autofocus_mpmd_model(w, &self.place))
     }
 }
 
@@ -479,5 +527,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(via.record.elapsed.cycles, direct.record.elapsed.cycles);
+    }
+
+    #[test]
+    fn faults_flow_through_the_harness_context() {
+        use faultsim::{FaultEvent, FaultPlan, FaultState};
+        use sim_harness::{run_ctx, RunContext};
+        let w = crate::workloads::AutofocusWorkload::small();
+        let platform = platform_named("epiphany").unwrap();
+        let plan = FaultPlan::from_events(
+            17,
+            vec![FaultEvent::FlagDrop {
+                at: desim::Cycle(1_000),
+            }],
+        );
+        let ctx = RunContext::plain().with_faults(FaultState::from_plan(&plan));
+        let via = run_ctx(
+            &AutofocusMpmdMapping::default(),
+            &Workload::Autofocus(w),
+            platform.as_ref(),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(via.record.faults.faults_injected, 1);
+        assert!(via.record.faults.retries >= 1);
+        assert_eq!(via.record.counters.get("fault_seed"), 17);
     }
 }

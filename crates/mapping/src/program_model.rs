@@ -74,6 +74,9 @@ pub fn ffbp_spmd_model(w: &FfbpWorkload, opts: &SpmdOptions) -> ProgramModel {
             waiter: c,
             sets: 1,
             waits: 1,
+            // Lost drains are recovered by redoing the merge iteration
+            // from its checkpoint (the SPMD driver's recovery story).
+            recovery: Some("checkpoint_restart".to_string()),
         });
     }
     m.barriers.push(BarrierDecl {
@@ -165,6 +168,21 @@ pub fn autofocus_pipeline_model(w: &AutofocusWorkload, place: &Placement) -> Pro
     m
 }
 
+/// [`autofocus_pipeline_model`] as the hand-written MPMD driver
+/// actually runs it: every channel (and its protocol flag) is covered
+/// by the driver's recovery story — watchdog retry on a lost flag,
+/// then drain-and-restart of the hypothesis with a spare-core remap
+/// if the peer has halted. The `streams` network keeps the plain
+/// (undeclared) model, so `sarlint` flags its channels as
+/// recovery-free (SL011/SL012).
+pub fn autofocus_mpmd_model(w: &AutofocusWorkload, place: &Placement) -> ProgramModel {
+    let mut m = autofocus_pipeline_model(w, place);
+    let covered = m.declare_recovery("range", "retry_backoff+drain_restart")
+        + m.declare_recovery("beam", "retry_backoff+drain_restart");
+    debug_assert!(covered > 0, "the pipeline's channels must match");
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +215,19 @@ mod tests {
             },
         );
         assert!(m.buffers.is_empty());
+    }
+
+    #[test]
+    fn mpmd_model_declares_recovery_on_every_channel_and_flag() {
+        let w = AutofocusWorkload::small();
+        let plain = autofocus_pipeline_model(&w, &Placement::neighbor());
+        assert!(
+            plain.channels.iter().all(|c| c.recovery.is_none()),
+            "the shared pipeline model stays recovery-free (the streams net has none)"
+        );
+        let m = autofocus_mpmd_model(&w, &Placement::neighbor());
+        assert!(m.channels.iter().all(|c| c.recovery.is_some()));
+        assert!(m.flags.iter().all(|f| f.recovery.is_some()));
     }
 
     #[test]

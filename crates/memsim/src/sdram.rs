@@ -8,6 +8,7 @@
 
 use desim::trace::{Tracer, Track};
 use desim::{Cycle, FifoResource};
+use faultsim::FaultState;
 
 /// SDRAM timing/geometry parameters (cycles are in the *core* clock
 /// domain of the attached chip model).
@@ -61,6 +62,7 @@ pub struct Sdram {
     row_hits: u64,
     bytes: u64,
     tracer: Tracer,
+    faults: FaultState,
 }
 
 impl Sdram {
@@ -81,6 +83,7 @@ impl Sdram {
             row_hits: 0,
             bytes: 0,
             tracer: Tracer::disabled(),
+            faults: FaultState::disabled(),
         }
     }
 
@@ -88,6 +91,25 @@ impl Sdram {
     /// row-miss instants on [`Track::Sdram`].
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach fault state; armed transient bit errors perturb
+    /// subsequent accesses (one access per event).
+    pub fn set_faults(&mut self, faults: FaultState) {
+        self.faults = faults;
+    }
+
+    /// Extra latency when a transient bit error has armed at `at`: the
+    /// device re-reads the row (precharge + activate + read again) and
+    /// ECC corrects the data — the access is slower, never wrong.
+    fn bit_error_penalty(&mut self, at: Cycle) -> Cycle {
+        if self.faults.sdram_bit_error(at) {
+            self.tracer
+                .instant(Track::Sdram, "fault:sdram_bit_error", at);
+            Cycle(self.params.row_miss_cycles)
+        } else {
+            Cycle::ZERO
+        }
     }
 
     /// Parameters in use.
@@ -110,7 +132,7 @@ impl Sdram {
             self.params.row_hit_cycles
         } else {
             self.params.row_miss_cycles
-        });
+        }) + self.bit_error_penalty(at);
         let r = self.bus.request(at + latency, bytes);
         if self.tracer.is_enabled() {
             self.tracer.span(Track::Sdram, "access", r.start, r.end);
@@ -130,8 +152,8 @@ impl Sdram {
 
     /// Latency-only lookup for models that account bus time elsewhere
     /// (the eLink already serialises the data): returns the access
-    /// latency for `addr` and updates the open-row state.
-    pub fn latency_of(&mut self, addr: u32) -> Cycle {
+    /// latency for `addr` at time `at` and updates the open-row state.
+    pub fn latency_of(&mut self, at: Cycle, addr: u32) -> Cycle {
         let (bank, row) = self.bank_and_row(addr);
         let row_hit = self.open_rows[bank] == Some(row);
         self.open_rows[bank] = Some(row);
@@ -141,7 +163,7 @@ impl Sdram {
             self.params.row_hit_cycles
         } else {
             self.params.row_miss_cycles
-        })
+        }) + self.bit_error_penalty(at)
     }
 
     /// Total accesses.
@@ -224,10 +246,33 @@ mod tests {
     #[test]
     fn latency_only_mode_tracks_rows() {
         let mut d = Sdram::new(SdramParams::default());
-        let l1 = d.latency_of(0);
-        let l2 = d.latency_of(8);
+        let l1 = d.latency_of(Cycle(0), 0);
+        let l2 = d.latency_of(Cycle(0), 8);
         assert!(l2 < l1);
         assert_eq!(d.accesses(), 2);
+    }
+
+    #[test]
+    fn bit_error_fault_slows_exactly_one_access() {
+        use faultsim::{FaultEvent, FaultPlan};
+        let p = SdramParams::default();
+        let mut d = Sdram::new(p);
+        let faults = FaultState::from_plan(&FaultPlan::from_events(
+            0,
+            vec![FaultEvent::SdramBitError { at: Cycle(100) }],
+        ));
+        d.set_faults(faults.clone());
+        // Before the arming cycle: untouched.
+        let early = d.latency_of(Cycle(50), 0);
+        assert_eq!(early, Cycle(p.row_miss_cycles));
+        // First access at/after the arming cycle pays one device
+        // re-read on top of its ordinary latency.
+        let hit = d.latency_of(Cycle(200), 8);
+        assert_eq!(hit, Cycle(p.row_hit_cycles + p.row_miss_cycles));
+        // Exactly once.
+        let after = d.latency_of(Cycle(300), 16);
+        assert_eq!(after, Cycle(p.row_hit_cycles));
+        assert_eq!(faults.totals().faults_injected, 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`deadlock`] | `SL003`, `SL004` | channel-graph cycles, starved credits |
 //! | [`placement`] | `SL005` | scattered stages (> [`HOP_BUDGET`] hops) |
 //! | [`races`] | `SL006`–`SL008` | unmatched flags, barrier mismatch |
+//! | [`recovery`] | `SL011`, `SL012` | channels/flags with no fault-recovery story |
 //!
 //! [`dynamic::cross_check`] closes the loop: one traced run, every
 //! observed remote landing checked against the declared buffers
@@ -30,6 +31,7 @@ pub mod deadlock;
 pub mod dynamic;
 pub mod placement;
 pub mod races;
+pub mod recovery;
 
 use memsim::SramParams;
 use sim_harness::{Mapping, Platform, ProgramModel, Report, Workload};
@@ -37,13 +39,14 @@ use sim_harness::{Mapping, Platform, ProgramModel, Report, Workload};
 pub use placement::HOP_BUDGET;
 pub use sim_harness::{Diagnostic, Severity};
 
-/// Run all four static checks on a model against `sram` geometry.
+/// Run all five static checks on a model against `sram` geometry.
 pub fn analyze_model(model: &ProgramModel, sram: &SramParams) -> Report {
     let mut report = Report::new();
     capacity::check(model, sram, &mut report);
     deadlock::check(model, &mut report);
     placement::check(model, &mut report);
     races::check(model, &mut report);
+    recovery::check(model, &mut report);
     report
 }
 
@@ -111,6 +114,20 @@ mod tests {
         let r = pair("ffbp_seq", "host");
         assert!(r.is_clean());
         assert!(r.has_code("SL000"));
+    }
+
+    #[test]
+    fn undeclared_recovery_warns_on_the_streams_net_only() {
+        // The hand-written MPMD driver declares its recovery story
+        // (retry + drain-and-restart); the declarative streams network
+        // runs the same channel graph with none.
+        let covered = pair("autofocus_mpmd", "epiphany");
+        assert!(!covered.has_code("SL011"), "{:?}", covered.diagnostics);
+        assert!(!covered.has_code("SL012"), "{:?}", covered.diagnostics);
+        let bare = pair("autofocus_net", "epiphany");
+        assert!(bare.has_code("SL011"));
+        assert!(bare.has_code("SL012"));
+        assert!(bare.is_clean(), "recovery findings must stay warnings");
     }
 
     #[test]

@@ -91,6 +91,7 @@ mod tests {
             waiter: 1,
             sets,
             waits,
+            recovery: None,
         });
         m
     }

@@ -1,0 +1,95 @@
+//! Check 5 — undeclared fault recovery (`SL011`/`SL012`): any
+//! producer→consumer channel (`SL011`) or consumer-side flag wait
+//! (`SL012`) with no declared recovery policy is one lost message away
+//! from hanging the pipeline. The fault injector (`faultsim`) can drop
+//! or delay exactly these flag writes, so a mapping that intends to
+//! survive `run --faults` must say how — `"retry_backoff"`,
+//! `"checkpoint_restart"`, `"drain_restart"`, or a combination — via
+//! [`ProgramModel::declare_recovery`]. Both findings are warnings:
+//! a recovery-free mapping is still valid on a fault-free machine.
+
+use sim_harness::{Diagnostic, ProgramModel, Report};
+
+/// Run the recovery-coverage check.
+pub fn check(model: &ProgramModel, report: &mut Report) {
+    for c in &model.channels {
+        if c.recovery.is_none() {
+            report.push(Diagnostic::warning(
+                "SL011",
+                c.label.clone(),
+                format!(
+                    "channel {} -> {} declares no recovery policy: one dropped \
+                     flag write stalls the consumer forever under fault injection",
+                    c.from, c.to
+                ),
+            ));
+        }
+    }
+    for f in &model.flags {
+        if f.waits > 0 && f.recovery.is_none() {
+            report.push(Diagnostic::warning(
+                "SL012",
+                f.label.clone(),
+                format!(
+                    "core {} waits on a flag with no recovery policy: a lost \
+                     set from core {} is unrecoverable",
+                    f.waiter, f.setter
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_harness::{FlagDecl, Severity};
+
+    fn checked(m: &ProgramModel) -> Report {
+        let mut r = Report::new();
+        check(m, &mut r);
+        r
+    }
+
+    #[test]
+    fn covered_channels_and_flags_pass() {
+        let mut m = ProgramModel::new(4, 4);
+        m.channel("a->b", 0, 1);
+        m.declare_recovery("a->b", "retry_backoff");
+        let r = checked(&m);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn an_uncovered_channel_warns_sl011_and_sl012() {
+        let mut m = ProgramModel::new(4, 4);
+        m.channel("a->b", 0, 1);
+        let r = checked(&m);
+        // The channel itself and its protocol flag.
+        assert!(r.has_code("SL011"));
+        assert!(r.has_code("SL012"));
+        assert!(
+            r.diagnostics
+                .iter()
+                .all(|d| d.severity == Severity::Warning),
+            "recovery findings are warnings, never hard: {:?}",
+            r.diagnostics
+        );
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn a_set_only_flag_does_not_warn() {
+        // No wait, no hang: nothing to recover.
+        let mut m = ProgramModel::new(4, 4);
+        m.flags.push(FlagDecl {
+            label: "post".into(),
+            setter: 0,
+            waiter: 0,
+            sets: 1,
+            waits: 0,
+            recovery: None,
+        });
+        assert!(checked(&m).diagnostics.is_empty());
+    }
+}
