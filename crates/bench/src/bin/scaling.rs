@@ -30,7 +30,7 @@ fn main() {
             &w,
             EpiphanyParams::default(),
             SpmdOptions {
-                cores,
+                cores: Some(cores),
                 ..SpmdOptions::default()
             },
         );

@@ -268,19 +268,36 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Approximate quantile from the exponential buckets: returns the
-    /// upper bound of the bucket containing quantile `q` (0..=1).
+    /// Approximate quantile from the exponential buckets (`q` in 0..=1).
+    ///
+    /// Returns the *geometric midpoint* of the bucket containing
+    /// quantile `q` — the unbiased point estimate for logarithmically
+    /// spaced buckets — clamped to the observed `[min, max]` range so
+    /// degenerate histograms (single sample, all samples equal) report
+    /// exactly. `q >= 1` reports the exact maximum. (This used to
+    /// return the bucket's upper bound, biasing p50/p95 high by up to
+    /// 2x.)
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return Some(self.max);
+        }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return Some(if i == 0 { 1 } else { 1u64 << (i + 1) });
+                // Geometric midpoint of [2^i, 2^(i+1)) is 2^i * sqrt(2);
+                // bucket 0 holds {0, 1}.
+                let mid = if i == 0 {
+                    1
+                } else {
+                    ((1u64 << i) as f64 * std::f64::consts::SQRT_2).round() as u64
+                };
+                return Some(mid.clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -376,10 +393,11 @@ mod tests {
             h.record(v);
         }
         let p50 = h.quantile(0.5).unwrap();
-        // Median of 0..1000 is ~500; exponential buckets give the bucket
-        // upper bound, so p50 must be within [500, 1024].
-        assert!((500..=1024).contains(&p50), "p50={p50}");
-        assert!(h.quantile(1.0).unwrap() >= 999);
+        // The 500th sample lands in bucket [256, 512) (cumulative count
+        // reaches 512 there); the geometric midpoint is 256*sqrt(2).
+        assert_eq!(p50, 362, "p50={p50}");
+        // q >= 1 reports the exact observed maximum, not a bucket bound.
+        assert_eq!(h.quantile(1.0), Some(999));
         assert_eq!(Histogram::new().quantile(0.5), None);
     }
 
@@ -402,11 +420,10 @@ mod tests {
         assert_eq!(h.min(), Some(100));
         assert_eq!(h.max(), Some(100));
         assert!((h.mean() - 100.0).abs() < 1e-12);
-        // Every quantile lands in the one occupied bucket [64, 128):
-        // the reported upper bound must cover the sample.
+        // With a single sample the observed [min, max] range collapses
+        // to a point, so the clamped midpoint is exact at every q.
         for q in [0.0, 0.5, 1.0] {
-            let v = h.quantile(q).unwrap();
-            assert!((100..=128).contains(&v), "q={q} -> {v}");
+            assert_eq!(h.quantile(q), Some(100), "q={q}");
         }
     }
 
@@ -420,11 +437,12 @@ mod tests {
         assert_eq!(h.min(), Some(37));
         assert_eq!(h.max(), Some(37));
         assert!((h.mean() - 37.0).abs() < 1e-12);
-        // All mass in bucket [32, 64): p01 through p100 agree.
+        // All mass in bucket [32, 64) and min == max == 37: the clamp
+        // to the observed range makes p01 through p100 exact.
         let lo = h.quantile(0.01).unwrap();
         let hi = h.quantile(1.0).unwrap();
         assert_eq!(lo, hi);
-        assert!((37..=64).contains(&lo), "{lo}");
+        assert_eq!(lo, 37);
         // Out-of-range q is clamped, not a panic.
         assert_eq!(h.quantile(-1.0), Some(lo));
         assert_eq!(h.quantile(2.0), Some(hi));

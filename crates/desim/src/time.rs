@@ -32,6 +32,15 @@ impl Cycle {
         Cycle(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition: `self + rhs`, clamped at `u64::MAX`.
+    /// Sentinel instants like `Chip::DROPPED` sit at the top of the
+    /// range, so adding a delay term to an arbitrary instant must not
+    /// wrap around.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_add(rhs.0))
+    }
+
     /// The later of two instants.
     #[inline]
     pub fn max(self, other: Cycle) -> Cycle {
@@ -233,6 +242,12 @@ mod tests {
         assert_eq!(a, Cycle(15));
         assert_eq!(a - Cycle(5), Cycle(10));
         assert_eq!(Cycle(3).saturating_sub(Cycle(10)), Cycle::ZERO);
+        assert_eq!(Cycle(3).saturating_add(Cycle(4)), Cycle(7));
+        assert_eq!(
+            Cycle(u64::MAX).saturating_add(Cycle(1)),
+            Cycle(u64::MAX),
+            "instants at the sentinel ceiling must not wrap"
+        );
         assert_eq!(Cycle(3).max(Cycle(7)), Cycle(7));
         assert_eq!(Cycle(3).min(Cycle(7)), Cycle(3));
         let mut c = Cycle(1);

@@ -65,8 +65,12 @@ pub struct Chip {
 }
 
 impl Chip {
-    /// Build a `cols x rows` chip.
-    pub fn new(params: EpiphanyParams, cols: u16, rows: u16) -> Chip {
+    /// Build a `cols x rows` chip. The explicit geometry wins over
+    /// whatever `params.mesh_cols/mesh_rows` said — the stored params
+    /// are synced so [`Chip::params`] always reflects the real mesh.
+    pub fn new(mut params: EpiphanyParams, cols: u16, rows: u16) -> Chip {
+        params.mesh_cols = cols;
+        params.mesh_rows = rows;
         let mesh = Mesh2D::new(cols, rows);
         let n = mesh.len();
         Chip {
@@ -133,6 +137,51 @@ impl Chip {
     /// The 16-core E16G3.
     pub fn e16g3(params: EpiphanyParams) -> Chip {
         Chip::new(params, 4, 4)
+    }
+
+    /// A chip with the geometry the parameters declare
+    /// (`mesh_cols x mesh_rows`) — the way mapping drivers should
+    /// build their machine, so a platform's mesh choice flows through
+    /// without the driver hard-coding 4x4.
+    pub fn from_params(params: EpiphanyParams) -> Chip {
+        Chip::new(params, params.mesh_cols, params.mesh_rows)
+    }
+
+    /// Mesh geometry `(cols, rows)`.
+    pub fn mesh_dims(&self) -> (u16, u16) {
+        (self.mesh.cols(), self.mesh.rows())
+    }
+
+    /// Row-major core ids of a compact `n`-core subgrid embedded at
+    /// this chip's top-left corner: the [`Chip::mesh_for_cores`] shape
+    /// for `n`, laid out inside the real mesh so neighbour relations
+    /// (and therefore hop counts) match a dedicated `n`-core chip.
+    /// Running the 16-core FFBP slice assignment on these ids on an
+    /// E64 reproduces the E16G3 communication pattern exactly.
+    ///
+    /// Panics if the subgrid does not fit the chip.
+    pub fn subgrid_cores(&self, n: usize) -> Vec<usize> {
+        Chip::subgrid_on(self.mesh.cols(), self.mesh.rows(), n)
+    }
+
+    /// [`Chip::subgrid_cores`] as a free function on a `(cols, rows)`
+    /// mesh, usable by program-model builders without a chip.
+    pub fn subgrid_on(cols: u16, rows: u16, n: usize) -> Vec<usize> {
+        let (sc, sr) = Chip::mesh_for_cores(n);
+        assert!(
+            sc <= cols && sr <= rows,
+            "{n}-core subgrid ({sc}x{sr}) does not fit a {cols}x{rows} mesh"
+        );
+        let mut ids = Vec::with_capacity(n);
+        'fill: for y in 0..sr {
+            for x in 0..sc {
+                if ids.len() == n {
+                    break 'fill;
+                }
+                ids.push(y as usize * cols as usize + x as usize);
+            }
+        }
+        ids
     }
 
     /// The smallest sensible `(cols, rows)` mesh covering `n` cores:
@@ -289,7 +338,20 @@ impl Chip {
                     return Chip::DROPPED;
                 }
                 Some(FlagFault::Delay(extra)) => {
-                    let arrival = res.arrival + Cycle(extra);
+                    // Saturating: `res.arrival + extra` must not wrap
+                    // past the DROPPED sentinel into a small instant. A
+                    // delay that saturates to the sentinel is
+                    // indistinguishable from a lost flag, so report it
+                    // as one and let send_reliable recover.
+                    let arrival = res.arrival.saturating_add(Cycle(extra));
+                    if arrival == Chip::DROPPED {
+                        self.tracer.instant(
+                            Track::Core(dst as u32),
+                            "fault:flag_drop",
+                            res.arrival,
+                        );
+                        return Chip::DROPPED;
+                    }
                     self.tracer
                         .instant(Track::Core(dst as u32), "fault:flag_delay", arrival);
                     return arrival;
@@ -323,8 +385,10 @@ impl Chip {
         let mut timeout = base;
         for _ in 0..self.params.flag_retry_max {
             // Watchdog expiry at the consumer, NACK back over the
-            // rMesh: the producer idles until the NACK lands.
-            let expiry = self.t[core] + Cycle(timeout);
+            // rMesh: the producer idles until the NACK lands. The
+            // backoff add saturates: it must never wrap even if a
+            // sentinel-adjacent cursor ever reached here.
+            let expiry = self.t[core].saturating_add(Cycle(timeout));
             self.stall_until(core, expiry);
             self.faults.add_retries(1);
             self.tracer
@@ -609,8 +673,15 @@ impl Chip {
     /// energy than a hit — but the core's cursor still lands exactly
     /// where a single-check model would put it, `max(now + one poll,
     /// ready)`, because the charged polls fit inside the wait.
+    ///
+    /// # Panics
+    /// If `ready` is the [`Chip::DROPPED`] sentinel. This is a hard
+    /// assert (not debug-only): letting the sentinel through would
+    /// stall the core cursor to `u64::MAX`, after which every later
+    /// `+ Cycle(...)` on that cursor wraps around in release builds
+    /// and silently corrupts the timeline.
     pub fn wait_flag(&mut self, core: CoreId, ready: Cycle) {
-        debug_assert!(
+        assert!(
             ready != Chip::DROPPED,
             "wait_flag on a dropped flag write; use Chip::send_reliable \
              for fault-tolerant signalling"
@@ -1218,6 +1289,58 @@ mod tests {
     }
 
     #[test]
+    fn from_params_builds_the_declared_mesh() {
+        let c = Chip::from_params(EpiphanyParams::e64());
+        assert_eq!(c.mesh_dims(), (8, 8));
+        assert_eq!(c.cores(), 64);
+        assert_eq!((c.params().mesh_cols, c.params().mesh_rows), (8, 8));
+        // An explicit geometry overrides (and re-syncs) the params.
+        let c = Chip::new(EpiphanyParams::e64(), 4, 4);
+        assert_eq!(c.mesh_dims(), (4, 4));
+        assert_eq!((c.params().mesh_cols, c.params().mesh_rows), (4, 4));
+    }
+
+    #[test]
+    fn subgrid_embeds_the_small_mesh_in_the_big_one() {
+        let c = Chip::from_params(EpiphanyParams::e64());
+        // 16 cores on an 8x8 chip: the 4x4 corner, row-major in the
+        // 8-wide id space.
+        let ids = c.subgrid_cores(16);
+        assert_eq!(
+            ids,
+            vec![0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19, 24, 25, 26, 27]
+        );
+        // Neighbour relations match a dedicated 4x4 chip: horizontal
+        // neighbours stay adjacent, vertical neighbours are one row
+        // (8 ids) apart but still distance 1 on the mesh.
+        for (i, &a) in ids.iter().enumerate() {
+            for (j, &b) in ids.iter().enumerate() {
+                let d64 = {
+                    let (ax, ay) = (a % 8, a / 8);
+                    let (bx, by) = (b % 8, b / 8);
+                    ax.abs_diff(bx) + ay.abs_diff(by)
+                };
+                let d16 = {
+                    let (ax, ay) = (i % 4, i / 4);
+                    let (bx, by) = (j % 4, j / 4);
+                    ax.abs_diff(bx) + ay.abs_diff(by)
+                };
+                assert_eq!(d64, d16, "hop distance differs for slot pair ({i},{j})");
+            }
+        }
+        // Non-rectangular counts take a prefix of the covering shape.
+        assert_eq!(c.subgrid_cores(5), vec![0, 1, 2, 8, 9]);
+        // The whole chip is its own subgrid.
+        assert_eq!(c.subgrid_cores(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn subgrid_rejects_oversized_requests() {
+        let _ = chip().subgrid_cores(17);
+    }
+
+    #[test]
     fn phases_record_time_energy_and_counter_deltas() {
         let mut c = chip();
         c.phase_begin("merge");
@@ -1285,9 +1408,10 @@ mod tests {
                 + r.counters.get("xmesh_byte_hops")
         );
         assert!(r.counters.get("cmesh_lat_p50") > 0);
-        // p95 is a bucket upper bound and may exceed the exact max;
-        // quantiles are monotone within the same bucketing.
+        // Quantiles are bucket midpoints clamped to the observed range:
+        // monotone in q and never above the exact max.
         assert!(r.counters.get("cmesh_lat_p95") >= r.counters.get("cmesh_lat_p50"));
+        assert!(r.counters.get("cmesh_lat_max") >= r.counters.get("cmesh_lat_p95"));
         assert!(r.counters.get("cmesh_lat_max") > 0);
 
         // The single phase saw all of the run's mesh traffic.
@@ -1523,6 +1647,42 @@ mod tests {
         // And the report carries the fault block.
         let r = c.report("recovered", 2);
         assert_eq!(r.faults.retries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wait_flag on a dropped flag write")]
+    fn wait_flag_rejects_the_dropped_sentinel() {
+        // Regression: this used to be a debug_assert, so release
+        // builds stalled the core cursor to u64::MAX and every later
+        // cursor addition wrapped around.
+        let mut c = chip();
+        c.wait_flag(0, Chip::DROPPED);
+    }
+
+    #[test]
+    fn saturating_flag_delay_degrades_to_a_drop() {
+        // Regression: a huge armed delay used to wrap `arrival +
+        // extra` past u64::MAX into a *small* instant, making the
+        // flag appear delivered in the past. It now saturates, and a
+        // delay that reaches the sentinel is reported as a drop that
+        // send_reliable recovers from.
+        use faultsim::{FaultEvent, FaultPlan, FaultState};
+        let mut c = chip();
+        c.set_faults(FaultState::from_plan(&FaultPlan::from_events(
+            0,
+            vec![FaultEvent::FlagDelay {
+                at: Cycle(0),
+                extra: u64::MAX,
+            }],
+        )));
+        let ready = c.send_reliable(0, 1, 64);
+        assert_ne!(ready, Chip::DROPPED);
+        assert!(
+            ready.raw() < u64::MAX / 2,
+            "recovered delivery must be a real instant, got {ready:?}"
+        );
+        assert_eq!(c.faults().totals().retries, 1, "recovered via watchdog");
+        c.wait_flag(1, ready);
     }
 
     #[test]

@@ -18,6 +18,14 @@ pub struct EpiphanyParams {
     /// is also our default.
     pub clock: Frequency,
 
+    // ---- chip geometry -------------------------------------------------
+    /// Mesh columns. The default 4x4 is the E16G3; the family scales
+    /// the same core to larger meshes (E64: 8x8) with identical
+    /// per-core constants.
+    pub mesh_cols: u16,
+    /// Mesh rows.
+    pub mesh_rows: u16,
+
     // ---- core pipeline -------------------------------------------------
     /// Instruction-level-parallelism efficiency of the dual-issue
     /// pairing: the fraction of cycles where an FPU and an IALU/LS
@@ -103,6 +111,8 @@ impl Default for EpiphanyParams {
     fn default() -> Self {
         EpiphanyParams {
             clock: Frequency::ghz(1.0),
+            mesh_cols: 4,
+            mesh_rows: 4,
             pairing_efficiency: 0.8,
             sqrt_flops: 12,
             div_flops: 8,
@@ -154,6 +164,38 @@ impl EpiphanyParams {
         }
     }
 
+    /// Core count of the reference E16G3 chip the energy constants are
+    /// calibrated against.
+    pub const REFERENCE_CORES: usize = 16;
+
+    /// Number of cores implied by the mesh geometry.
+    pub fn cores(&self) -> usize {
+        self.mesh_cols as usize * self.mesh_rows as usize
+    }
+
+    /// Parameters for a `cols x rows` chip of the same family: same
+    /// per-core microarchitecture and energy constants, with the
+    /// chip-level static power (clock tree, PLL fanout) scaled with
+    /// die area relative to the 16-core reference. Per-core static
+    /// power scales automatically in the energy model via the core
+    /// count.
+    pub fn with_mesh(cols: u16, rows: u16) -> Self {
+        assert!(cols > 0 && rows > 0, "degenerate {cols}x{rows} mesh");
+        let base = Self::default();
+        let scale = (cols as usize * rows as usize) as f64 / Self::REFERENCE_CORES as f64;
+        EpiphanyParams {
+            mesh_cols: cols,
+            mesh_rows: rows,
+            static_w_chip: base.static_w_chip * scale,
+            ..base
+        }
+    }
+
+    /// Parameters for the 64-core family member (8x8 mesh).
+    pub fn e64() -> Self {
+        Self::with_mesh(8, 8)
+    }
+
     /// The datasheet "estimated power" figure the paper uses for the
     /// whole chip in Table I (watts).
     pub const DATASHEET_POWER_W: f64 = 2.0;
@@ -179,19 +221,48 @@ mod tests {
         assert!((p.clock.hz() - 4e8).abs() < 1.0);
     }
 
+    /// Full-load chip power implied by the energy constants, derived
+    /// from the mesh geometry rather than a hard-coded core count.
+    fn full_load_w(p: &EpiphanyParams) -> f64 {
+        let per_core_w =
+            (p.pj_per_flop + p.pj_per_ialu + 0.5 * p.pj_per_local_access) * 1e-12 * p.clock.hz();
+        p.cores() as f64 * (per_core_w + p.static_w_per_core) + p.static_w_chip
+    }
+
     #[test]
     fn full_load_power_is_near_two_watts() {
-        // Sanity check on the energy constants: 16 cores each retiring
+        // Sanity check on the energy constants: every core retiring
         // one FPU + one IALU + ~0.5 local accesses per cycle at 1 GHz,
         // plus statics, should land in the neighbourhood of the 2 W
         // datasheet figure (within a factor ~1.5 either way).
         let p = EpiphanyParams::default();
-        let per_core_w =
-            (p.pj_per_flop + p.pj_per_ialu + 0.5 * p.pj_per_local_access) * 1e-12 * 1e9;
-        let chip_w = 16.0 * (per_core_w + p.static_w_per_core) + p.static_w_chip;
+        assert_eq!(p.cores(), EpiphanyParams::REFERENCE_CORES);
+        let chip_w = full_load_w(&p);
         assert!(
             (1.0..3.0).contains(&chip_w),
             "implausible full-load power {chip_w:.2} W"
         );
+    }
+
+    #[test]
+    fn e64_scales_power_with_the_mesh() {
+        let e16 = EpiphanyParams::default();
+        let e64 = EpiphanyParams::e64();
+        assert_eq!((e64.mesh_cols, e64.mesh_rows), (8, 8));
+        assert_eq!(e64.cores(), 64);
+        // Same per-core constants...
+        assert_eq!(e64.pj_per_flop, e16.pj_per_flop);
+        assert_eq!(e64.static_w_per_core, e16.static_w_per_core);
+        // ...chip-level static scaled 4x with die area...
+        assert!((e64.static_w_chip - 4.0 * e16.static_w_chip).abs() < 1e-12);
+        // ...so full-load power scales 4x with the core count.
+        let ratio = full_load_w(&e64) / full_load_w(&e16);
+        assert!((ratio - 4.0).abs() < 1e-9, "e64/e16 ratio {ratio:.6}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_sized_mesh_is_rejected() {
+        let _ = EpiphanyParams::with_mesh(0, 4);
     }
 }

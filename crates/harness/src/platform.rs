@@ -45,11 +45,50 @@ pub trait Platform {
     }
 }
 
-/// The Epiphany chip model.
-#[derive(Debug, Clone, Copy, Default)]
+/// The Epiphany chip model. The default is the paper's 16-core E16G3;
+/// [`EpiphanyPlatform::e64`] is the 64-core family member on an 8x8
+/// mesh with the same per-core constants.
+#[derive(Debug, Clone, Copy)]
 pub struct EpiphanyPlatform {
-    /// Microarchitecture constants for the run.
+    /// Microarchitecture constants for the run (including the mesh
+    /// geometry — see `EpiphanyParams::mesh_cols`/`mesh_rows`).
     pub params: EpiphanyParams,
+    /// Registry label ("epiphany" for the default E16G3, "e64" for
+    /// the 64-core chip).
+    label: &'static str,
+}
+
+impl Default for EpiphanyPlatform {
+    fn default() -> EpiphanyPlatform {
+        EpiphanyPlatform {
+            params: EpiphanyParams::default(),
+            label: "epiphany",
+        }
+    }
+}
+
+impl EpiphanyPlatform {
+    /// The 64-core chip: 8x8 mesh, chip-level static power scaled with
+    /// die area, identical per-core constants.
+    pub fn e64() -> EpiphanyPlatform {
+        EpiphanyPlatform {
+            params: EpiphanyParams::e64(),
+            label: "e64",
+        }
+    }
+
+    /// The default platform with substituted parameters, keeping the
+    /// label consistent with the declared mesh (4x4 meshes stay
+    /// "epiphany", 8x8 becomes "e64", anything else is "epiphany"
+    /// with the custom geometry carried in the params).
+    pub fn with_params(params: EpiphanyParams) -> EpiphanyPlatform {
+        let label = if (params.mesh_cols, params.mesh_rows) == (8, 8) {
+            "e64"
+        } else {
+            "epiphany"
+        };
+        EpiphanyPlatform { params, label }
+    }
 }
 
 impl Platform for EpiphanyPlatform {
@@ -58,11 +97,14 @@ impl Platform for EpiphanyPlatform {
     }
 
     fn label(&self) -> &'static str {
-        "epiphany"
+        self.label
     }
 
     fn datasheet_power_w(&self) -> f64 {
-        EPIPHANY_POWER_W
+        // The 2 W datasheet figure is for the 16-core chip; larger
+        // family members scale with core count (the E64's 65 nm
+        // datasheet point is ~4x the E16G3's).
+        EPIPHANY_POWER_W * self.params.cores() as f64 / EpiphanyParams::REFERENCE_CORES as f64
     }
 
     fn epiphany_params(&self) -> Option<EpiphanyParams> {
@@ -132,7 +174,10 @@ impl Platform for HostPlatform {
 /// unified runner).
 pub fn platform_named(name: &str) -> Option<Box<dyn Platform>> {
     match name {
-        "epiphany" => Some(Box::new(EpiphanyPlatform::default())),
+        // "e16" is an alias for the default 16-core chip; the record
+        // label stays "epiphany" for continuity with existing results.
+        "epiphany" | "e16" => Some(Box::new(EpiphanyPlatform::default())),
+        "e64" => Some(Box::new(EpiphanyPlatform::e64())),
         "refcpu" => Some(Box::new(RefCpuPlatform::default())),
         "host" => Some(Box::new(HostPlatform::default())),
         _ => None,
@@ -143,6 +188,7 @@ pub fn platform_named(name: &str) -> Option<Box<dyn Platform>> {
 pub fn all_platforms() -> Vec<Box<dyn Platform>> {
     vec![
         Box::new(EpiphanyPlatform::default()),
+        Box::new(EpiphanyPlatform::e64()),
         Box::new(RefCpuPlatform::default()),
         Box::new(HostPlatform::default()),
     ]
@@ -176,5 +222,28 @@ mod tests {
             EPIPHANY_POWER_W
         );
         assert_eq!(RefCpuPlatform::default().datasheet_power_w(), INTEL_POWER_W);
+    }
+
+    #[test]
+    fn e64_registers_with_scaled_geometry_and_power() {
+        let p = platform_named("e64").expect("e64 must resolve");
+        assert_eq!(p.kind(), PlatformKind::Epiphany);
+        assert_eq!(p.label(), "e64");
+        let params = p.epiphany_params().expect("epiphany family");
+        assert_eq!((params.mesh_cols, params.mesh_rows), (8, 8));
+        assert_eq!(p.datasheet_power_w(), 4.0 * EPIPHANY_POWER_W);
+        // "e16" aliases the default chip without forking the label.
+        let e16 = platform_named("e16").expect("e16 alias");
+        assert_eq!(e16.label(), "epiphany");
+        assert_eq!(e16.epiphany_params().map(|p| p.cores()), Some(16));
+        // with_params keeps labels in sync with geometry.
+        assert_eq!(
+            EpiphanyPlatform::with_params(epiphany::EpiphanyParams::e64()).label(),
+            "e64"
+        );
+        assert_eq!(
+            EpiphanyPlatform::with_params(epiphany::EpiphanyParams::default()).label(),
+            "epiphany"
+        );
     }
 }

@@ -90,6 +90,32 @@ impl Placement {
         }
     }
 
+    /// The placement re-expressed on a `(cols, rows)` mesh. Placement
+    /// ids are canonically written row-major for the 4-column E16G3
+    /// mesh; rebasing keeps every core's `(x, y)` coordinate — and
+    /// therefore every producer-consumer hop count — while renumbering
+    /// into the target mesh's row-major id space. Identity on a
+    /// 4-column mesh.
+    ///
+    /// # Panics
+    /// If a coordinate falls off the target mesh.
+    #[must_use]
+    pub fn rebased(&self, cols: u16, rows: u16) -> Placement {
+        let sub = |c: usize| {
+            let (x, y) = (c % 4, c / 4);
+            assert!(
+                x < cols as usize && y < rows as usize,
+                "placement core {c} at ({x},{y}) falls off a {cols}x{rows} mesh"
+            );
+            y * cols as usize + x
+        };
+        Placement {
+            range: self.range.map(|col| col.map(sub)),
+            beam: self.beam.map(|col| col.map(sub)),
+            corr: sub(self.corr),
+        }
+    }
+
     /// All thirteen distinct cores.
     pub fn cores(&self) -> Vec<usize> {
         let mut v: Vec<usize> = self
@@ -157,9 +183,12 @@ pub fn run_faulted(
         13,
         "the mapping must use 13 distinct cores"
     );
-    let mut chip = Chip::e16g3(params);
+    let mut chip = Chip::from_params(params);
     chip.set_tracer(tracer);
     chip.set_faults(faults.clone());
+    // Placements are written in E16G3 (4-column) ids; renumber onto
+    // the chip's actual mesh, preserving coordinates and hop counts.
+    place = place.rebased(chip.mesh_dims().0, chip.mesh_dims().1);
 
     // The three cores the 13-core mapping leaves idle: the spare pool
     // for remapping around permanent halts.

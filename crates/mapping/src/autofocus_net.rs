@@ -197,8 +197,11 @@ pub fn run_traced(
     place: Placement,
     tracer: desim::trace::Tracer,
 ) -> AutofocusNetRun {
-    let mut chip = Chip::e16g3(params);
+    let mut chip = Chip::from_params(params);
     chip.set_tracer(tracer);
+    // Placements use canonical E16G3 (4-column) ids; renumber onto
+    // the chip's actual mesh, preserving coordinates and hop counts.
+    let place = place.rebased(chip.mesh_dims().0, chip.mesh_dims().1);
     let mut net: Network<AfToken> = Network::new(chip);
     let results = Rc::new(RefCell::new(Vec::new()));
 

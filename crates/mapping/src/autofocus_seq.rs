@@ -48,7 +48,7 @@ pub fn run_traced(
     params: EpiphanyParams,
     tracer: desim::trace::Tracer,
 ) -> AutofocusSeqRun {
-    let mut chip = Chip::e16g3(params);
+    let mut chip = Chip::from_params(params);
     chip.set_tracer(tracer);
     let core = 0usize;
     let mut counts = OpCounts::default();

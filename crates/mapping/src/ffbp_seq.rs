@@ -40,7 +40,7 @@ pub fn run_traced(
 ) -> FfbpSeqRun {
     let geom = &w.geom;
     let layout = ExternalLayout::new(geom.num_pulses as u32, geom.num_bins as u32);
-    let mut chip = Chip::e16g3(params);
+    let mut chip = Chip::from_params(params);
     chip.set_tracer(tracer);
     let core = 0usize;
     let mut counts = OpCounts::default();

@@ -31,8 +31,13 @@ use crate::workloads::FfbpWorkload;
 /// Knobs for the ablation benches.
 #[derive(Debug, Clone, Copy)]
 pub struct SpmdOptions {
-    /// Cores to use (the paper: all 16).
-    pub cores: usize,
+    /// Cores to use. `None` (the default) means every core the
+    /// platform's mesh provides — 16 on the E16G3, 64 on the E64.
+    /// `Some(n)` pins the count for ablations; when `n` is smaller
+    /// than the chip, the work runs on a compact
+    /// [`Chip::subgrid_cores`] subgrid so hop counts match a dedicated
+    /// `n`-core chip.
+    pub cores: Option<usize>,
     /// DMA-prefetch the mapped child beams (ablation: off = every
     /// contributing element is a blocking external read).
     pub prefetch: bool,
@@ -41,7 +46,7 @@ pub struct SpmdOptions {
 impl Default for SpmdOptions {
     fn default() -> Self {
         SpmdOptions {
-            cores: 16,
+            cores: None,
             prefetch: true,
         }
     }
@@ -95,8 +100,14 @@ pub fn run_faulted(
     faults: FaultState,
 ) -> FfbpSpmdRun {
     let geom = &w.geom;
-    let n_cores = opts.cores;
-    let mut chip = Chip::with_cores(params, n_cores);
+    let n_cores = opts.cores.unwrap_or_else(|| params.cores());
+    // The platform's declared mesh, unless the ablation asks for more
+    // cores than it has — then the minimal covering mesh.
+    let mut chip = if n_cores <= params.cores() {
+        Chip::from_params(params)
+    } else {
+        Chip::with_cores(params, n_cores)
+    };
     chip.set_tracer(tracer);
     chip.set_faults(faults.clone());
     assert!(
@@ -104,8 +115,9 @@ pub fn run_faulted(
         "requested more cores than the chip has"
     );
     // Cores still participating; halted cores drop out at the
-    // end-of-iteration health check.
-    let mut active: Vec<usize> = (0..n_cores).collect();
+    // end-of-iteration health check. A partial set occupies a compact
+    // subgrid so its communication pattern matches a dedicated chip.
+    let mut active: Vec<usize> = chip.subgrid_cores(n_cores);
 
     let layout = ExternalLayout::new(geom.num_pulses as u32, geom.num_bins as u32);
     let mut counts = OpCounts::default();
@@ -146,8 +158,9 @@ pub fn run_faulted(
                 .collect();
 
             // Work units: one output beam each, dealt round-robin
-            // over the surviving cores.
-            let mut last_write: Vec<Cycle> = vec![Cycle::ZERO; n_cores];
+            // over the surviving cores. Indexed by chip core id —
+            // subgrid ids are sparse, so size for the whole chip.
+            let mut last_write: Vec<Cycle> = vec![Cycle::ZERO; chip.cores()];
             let mut task = 0usize;
             for (pair_idx, pair) in stage.chunks(2).enumerate() {
                 let (a, b) = (&pair[0], &pair[1]);
@@ -466,13 +479,50 @@ mod tests {
     }
 
     #[test]
+    fn e64_forms_the_same_image_and_runs_no_slower() {
+        let w = FfbpWorkload::small();
+        let e16 = run(&w, EpiphanyParams::default(), SpmdOptions::default());
+        let e64 = run(&w, EpiphanyParams::e64(), SpmdOptions::default());
+        assert!(
+            e64.record.label.contains("64 cores"),
+            "{}",
+            e64.record.label
+        );
+        assert_eq!(
+            e64.image.as_slice(),
+            e16.image.as_slice(),
+            "the formed image is independent of the mesh"
+        );
+        assert!(e64.record.elapsed.seconds() <= e16.record.elapsed.seconds());
+    }
+
+    #[test]
+    fn a_16_core_subgrid_of_the_e64_matches_the_e16_image() {
+        // The scale-out acceptance check at driver level: pinning the
+        // paper's 16-core slice assignment onto the E64's 4x4 corner
+        // subgrid reproduces the E16G3 image bit for bit.
+        let w = FfbpWorkload::small();
+        let e16 = run(&w, EpiphanyParams::default(), SpmdOptions::default());
+        let sub = run(
+            &w,
+            EpiphanyParams::e64(),
+            SpmdOptions {
+                cores: Some(16),
+                ..SpmdOptions::default()
+            },
+        );
+        assert_eq!(sub.image.as_slice(), e16.image.as_slice());
+        assert!(sub.record.label.contains("16 cores"));
+    }
+
+    #[test]
     fn fewer_cores_run_longer() {
         let w = FfbpWorkload::small();
         let four = run(
             &w,
             EpiphanyParams::default(),
             SpmdOptions {
-                cores: 4,
+                cores: Some(4),
                 ..SpmdOptions::default()
             },
         );

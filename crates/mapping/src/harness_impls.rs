@@ -33,6 +33,16 @@ fn unsupported(mapping: &dyn Mapping, platform: &dyn Platform) -> HarnessError {
     }
 }
 
+/// The mesh a program model should declare for `platform`: the chip's
+/// real geometry for the Epiphany family, the canonical 4x4 otherwise
+/// (non-Epiphany platforms never reach an Epiphany model's analyzer
+/// checks — `supports` gates them first).
+fn platform_mesh(platform: &dyn Platform) -> (u16, u16) {
+    platform
+        .epiphany_params()
+        .map_or((4, 4), |p| (p.mesh_cols, p.mesh_rows))
+}
+
 /// FFBP on one reference-CPU core (Table I row 1).
 pub struct FfbpRefMapping;
 
@@ -101,12 +111,10 @@ impl Mapping for FfbpSeqMapping {
             best: None,
         })
     }
-    fn program_model(
-        &self,
-        _workload: &Workload,
-        _platform: &dyn Platform,
-    ) -> Option<ProgramModel> {
-        Some(crate::program_model::ffbp_seq_model())
+    fn program_model(&self, _workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        Some(crate::program_model::ffbp_seq_model(platform_mesh(
+            platform,
+        )))
     }
 }
 
@@ -168,10 +176,10 @@ impl Mapping for FfbpSpmdMapping {
             best: None,
         })
     }
-    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
         workload
             .ffbp()
-            .map(|w| crate::program_model::ffbp_spmd_model(w, &self.opts))
+            .map(|w| crate::program_model::ffbp_spmd_model(w, &self.opts, platform_mesh(platform)))
     }
 }
 
@@ -285,12 +293,10 @@ impl Mapping for AutofocusSeqMapping {
             best: Some(r.best),
         })
     }
-    fn program_model(
-        &self,
-        _workload: &Workload,
-        _platform: &dyn Platform,
-    ) -> Option<ProgramModel> {
-        Some(crate::program_model::autofocus_seq_model())
+    fn program_model(&self, _workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        Some(crate::program_model::autofocus_seq_model(platform_mesh(
+            platform,
+        )))
     }
 }
 
@@ -366,10 +372,10 @@ impl Mapping for AutofocusMpmdMapping {
             best: Some(r.best),
         })
     }
-    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
-        workload
-            .autofocus()
-            .map(|w| crate::program_model::autofocus_mpmd_model(w, &self.place))
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        workload.autofocus().map(|w| {
+            crate::program_model::autofocus_mpmd_model(w, &self.place, platform_mesh(platform))
+        })
     }
 }
 
@@ -420,10 +426,10 @@ impl Mapping for AutofocusNetMapping {
         run.record.set_metric("firings", r.firings as f64);
         Ok(run)
     }
-    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
-        workload
-            .autofocus()
-            .map(|w| crate::program_model::autofocus_pipeline_model(w, &self.place))
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        workload.autofocus().map(|w| {
+            crate::program_model::autofocus_pipeline_model(w, &self.place, platform_mesh(platform))
+        })
     }
 }
 

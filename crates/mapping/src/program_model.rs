@@ -23,30 +23,31 @@ use crate::workloads::{AutofocusWorkload, FfbpWorkload};
 /// 6x6 block of complex pixels, as DMA'd by the pipeline drivers).
 pub const AUTOFOCUS_BLOCK_BYTES: u32 = 288;
 
-/// The `(cols, rows)` mesh [`Chip::with_cores`] would build.
-fn mesh_for(cores: usize) -> (u16, u16) {
-    if cores <= 16 {
-        (4, 4)
-    } else {
-        Chip::mesh_for_cores(cores)
-    }
-}
-
 /// FFBP on one Epiphany core: core 0 streams every contributing
 /// element from external memory — no prefetch buffers, no channels.
-pub fn ffbp_seq_model() -> ProgramModel {
-    let mut m = ProgramModel::new(4, 4);
+/// `mesh` is the target platform's geometry.
+pub fn ffbp_seq_model(mesh: (u16, u16)) -> ProgramModel {
+    let mut m = ProgramModel::new(mesh.0, mesh.1);
     m.cores = vec![0];
     m
 }
 
 /// The SPMD FFBP mapping (§V-A): every core prefetches its two child
 /// beams into the upper banks, drains its posted writes behind a
-/// per-core flag, and joins the end-of-merge barrier.
-pub fn ffbp_spmd_model(w: &FfbpWorkload, opts: &SpmdOptions) -> ProgramModel {
-    let (cols, rows) = mesh_for(opts.cores);
+/// per-core flag, and joins the end-of-merge barrier. `mesh` is the
+/// target platform's geometry; the model mirrors the driver's sizing —
+/// the declared mesh grows to the minimal covering mesh only when the
+/// ablation pins more cores than the platform has, and a partial core
+/// count occupies a compact subgrid.
+pub fn ffbp_spmd_model(w: &FfbpWorkload, opts: &SpmdOptions, mesh: (u16, u16)) -> ProgramModel {
+    let n = opts.cores.unwrap_or(mesh.0 as usize * mesh.1 as usize);
+    let (cols, rows) = if n <= mesh.0 as usize * mesh.1 as usize {
+        mesh
+    } else {
+        Chip::mesh_for_cores(n)
+    };
     let mut m = ProgramModel::new(cols, rows);
-    m.cores = (0..opts.cores).collect();
+    m.cores = Chip::subgrid_on(cols, rows, n);
     let layout = ExternalLayout::new(w.geom.num_pulses as u32, w.geom.num_bins as u32);
     let beam_bytes = u32::try_from(layout.beam_bytes()).expect("beam fits u32");
     for &c in &m.cores {
@@ -89,8 +90,8 @@ pub fn ffbp_spmd_model(w: &FfbpWorkload, opts: &SpmdOptions) -> ProgramModel {
 
 /// Autofocus on one Epiphany core: one DMA'd block pair in an upper
 /// bank, everything else register/stack traffic.
-pub fn autofocus_seq_model() -> ProgramModel {
-    let mut m = ProgramModel::new(4, 4);
+pub fn autofocus_seq_model(mesh: (u16, u16)) -> ProgramModel {
+    let mut m = ProgramModel::new(mesh.0, mesh.1);
     m.cores = vec![0];
     m.buffer("block_pair", 0, BANK_CHILD_A, 0, 2 * AUTOFOCUS_BLOCK_BYTES);
     m
@@ -106,8 +107,15 @@ pub fn autofocus_seq_model() -> ProgramModel {
 /// Channels: range `(blk, win)` feeds all three beam cores of its
 /// block, every beam core feeds the correlator — 24 channels, each
 /// with its flag-signalled posted-write protocol.
-pub fn autofocus_pipeline_model(w: &AutofocusWorkload, place: &Placement) -> ProgramModel {
-    let mut m = ProgramModel::new(4, 4);
+pub fn autofocus_pipeline_model(
+    w: &AutofocusWorkload,
+    place: &Placement,
+    mesh: (u16, u16),
+) -> ProgramModel {
+    let mut m = ProgramModel::new(mesh.0, mesh.1);
+    // Placements use canonical E16G3 (4-column) ids; the model mirrors
+    // the drivers and renumbers onto the target mesh.
+    let place = place.rebased(mesh.0, mesh.1);
     m.cores = place.cores();
     let per_it = u32::try_from(w.config.samples_per_iteration()).expect("samples fit u32");
     let range_msg = 6 * per_it * 8;
@@ -175,8 +183,12 @@ pub fn autofocus_pipeline_model(w: &AutofocusWorkload, place: &Placement) -> Pro
 /// if the peer has halted. The `streams` network keeps the plain
 /// (undeclared) model, so `sarlint` flags its channels as
 /// recovery-free (SL011/SL012).
-pub fn autofocus_mpmd_model(w: &AutofocusWorkload, place: &Placement) -> ProgramModel {
-    let mut m = autofocus_pipeline_model(w, place);
+pub fn autofocus_mpmd_model(
+    w: &AutofocusWorkload,
+    place: &Placement,
+    mesh: (u16, u16),
+) -> ProgramModel {
+    let mut m = autofocus_pipeline_model(w, place, mesh);
     let covered = m.declare_recovery("range", "retry_backoff+drain_restart")
         + m.declare_recovery("beam", "retry_backoff+drain_restart");
     debug_assert!(covered > 0, "the pipeline's channels must match");
@@ -190,7 +202,7 @@ mod tests {
     #[test]
     fn spmd_model_declares_the_paper_footprint() {
         let w = FfbpWorkload::paper();
-        let m = ffbp_spmd_model(&w, &SpmdOptions::default());
+        let m = ffbp_spmd_model(&w, &SpmdOptions::default(), (4, 4));
         assert_eq!(m.mesh, (4, 4));
         assert_eq!(m.cores.len(), 16);
         // Two 8,008 B beams per core, one per upper bank (§V-A).
@@ -213,19 +225,53 @@ mod tests {
                 prefetch: false,
                 ..SpmdOptions::default()
             },
+            (4, 4),
         );
         assert!(m.buffers.is_empty());
     }
 
     #[test]
+    fn spmd_model_scales_to_the_e64_mesh() {
+        let w = FfbpWorkload::small();
+        let m = ffbp_spmd_model(&w, &SpmdOptions::default(), (8, 8));
+        assert_eq!(m.mesh, (8, 8));
+        assert_eq!(m.cores.len(), 64);
+        assert_eq!(m.buffers.len(), 128);
+        assert_eq!(m.barriers[0].participants.len(), 64);
+        // A pinned 16-core ablation on the E64 occupies the 4x4
+        // corner subgrid, exactly as the driver places it.
+        let sub = ffbp_spmd_model(
+            &w,
+            &SpmdOptions {
+                cores: Some(16),
+                ..SpmdOptions::default()
+            },
+            (8, 8),
+        );
+        assert_eq!(sub.mesh, (8, 8));
+        assert_eq!(sub.cores, Chip::subgrid_on(8, 8, 16));
+        // Over-subscription falls back to the minimal covering mesh.
+        let big = ffbp_spmd_model(
+            &w,
+            &SpmdOptions {
+                cores: Some(32),
+                ..SpmdOptions::default()
+            },
+            (4, 4),
+        );
+        assert_eq!(big.mesh, (8, 4));
+        assert_eq!(big.cores.len(), 32);
+    }
+
+    #[test]
     fn mpmd_model_declares_recovery_on_every_channel_and_flag() {
         let w = AutofocusWorkload::small();
-        let plain = autofocus_pipeline_model(&w, &Placement::neighbor());
+        let plain = autofocus_pipeline_model(&w, &Placement::neighbor(), (4, 4));
         assert!(
             plain.channels.iter().all(|c| c.recovery.is_none()),
             "the shared pipeline model stays recovery-free (the streams net has none)"
         );
-        let m = autofocus_mpmd_model(&w, &Placement::neighbor());
+        let m = autofocus_mpmd_model(&w, &Placement::neighbor(), (4, 4));
         assert!(m.channels.iter().all(|c| c.recovery.is_some()));
         assert!(m.flags.iter().all(|f| f.recovery.is_some()));
     }
@@ -233,7 +279,7 @@ mod tests {
     #[test]
     fn pipeline_model_matches_the_dataflow() {
         let w = AutofocusWorkload::small();
-        let m = autofocus_pipeline_model(&w, &Placement::neighbor());
+        let m = autofocus_pipeline_model(&w, &Placement::neighbor(), (4, 4));
         assert_eq!(m.cores.len(), 13);
         // 18 range->beam + 6 beam->corr channels, one flag each.
         assert_eq!(m.channels.len(), 24);
@@ -244,5 +290,26 @@ mod tests {
         assert!(m.buffers.iter().any(|b| b.bytes == 6 * 16 * 8));
         assert!(m.buffers.iter().any(|b| b.bytes == 3 * 16 * 8));
         assert!(m.barriers.is_empty());
+    }
+
+    #[test]
+    fn pipeline_model_rebases_the_placement_onto_bigger_meshes() {
+        let w = AutofocusWorkload::small();
+        let e16 = autofocus_pipeline_model(&w, &Placement::neighbor(), (4, 4));
+        let e64 = autofocus_pipeline_model(&w, &Placement::neighbor(), (8, 8));
+        assert_eq!(e64.mesh, (8, 8));
+        assert_eq!(e64.cores.len(), 13);
+        // Same channel graph, and every channel spans the same hop
+        // count on both meshes (the rebase preserves coordinates).
+        assert_eq!(e64.channels.len(), e16.channels.len());
+        for (a, b) in e16.channels.iter().zip(&e64.channels) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                e16.manhattan(a.from, a.to),
+                e64.manhattan(b.from, b.to),
+                "channel {} changed hop count",
+                a.label
+            );
+        }
     }
 }

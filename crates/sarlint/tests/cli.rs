@@ -16,7 +16,7 @@ fn all_registered_pairs_pass_the_gate() {
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("8 pair(s) analyzed, 0 hard finding(s)"),
+        stdout.contains("13 pair(s) analyzed, 0 hard finding(s)"),
         "{stdout}"
     );
 }

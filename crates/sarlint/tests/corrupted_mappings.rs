@@ -28,7 +28,11 @@ fn sram() -> SramParams {
 
 #[test]
 fn all_registered_pairs_are_clean() {
+    // Covers the e64 rows too: every Epiphany-kind mapping must place
+    // and fit on the 8x8 mesh exactly as it does on the 4x4 (rebased
+    // placements keep their hop counts, so SL005 stays quiet).
     let mut analyzed = 0;
+    let mut on_e64 = 0;
     for m in all_mappings() {
         let w = Workload::named(m.kernel(), true).expect("registered kernel");
         for p in all_platforms() {
@@ -44,9 +48,22 @@ fn all_registered_pairs_are_clean() {
                 r.diagnostics
             );
             analyzed += 1;
+            if p.label() == "e64" {
+                on_e64 += 1;
+            }
         }
     }
-    assert_eq!(analyzed, 8, "every registered mapping has one platform");
+    let expected: usize = all_mappings()
+        .iter()
+        .map(|m| {
+            all_platforms()
+                .iter()
+                .filter(|p| m.supports(p.kind()))
+                .count()
+        })
+        .sum();
+    assert_eq!(analyzed, expected, "every supported pair analyzed once");
+    assert_eq!(on_e64, 5, "all five Epiphany mappings analyze on the e64");
 }
 
 #[test]

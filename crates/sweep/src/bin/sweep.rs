@@ -1,0 +1,135 @@
+//! The sweep runner: fan a Mapping × Platform × seed grid across
+//! worker threads and write one versioned results document.
+//!
+//! ```text
+//! cargo run -p sweep --bin sweep --release -- \
+//!     --grid specs/scaling_demo.json [--threads N] [--resume] \
+//!     [--out results/sweep_<name>.json] [--json] [--force] [--no-write]
+//! ```
+//!
+//! `--resume` loads the existing output document as a cell cache, so
+//! re-running an unchanged grid simulates nothing and grown grids run
+//! only their new cells. The output is byte-identical for any
+//! `--threads` value.
+
+use std::path::PathBuf;
+
+use desim::Json;
+use sim_harness::{check_overwrite, BenchHarness, Diagnostic, RESULTS_DIR};
+use sweep::{run_grid, CellCache, GridSpec};
+
+fn fail(d: &Diagnostic, code: i32) -> ! {
+    eprintln!("{d}");
+    std::process::exit(code);
+}
+
+fn main() {
+    let h = BenchHarness::new("sweep");
+    let grid_path = match h.operand("grid") {
+        Ok(Some(path)) => path.to_string(),
+        Ok(None) => fail(
+            &Diagnostic::hard("CLI002", "--grid", "sweep requires --grid <spec.json>"),
+            2,
+        ),
+        Err(d) => fail(&d, 2),
+    };
+    let text = std::fs::read_to_string(&grid_path).unwrap_or_else(|e| {
+        fail(
+            &Diagnostic::hard(
+                "SWP001",
+                grid_path.clone(),
+                format!("cannot read grid: {e}"),
+            ),
+            2,
+        )
+    });
+    let spec = GridSpec::parse(&text).unwrap_or_else(|d| fail(&d, 2));
+    let threads = match h.value("threads").map(str::parse::<usize>) {
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        Some(Ok(n)) if n >= 1 => n,
+        _ => fail(
+            &Diagnostic::hard(
+                "CLI002",
+                "--threads",
+                "--threads requires a positive integer",
+            ),
+            2,
+        ),
+    };
+    let out_path = h.value("out").map_or_else(
+        || PathBuf::from(RESULTS_DIR).join(format!("sweep_{}.json", spec.name)),
+        PathBuf::from,
+    );
+    let cache = if h.flag("resume") {
+        CellCache::load(&out_path)
+    } else {
+        CellCache::empty()
+    };
+
+    h.say(format_args!(
+        "sweep '{}': {} pair(s) x {} seed(s) on {} thread(s){}",
+        spec.name,
+        spec.pairs.len(),
+        spec.seeds.len(),
+        threads,
+        if cache.is_empty() {
+            String::new()
+        } else {
+            format!(", resuming over {} cached cell(s)", cache.len())
+        }
+    ));
+    let outcome = run_grid(&spec, threads, &cache).unwrap_or_else(|d| fail(&d, 1));
+    h.say(format_args!(
+        "{} cell(s): {} simulated, {} from cache",
+        outcome.cells_total, outcome.cells_run, outcome.cells_cached
+    ));
+
+    if let Some(rows) = outcome
+        .document
+        .get("scaling")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    {
+        h.say(format_args!(
+            "\n{:<16} {:>9} {:>7} {:>12} {:>11} {:>9} {:>8}",
+            "mapping", "platform", "cores", "time (ms)", "energy (J)", "vs seq", "vs e16"
+        ));
+        for row in rows {
+            let s = |k: &str| row.get(k).and_then(Json::as_str).unwrap_or("?");
+            let f = |k: &str| row.get(k).and_then(Json::as_f64);
+            let ratio = |k: &str| f(k).map_or_else(|| "-".to_string(), |v| format!("{v:.2}x"));
+            h.say(format_args!(
+                "{:<16} {:>9} {:>7} {:>12.3} {:>11.4} {:>9} {:>8}",
+                s("mapping"),
+                s("platform"),
+                row.get("platform_cores")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                f("time_ms").unwrap_or(0.0),
+                f("energy_j").unwrap_or(0.0),
+                ratio("speedup_vs_seq"),
+                ratio("speedup_vs_e16"),
+            ));
+        }
+    }
+
+    if h.json() {
+        print!("{}", outcome.document.to_string_pretty());
+    }
+    if h.flag("no-write") {
+        return;
+    }
+    if let Err(d) = check_overwrite(&out_path, h.flag("force")) {
+        fail(&d, 2);
+    }
+    if let Some(dir) = out_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+    }
+    match std::fs::write(&out_path, outcome.document.to_string_pretty()) {
+        Ok(()) => h.say(format_args!("\nwrote {}", out_path.display())),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out_path.display()),
+    }
+}

@@ -1,0 +1,663 @@
+//! `sweep` — the parallel configuration-sweep engine (DESIGN.md §3
+//! S16): fan a Mapping × Platform × seed grid across worker threads
+//! and serialise one versioned results document.
+//!
+//! Three properties define the engine:
+//!
+//! * **Determinism.** Every simulated cell is a deterministic
+//!   function of its key, and cells are serialised in the grid's
+//!   canonical order (pairs × seeds) — so the output document is
+//!   byte-identical for *any* worker-thread count, and a re-run of an
+//!   unchanged grid reproduces the file exactly.
+//! * **Warm sharing.** Workload construction (pulse compression of
+//!   the simulated scene) dwarfs many of the simulations themselves,
+//!   so each kernel's workload is built once and shared read-only by
+//!   every worker.
+//! * **Incrementality.** Each cell is keyed by
+//!   `(mapping, platform, kernel, scale, seed, record version)`; a
+//!   [`CellCache`] loaded from a previous document satisfies matching
+//!   cells without simulating, so growing a grid re-runs only the new
+//!   cells ([`SweepOutcome::cells_run`] counts the difference).
+//!
+//! The `sweep` binary wraps [`run_grid`] behind
+//! `--grid/--threads/--resume`; the grid spec format is documented on
+//! [`GridSpec::parse`].
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use desim::{Json, RunRecord, RUN_RECORD_VERSION};
+use faultsim::{FaultPlan, FaultState};
+use sar_epiphany::mapping_named;
+use sim_harness::{platform_named, run_ctx, Diagnostic, RunContext, Workload};
+
+/// Grid-spec schema version accepted by [`GridSpec::parse`].
+pub const GRID_SPEC_VERSION: u64 = 1;
+
+/// One Mapping × Platform combination of the grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairSpec {
+    /// Registered mapping name (`sar_epiphany::mapping_named`).
+    pub mapping: String,
+    /// Registered platform label (`sim_harness::platform_named`).
+    pub platform: String,
+}
+
+/// A parsed and validated sweep grid.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Grid identity; the default output path is
+    /// `results/sweep_<name>.json`.
+    pub name: String,
+    /// Whether cells run the reduced test-scale workloads.
+    pub small: bool,
+    /// The Mapping × Platform combinations, in serialisation order.
+    pub pairs: Vec<PairSpec>,
+    /// Fault seeds; every pair runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Optional fault-spec JSON (the `faultsim` format), expanded per
+    /// seed. Absent means every cell runs an empty (fault-free) plan
+    /// that still stamps its seed into the record.
+    pub faults: Option<String>,
+}
+
+/// One grid cell: a pair at one seed.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Mapping name.
+    pub mapping: String,
+    /// Platform label.
+    pub platform: String,
+    /// Fault seed.
+    pub seed: u64,
+}
+
+/// The cache key of one cell. Includes [`RUN_RECORD_VERSION`], so a
+/// schema bump invalidates every cached cell at once.
+pub fn cell_key(mapping: &str, platform: &str, kernel: &str, small: bool, seed: u64) -> String {
+    let scale = if small { "small" } else { "paper" };
+    format!("{mapping}|{platform}|{kernel}|{scale}|{seed}|v{RUN_RECORD_VERSION}")
+}
+
+fn bad_spec(subject: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::hard("SWP001", subject, message)
+}
+
+impl GridSpec {
+    /// Parse and validate a grid spec. The format:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "name": "scaling",
+    ///   "small": true,
+    ///   "pairs": [{"mapping": "ffbp_spmd", "platform": "e64"}],
+    ///   "seeds": [1, 2],
+    ///   "faults": { ... optional faultsim spec ... }
+    /// }
+    /// ```
+    ///
+    /// Every pair must name a registered mapping and platform the
+    /// mapping supports (`SWP002` otherwise), so a sweep fails before
+    /// any simulation starts rather than mid-grid.
+    pub fn parse(text: &str) -> Result<GridSpec, Diagnostic> {
+        let doc = Json::parse(text).map_err(|e| bad_spec("grid", format!("not JSON: {e}")))?;
+        match doc.get("version").and_then(Json::as_u64) {
+            Some(GRID_SPEC_VERSION) => {}
+            v => {
+                return Err(bad_spec(
+                    "version",
+                    format!("grid spec version must be {GRID_SPEC_VERSION}, got {v:?}"),
+                ))
+            }
+        }
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_spec("name", "grid spec needs a string 'name'"))?
+            .to_string();
+        let small = doc.get("small").and_then(Json::as_bool).unwrap_or(true);
+        let pairs_json = doc
+            .get("pairs")
+            .and_then(Json::as_array)
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| bad_spec("pairs", "grid spec needs a non-empty 'pairs' array"))?;
+        let mut pairs = Vec::with_capacity(pairs_json.len());
+        for (i, p) in pairs_json.iter().enumerate() {
+            let field = |key: &str| {
+                p.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| bad_spec(format!("pairs[{i}]"), format!("missing '{key}'")))
+            };
+            let pair = PairSpec {
+                mapping: field("mapping")?,
+                platform: field("platform")?,
+            };
+            validate_pair(&pair, i)?;
+            pairs.push(pair);
+        }
+        let seeds = match doc.get("seeds").and_then(Json::as_array) {
+            None => vec![0],
+            Some(list) => {
+                let seeds: Option<Vec<u64>> = list.iter().map(Json::as_u64).collect();
+                seeds
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| bad_spec("seeds", "'seeds' must be a non-empty u64 array"))?
+            }
+        };
+        let faults = doc.get("faults").map(Json::to_string_pretty);
+        if let Some(text) = &faults {
+            // Fail early on an unparseable fault spec (seed value is
+            // irrelevant to validity).
+            FaultPlan::parse(text, 0)
+                .map_err(|e| bad_spec("faults", format!("bad fault spec: {e}")))?;
+        }
+        Ok(GridSpec {
+            name,
+            small,
+            pairs,
+            seeds,
+            faults,
+        })
+    }
+
+    /// Every cell of the grid in canonical (pair-major, then seed)
+    /// order — the order cells are serialised in, independent of which
+    /// worker simulates them.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(self.pairs.len() * self.seeds.len());
+        for pair in &self.pairs {
+            for &seed in &self.seeds {
+                cells.push(Cell {
+                    mapping: pair.mapping.clone(),
+                    platform: pair.platform.clone(),
+                    seed,
+                });
+            }
+        }
+        cells
+    }
+
+    /// The spec echoed into the results document, so a document alone
+    /// identifies the grid that produced it.
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("version", GRID_SPEC_VERSION)
+            .with("small", self.small)
+            .with(
+                "pairs",
+                Json::Arr(
+                    self.pairs
+                        .iter()
+                        .map(|p| {
+                            Json::obj()
+                                .with("mapping", p.mapping.as_str())
+                                .with("platform", p.platform.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::from(s)).collect()),
+            )
+            .with("faulted", self.faults.is_some())
+    }
+}
+
+/// Resolve and cross-check one pair against the registries.
+fn validate_pair(pair: &PairSpec, index: usize) -> Result<(), Diagnostic> {
+    let subject = format!("pairs[{index}]");
+    let mapping = mapping_named(&pair.mapping).ok_or_else(|| {
+        Diagnostic::hard(
+            "SWP002",
+            subject.clone(),
+            format!("unknown mapping '{}'", pair.mapping),
+        )
+    })?;
+    let platform = platform_named(&pair.platform).ok_or_else(|| {
+        Diagnostic::hard(
+            "SWP002",
+            subject.clone(),
+            format!("unknown platform '{}'", pair.platform),
+        )
+    })?;
+    if !mapping.supports(platform.kind()) {
+        return Err(Diagnostic::hard(
+            "SWP002",
+            subject,
+            format!(
+                "mapping '{}' does not support platform '{}'",
+                pair.mapping, pair.platform
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Completed cells from a previous sweep document, keyed by
+/// [`cell_key`]. Loading tolerates anything — a missing file, foreign
+/// JSON or a version-bumped document simply yields an empty cache and
+/// the sweep re-simulates.
+#[derive(Debug, Default)]
+pub struct CellCache {
+    map: HashMap<String, RunRecord>,
+}
+
+impl CellCache {
+    /// A cache with no cells.
+    pub fn empty() -> CellCache {
+        CellCache::default()
+    }
+
+    /// Cached cells.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Harvest the `cells` of a previous sweep document. Only
+    /// documents written by this record-schema version contribute
+    /// (cell keys embed the version too — this is the cheap outer
+    /// guard).
+    pub fn from_document(doc: &Json) -> CellCache {
+        let mut cache = CellCache::empty();
+        if doc.get("version").and_then(Json::as_u64) != Some(u64::from(RUN_RECORD_VERSION)) {
+            return cache;
+        }
+        let Some(cells) = doc.get("cells").and_then(Json::as_array) else {
+            return cache;
+        };
+        for cell in cells {
+            let key = cell.get("key").and_then(Json::as_str);
+            let record = cell.get("record").and_then(RunRecord::from_json);
+            if let (Some(key), Some(record)) = (key, record) {
+                cache.map.insert(key.to_string(), record);
+            }
+        }
+        cache
+    }
+
+    /// [`CellCache::from_document`] on a file path; unreadable or
+    /// unparseable files yield an empty cache.
+    pub fn load(path: &Path) -> CellCache {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .map_or_else(CellCache::empty, |doc| CellCache::from_document(&doc))
+    }
+}
+
+/// What [`run_grid`] produced: the serialisable document plus the
+/// run/cached split (deliberately *not* part of the document, so a
+/// resumed run emits byte-identical output).
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The versioned results document.
+    pub document: Json,
+    /// Total cells in the grid.
+    pub cells_total: usize,
+    /// Cells simulated this run.
+    pub cells_run: usize,
+    /// Cells satisfied from the cache.
+    pub cells_cached: usize,
+}
+
+/// Run every cell of `spec` not already in `cache`, fanning the work
+/// across `threads` scoped worker threads, and assemble the results
+/// document. The document depends only on the grid (not on `threads`
+/// or the cache hit pattern).
+pub fn run_grid(
+    spec: &GridSpec,
+    threads: usize,
+    cache: &CellCache,
+) -> Result<SweepOutcome, Diagnostic> {
+    let cells = spec.cells();
+    // Kernel identity per pair, and each kernel's workload built once.
+    let kernels: Vec<&'static str> = spec
+        .pairs
+        .iter()
+        .map(|p| {
+            mapping_named(&p.mapping)
+                .expect("validated at parse")
+                .kernel()
+        })
+        .collect();
+    let mut workloads: HashMap<&'static str, Workload> = HashMap::new();
+    for &kernel in &kernels {
+        workloads
+            .entry(kernel)
+            .or_insert_with(|| Workload::named(kernel, spec.small).expect("registered kernel"));
+    }
+    let kernel_of = |cell_index: usize| kernels[cell_index / spec.seeds.len()];
+
+    // Satisfy what the cache can; queue the rest.
+    let mut slots: Vec<Option<RunRecord>> = Vec::with_capacity(cells.len());
+    let mut work: Vec<usize> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let key = cell_key(
+            &cell.mapping,
+            &cell.platform,
+            kernel_of(i),
+            spec.small,
+            cell.seed,
+        );
+        match cache.map.get(&key) {
+            Some(record) => slots.push(Some(record.clone())),
+            None => {
+                slots.push(None);
+                work.push(i);
+            }
+        }
+    }
+    let cells_run = work.len();
+    let cells_cached = cells.len() - cells_run;
+
+    let slots = Mutex::new(slots);
+    let errors: Mutex<Vec<Diagnostic>> = Mutex::new(Vec::new());
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.clamp(1, work.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell_index) = work.get(next) else {
+                    return;
+                };
+                let cell = &cells[cell_index];
+                match simulate(
+                    cell,
+                    &workloads[kernel_of(cell_index)],
+                    spec.faults.as_deref(),
+                ) {
+                    Ok(record) => slots.lock().expect("slots lock")[cell_index] = Some(record),
+                    Err(d) => errors.lock().expect("error lock").push(d),
+                }
+            });
+        }
+    });
+    if let Some(first) = errors.into_inner().expect("error lock").into_iter().next() {
+        return Err(first);
+    }
+
+    let slots = slots.into_inner().expect("slots lock");
+    let cell_docs: Vec<Json> = cells
+        .iter()
+        .zip(&slots)
+        .enumerate()
+        .map(|(i, (cell, record))| {
+            let record = record.as_ref().expect("every cell resolved");
+            Json::obj()
+                .with(
+                    "key",
+                    cell_key(
+                        &cell.mapping,
+                        &cell.platform,
+                        kernel_of(i),
+                        spec.small,
+                        cell.seed,
+                    ),
+                )
+                .with("mapping", cell.mapping.as_str())
+                .with("platform", cell.platform.as_str())
+                .with("kernel", kernel_of(i))
+                .with("seed", cell.seed)
+                .with("record", record.to_json())
+        })
+        .collect();
+
+    let document = Json::obj()
+        .with("bench", format!("sweep_{}", spec.name))
+        .with("version", RUN_RECORD_VERSION)
+        .with("grid", spec.to_json())
+        .with("cells", Json::Arr(cell_docs))
+        .with("scaling", scaling_summary(spec, &kernels, &cells, &slots));
+    Ok(SweepOutcome {
+        document,
+        cells_total: cells.len(),
+        cells_run,
+        cells_cached,
+    })
+}
+
+/// Simulate one cell: arm the fault plan for the cell's seed (an
+/// empty plan when the grid has none, so the seed is still stamped)
+/// and run through the unified harness entry point.
+fn simulate(
+    cell: &Cell,
+    workload: &Workload,
+    faults: Option<&str>,
+) -> Result<RunRecord, Diagnostic> {
+    let mapping = mapping_named(&cell.mapping).expect("validated at parse");
+    let platform = platform_named(&cell.platform).expect("validated at parse");
+    let plan = match faults {
+        Some(text) => FaultPlan::parse(text, cell.seed)
+            .map_err(|e| Diagnostic::hard("SWP001", "faults", format!("bad fault spec: {e}")))?,
+        None => FaultPlan::empty(cell.seed),
+    };
+    let ctx = RunContext::plain().with_faults(FaultState::from_plan(&plan));
+    let out = run_ctx(mapping.as_ref(), workload, platform.as_ref(), &ctx).map_err(|e| {
+        Diagnostic::hard(
+            "SWP003",
+            format!("{} x {}", cell.mapping, cell.platform),
+            e.to_string(),
+        )
+    })?;
+    Ok(out.record)
+}
+
+/// The strong-scaling summary (Table-I style): one row per pair,
+/// timed and priced from its first-seed record, with speedup and
+/// energy ratios against whichever baselines the grid itself
+/// contains — the same kernel's single-core `*_seq` mapping on the
+/// 16-core chip (`vs_seq`), and the same mapping on the 16-core chip
+/// (`vs_e16`, the cross-chip strong-scaling ratio).
+fn scaling_summary(
+    spec: &GridSpec,
+    kernels: &[&'static str],
+    cells: &[Cell],
+    slots: &[Option<RunRecord>],
+) -> Json {
+    // First-seed record per pair (seeds replay the same simulation —
+    // they only re-seed the fault plan).
+    let record_of = |mapping: &str, platform: &str| {
+        cells
+            .iter()
+            .position(|c| c.mapping == mapping && c.platform == platform)
+            .and_then(|i| slots[i].as_ref())
+    };
+    let mut rows = Vec::with_capacity(spec.pairs.len());
+    for (pair_index, pair) in spec.pairs.iter().enumerate() {
+        let kernel = kernels[pair_index];
+        let record = record_of(&pair.mapping, &pair.platform).expect("pair has a first cell");
+        let platform = platform_named(&pair.platform).expect("validated at parse");
+        let platform_cores = platform
+            .epiphany_params()
+            .map(|p| p.cores())
+            .or_else(|| platform.host_threads())
+            .unwrap_or(1);
+        let mut row = Json::obj()
+            .with("mapping", pair.mapping.as_str())
+            .with("platform", pair.platform.as_str())
+            .with("kernel", kernel)
+            .with("platform_cores", platform_cores)
+            .with("time_ms", record.millis())
+            .with("energy_j", record.energy_j())
+            .with("power_w", record.power_w);
+        let seq = record_of(&format!("{kernel}_seq"), "epiphany");
+        if let Some(seq) = seq.filter(|s| s.millis() > 0.0) {
+            row.set("speedup_vs_seq", seq.millis() / record.millis());
+            if record.energy_j() > 0.0 {
+                row.set("energy_vs_seq", seq.energy_j() / record.energy_j());
+            }
+        }
+        if pair.platform != "epiphany" {
+            if let Some(e16) = record_of(&pair.mapping, "epiphany") {
+                row.set("speedup_vs_e16", e16.millis() / record.millis());
+            }
+        }
+        rows.push(row);
+    }
+    Json::obj().with("rows", Json::Arr(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> GridSpec {
+        GridSpec::parse(
+            r#"{
+                "version": 1,
+                "name": "t",
+                "small": true,
+                "pairs": [
+                    {"mapping": "autofocus_seq", "platform": "epiphany"},
+                    {"mapping": "autofocus_mpmd", "platform": "e64"}
+                ],
+                "seeds": [7, 8]
+            }"#,
+        )
+        .expect("demo spec parses")
+    }
+
+    #[test]
+    fn spec_parses_and_enumerates_cells_in_canonical_order() {
+        let spec = demo_spec();
+        assert_eq!(spec.name, "t");
+        assert!(spec.small);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(
+            cells
+                .iter()
+                .map(|c| (c.mapping.as_str(), c.seed))
+                .collect::<Vec<_>>(),
+            vec![
+                ("autofocus_seq", 7),
+                ("autofocus_seq", 8),
+                ("autofocus_mpmd", 7),
+                ("autofocus_mpmd", 8)
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_specs_fail_with_stable_codes() {
+        let version = GridSpec::parse(r#"{"version": 9, "name": "x", "pairs": []}"#).unwrap_err();
+        assert_eq!(version.code, "SWP001");
+        let unknown = GridSpec::parse(
+            r#"{"version": 1, "name": "x",
+                "pairs": [{"mapping": "ffbp_gpu", "platform": "epiphany"}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(unknown.code, "SWP002");
+        let unsupported = GridSpec::parse(
+            r#"{"version": 1, "name": "x",
+                "pairs": [{"mapping": "ffbp_spmd", "platform": "refcpu"}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(unsupported.code, "SWP002");
+        assert!(unsupported.message.contains("does not support"));
+    }
+
+    #[test]
+    fn cell_keys_embed_the_record_version() {
+        let key = cell_key("ffbp_spmd", "e64", "ffbp", true, 3);
+        assert_eq!(
+            key,
+            format!("ffbp_spmd|e64|ffbp|small|3|v{RUN_RECORD_VERSION}")
+        );
+        assert_ne!(key, cell_key("ffbp_spmd", "e64", "ffbp", false, 3));
+    }
+
+    #[test]
+    fn a_grid_runs_and_summarises() {
+        let spec = demo_spec();
+        let out = run_grid(&spec, 2, &CellCache::empty()).expect("grid runs");
+        assert_eq!(out.cells_total, 4);
+        assert_eq!(out.cells_run, 4);
+        assert_eq!(out.cells_cached, 0);
+        let cells = out.document.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(cells.len(), 4);
+        // Each record is stamped with its cell's fault seed.
+        let seed_of = |c: &Json| {
+            c.get("record")
+                .and_then(RunRecord::from_json)
+                .map(|r| r.counters.get("fault_seed"))
+        };
+        assert_eq!(seed_of(&cells[0]), Some(7));
+        assert_eq!(seed_of(&cells[1]), Some(8));
+        let rows = out
+            .document
+            .get("scaling")
+            .and_then(|s| s.get("rows"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        // The grid contains autofocus_seq x epiphany, so the mpmd row
+        // gets a vs_seq speedup; the seq row's own ratio is 1.
+        assert_eq!(
+            rows[0].get("speedup_vs_seq").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(
+            rows[1]
+                .get("speedup_vs_seq")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 1.0
+        );
+        assert_eq!(
+            rows[1].get("platform_cores").and_then(Json::as_u64),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn the_cache_makes_identical_reruns_free() {
+        let spec = demo_spec();
+        let first = run_grid(&spec, 2, &CellCache::empty()).expect("grid runs");
+        let cache = CellCache::from_document(&first.document);
+        assert_eq!(cache.len(), 4);
+        let second = run_grid(&spec, 2, &cache).expect("grid resumes");
+        assert_eq!(second.cells_run, 0, "an identical grid simulates nothing");
+        assert_eq!(second.cells_cached, 4);
+        assert_eq!(
+            first.document.to_string_pretty(),
+            second.document.to_string_pretty(),
+            "a resumed run must reproduce the document byte for byte"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_bytes() {
+        let spec = demo_spec();
+        let serial = run_grid(&spec, 1, &CellCache::empty()).expect("serial");
+        let wide = run_grid(&spec, 4, &CellCache::empty()).expect("parallel");
+        assert_eq!(
+            serial.document.to_string_pretty(),
+            wide.document.to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn version_bumped_documents_do_not_seed_the_cache() {
+        let spec = demo_spec();
+        let out = run_grid(&spec, 1, &CellCache::empty()).expect("grid runs");
+        let doc = out
+            .document
+            .with("version", u64::from(RUN_RECORD_VERSION) + 1);
+        assert!(CellCache::from_document(&doc).is_empty());
+    }
+}

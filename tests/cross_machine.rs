@@ -200,6 +200,24 @@ fn every_mapping_on_every_platform_matches_the_plain_algorithms() {
             checked += 1;
         }
     }
-    // Eight mappings, each supporting exactly one platform family.
-    assert_eq!(checked, 8, "expected every registered mapping to run once");
+    // Every mapping runs once per platform it supports: the three
+    // host-kind mappings on the host, the five Epiphany-kind mappings
+    // on both the e16 and the e64.
+    let expected: usize = all_mappings()
+        .iter()
+        .map(|m| {
+            all_platforms()
+                .iter()
+                .filter(|p| m.supports(p.kind()))
+                .count()
+        })
+        .sum();
+    assert!(
+        expected >= 8,
+        "registry shrank below the original trio-era floor"
+    );
+    assert_eq!(
+        checked, expected,
+        "expected every supported (mapping, platform) pair to run once"
+    );
 }
