@@ -1,0 +1,236 @@
+//! Simulator-core microbenchmarks with a pinned perf trajectory.
+//!
+//! Three throughput probes cover the hot paths the sweep engine
+//! exercises end to end:
+//!
+//! * **mesh** — raw [`EMesh::write_onchip`] transfers on an otherwise
+//!   idle E16 fabric (nanoseconds per transfer),
+//! * **spmd** — full `ffbp_spmd x epiphany` simulations per second
+//!   (the machine-model path: chip, meshes, SDRAM, counters),
+//! * **sweep** — cold-cache single-threaded [`run_grid`] cells per
+//!   second on `specs/scaling_demo.json` (the headline figure
+//!   `BENCH_simulator.json` pins).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--quick] [--record <label>] [--check <file>] [--out <file>] [--json]
+//! ```
+//!
+//! `--record <label>` appends an entry to `BENCH_simulator.json` (or
+//! `--out <file>`); `--check <file>` compares against the file's last
+//! entry and exits 1 if any metric regressed by more than 2x — the CI
+//! perf-smoke gate. `--quick` shrinks iteration counts for CI.
+
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use desim::Json;
+use emesh::network::EMeshParams;
+use emesh::{EMesh, Mesh2D, NodeId};
+use sim_harness::{platform_named, run, BenchHarness, Workload};
+use sweep::{CellCache, GridSpec};
+
+/// One measured set of the three probe metrics.
+struct Metrics {
+    mesh_transfer_ns: f64,
+    spmd_runs_per_sec: f64,
+    sweep_cells_per_sec: f64,
+}
+
+impl Metrics {
+    fn to_json(&self, label: &str) -> Json {
+        Json::obj()
+            .with("label", label)
+            .with("mesh_transfer_ns", round1(self.mesh_transfer_ns))
+            .with("spmd_runs_per_sec", round1(self.spmd_runs_per_sec))
+            .with("sweep_cells_per_sec", round1(self.sweep_cells_per_sec))
+    }
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+/// Nanoseconds per posted on-chip write, averaged over a deterministic
+/// all-pairs traffic pattern with per-source monotone time cursors
+/// (the access shape every mapping generates).
+fn bench_mesh(transfers: u64) -> f64 {
+    let mut fabric = EMesh::new(Mesh2D::e16g3(), EMeshParams::default());
+    let n = fabric.mesh().len() as u64;
+    let mut cursors = vec![0u64; n as usize];
+    let t0 = Instant::now();
+    for i in 0..transfers {
+        let src = (i % n) as u16;
+        let dst = ((i * 7 + 3) % n) as u16;
+        let bytes = 8 + (i % 4) * 32;
+        let r = fabric.write_onchip(
+            desim::Cycle(cursors[src as usize]),
+            NodeId(src),
+            NodeId(dst),
+            bytes,
+        );
+        cursors[src as usize] = cursors[src as usize].max(r.arrival.raw() / 4);
+        black_box(r.arrival);
+    }
+    let elapsed = t0.elapsed();
+    black_box(fabric.cmesh.byte_hops());
+    elapsed.as_nanos() as f64 / transfers as f64
+}
+
+/// Full `ffbp_spmd x epiphany` machine-model simulations per second.
+fn bench_spmd(reps: u32) -> f64 {
+    let mapping = sar_epiphany::mapping_named("ffbp_spmd").expect("registered");
+    let platform = platform_named("epiphany").expect("registered");
+    let workload = Workload::named("ffbp", true).expect("registered");
+    // Warm once (first run pays one-time table builds).
+    let _ = run(mapping.as_ref(), &workload, platform.as_ref()).expect("supported");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let out = run(mapping.as_ref(), &workload, platform.as_ref()).expect("supported");
+        black_box(out.record.elapsed);
+    }
+    f64::from(reps) / t0.elapsed().as_secs_f64()
+}
+
+/// Cold-cache single-threaded sweep throughput on the demo grid,
+/// best of `reps` (the first rep also warms any process-wide caches —
+/// steady-state throughput is what the trajectory pins).
+fn bench_sweep(spec: &GridSpec, reps: u32) -> f64 {
+    let mut best = f64::MIN;
+    for _ in 0..=reps {
+        let t0 = Instant::now();
+        let outcome = sweep::run_grid(spec, 1, &CellCache::empty()).expect("valid grid");
+        let secs = t0.elapsed().as_secs_f64();
+        black_box(&outcome.document);
+        best = best.max(outcome.cells_total as f64 / secs);
+    }
+    best
+}
+
+/// `measured` regressed more than 2x against `recorded` (higher is
+/// better for throughputs; `inverted` flips that for latencies).
+fn regressed(recorded: f64, measured: f64, inverted: bool) -> bool {
+    if recorded <= 0.0 {
+        return false;
+    }
+    if inverted {
+        measured > recorded * 2.0
+    } else {
+        measured < recorded / 2.0
+    }
+}
+
+fn check(path: &str, m: &Metrics) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf: {path} is not JSON: {e}");
+            return 1;
+        }
+    };
+    let Some(last) = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .and_then(<[Json]>::last)
+    else {
+        eprintln!("perf: {path} has no entries");
+        return 1;
+    };
+    let get = |k: &str| last.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let label = last.get("label").and_then(Json::as_str).unwrap_or("?");
+    let mut failed = 0;
+    let checks = [
+        ("mesh_transfer_ns", m.mesh_transfer_ns, true),
+        ("spmd_runs_per_sec", m.spmd_runs_per_sec, false),
+        ("sweep_cells_per_sec", m.sweep_cells_per_sec, false),
+    ];
+    for (key, measured, inverted) in checks {
+        let recorded = get(key);
+        if regressed(recorded, measured, inverted) {
+            eprintln!(
+                "perf: {key} regressed >2x vs '{label}': recorded {recorded:.1}, measured {measured:.1}"
+            );
+            failed = 1;
+        }
+    }
+    if failed == 0 {
+        println!("perf: within 2x of '{label}' entry in {path}");
+    }
+    failed
+}
+
+fn record(path: &str, m: &Metrics, label: &str) {
+    let mut entries: Vec<Json> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|d| {
+            d.get("entries")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+        })
+        .unwrap_or_default();
+    entries.push(m.to_json(label));
+    let doc = Json::obj()
+        .with("schema", "bench-simulator-v1")
+        .with("grid", "specs/scaling_demo.json")
+        .with("entries", Json::from(entries));
+    std::fs::write(path, doc.to_string_pretty() + "\n").expect("write bench file");
+    println!("perf: recorded '{label}' entry in {path}");
+}
+
+fn main() {
+    let h = BenchHarness::new("perf");
+    let quick = h.flag("quick");
+    let spec_path = h.value("grid").unwrap_or("specs/scaling_demo.json");
+    let text = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| panic!("cannot read {spec_path}: {e}"));
+    let spec = GridSpec::parse(&text).unwrap_or_else(|d| panic!("bad grid spec: {d}"));
+
+    let (mesh_n, spmd_reps, sweep_reps) = if quick {
+        (200_000, 3, 1)
+    } else {
+        (2_000_000, 10, 4)
+    };
+    let metrics = Metrics {
+        mesh_transfer_ns: bench_mesh(mesh_n),
+        spmd_runs_per_sec: bench_spmd(spmd_reps),
+        sweep_cells_per_sec: bench_sweep(&spec, sweep_reps),
+    };
+    if h.json() {
+        println!("{}", metrics.to_json("measured").to_string_pretty());
+    } else {
+        println!(
+            "mesh transfer:     {:>10.1} ns/transfer",
+            metrics.mesh_transfer_ns
+        );
+        println!(
+            "ffbp_spmd x e16:   {:>10.1} runs/sec",
+            metrics.spmd_runs_per_sec
+        );
+        println!(
+            "sweep ({}): {:>10.1} cells/sec",
+            spec.name, metrics.sweep_cells_per_sec
+        );
+    }
+
+    let out = h.value("out").unwrap_or("BENCH_simulator.json");
+    if let Some(label) = h.value("record") {
+        record(out, &metrics, label);
+    }
+    if let Some(path) = h.value("check") {
+        let code = check(path, &metrics);
+        if code != 0 {
+            std::process::exit(code);
+        }
+    }
+    let _ = Path::new(out);
+}

@@ -57,6 +57,11 @@ pub struct FifoResource {
     cycles_per: u64,
     /// Units served in `cycles_per` cycles.
     units_per: u64,
+    /// `log2(units_per)` when `cycles_per == 1` and `units_per` is a
+    /// power of two (every mesh link and the eLink): service time is
+    /// then a shift instead of a 128-free 64-bit division on the
+    /// hottest simulator path.
+    unit_shift: Option<u32>,
     /// Earliest time the server is idle.
     free_at: Cycle,
     /// Recently observed idle intervals `[start, end)` before
@@ -88,6 +93,8 @@ impl FifoResource {
         FifoResource {
             cycles_per,
             units_per,
+            unit_shift: (cycles_per == 1 && units_per.is_power_of_two())
+                .then(|| units_per.trailing_zeros()),
             free_at: Cycle::ZERO,
             gaps: VecDeque::new(),
             busy: Cycle::ZERO,
@@ -98,8 +105,13 @@ impl FifoResource {
 
     /// Service time for `units`, rounded up to whole cycles; zero-unit
     /// requests still occupy one cycle (a transaction slot).
+    #[inline]
     pub fn service_cycles(&self, units: u64) -> Cycle {
         let units = units.max(1);
+        if let Some(s) = self.unit_shift {
+            // ceil(units / 2^s); same value as the general path below.
+            return Cycle((units + ((1u64 << s) - 1)) >> s);
+        }
         // ceil(units * cycles_per / units_per)
         Cycle((units * self.cycles_per).div_ceil(self.units_per))
     }
@@ -113,7 +125,13 @@ impl FifoResource {
 
         // Try to backfill an idle gap for requests behind the frontier.
         if at < self.free_at {
-            for i in 0..self.gaps.len() {
+            // Gaps are disjoint idle intervals in time order, so their
+            // end points are sorted: every gap ending before `at + hold`
+            // is provably too early or too small — skipping them keeps
+            // first-fit semantics while avoiding a linear scan of stale
+            // gaps on the hot path.
+            let first = self.gaps.partition_point(|&(_, ge)| ge < at + hold);
+            for i in first..self.gaps.len() {
                 let (gs, ge) = self.gaps[i];
                 let start = gs.max(at);
                 if start + hold <= ge {
@@ -155,6 +173,79 @@ impl FifoResource {
         self.served += 1;
         self.total_wait += start - at;
         Reservation { start, end }
+    }
+
+    /// Absorb a span of `n` uncontended reservations in one call.
+    ///
+    /// `req(i)` returns the `i`-th reservation's `(start, hold)`; the
+    /// caller has already proven the span is uncontended and ordered:
+    ///
+    /// * `req(0).0 >= self.free_at()` — the span begins at or after
+    ///   the frontier, and
+    /// * for `i >= 1`, `req(i).0` strictly exceeds the previous
+    ///   reservation's end (`req(i-1).0 + req(i-1).1`).
+    ///
+    /// Under those preconditions every reservation starts exactly at
+    /// its request time, so the final state — frontier, busy cycles,
+    /// served count, total wait *and the bounded idle-gap ring* — is
+    /// identical to calling [`FifoResource::request`] `n` times.
+    /// Aggregates update in closed form; only the (at most
+    /// `MAX_GAPS`) gap entries that survive the ring are materialised,
+    /// so the cost is `O(min(n, MAX_GAPS))` rather than `O(n)`.
+    ///
+    /// `total_hold` is the sum of all `n` holds, supplied by the
+    /// caller (for periodic holds it is a single multiply).
+    ///
+    /// # Panics
+    /// Debug builds assert the ordering preconditions on every
+    /// materialised entry.
+    pub fn absorb_run(&mut self, n: u64, total_hold: Cycle, req: impl Fn(u64) -> (Cycle, Cycle)) {
+        if n == 0 {
+            return;
+        }
+        let (first_start, _) = req(0);
+        debug_assert!(
+            first_start >= self.free_at,
+            "absorb_run span starts before the frontier"
+        );
+        // Per `request`, a reservation opens a gap iff it leaves idle
+        // time behind the frontier: the first entry only when it
+        // starts strictly after `free_at`, later entries always
+        // (strict separation is a precondition).
+        let i0 = u64::from(first_start == self.free_at);
+        let pushes = n - i0;
+        // Ring semantics: after all pushes the deque holds the last
+        // `MAX_GAPS` entries of (old ++ new). Evict the old entries
+        // arithmetically, then materialise only the surviving news.
+        let old_len = self.gaps.len() as u64;
+        let drop_old = old_len.min((old_len + pushes).saturating_sub(MAX_GAPS as u64));
+        self.gaps
+            .drain(..usize::try_from(drop_old).expect("gap count fits usize"));
+        let lo = i0 + pushes.saturating_sub(MAX_GAPS as u64);
+        self.gaps
+            .reserve(usize::try_from(n - lo).expect("span fits usize"));
+        let mut prev_end = if lo == 0 {
+            self.free_at
+        } else {
+            let (s, h) = req(lo - 1);
+            s + h
+        };
+        for i in lo..n {
+            let (s, h) = req(i);
+            debug_assert!(
+                if i == 0 { s >= prev_end } else { s > prev_end },
+                "absorb_run reservations must be strictly separated"
+            );
+            if s > prev_end {
+                self.gaps.push_back((prev_end, s));
+            }
+            prev_end = s + h;
+        }
+        self.free_at = prev_end;
+        self.busy += total_hold;
+        self.served += n;
+        // Uncontended: every start equals its request time, so the
+        // span contributes zero queueing delay.
     }
 
     /// Earliest instant the resource is idle.
@@ -239,6 +330,38 @@ mod tests {
     }
 
     #[test]
+    fn shift_fast_path_matches_the_general_division() {
+        // (1, 8) takes the shift fast path; (2, 16) serves the same
+        // rate through the general division: ceil(2u/16) == ceil(u/8).
+        let fast = FifoResource::per_units(1, 8);
+        let slow = FifoResource::per_units(2, 16);
+        for units in [0u64, 1, 7, 8, 9, 63, 64, 65, 1 << 40] {
+            assert_eq!(
+                fast.service_cycles(units),
+                slow.service_cycles(units),
+                "units={units}"
+            );
+        }
+    }
+
+    #[test]
+    fn backfill_skips_stale_gaps_but_keeps_first_fit() {
+        let mut r = FifoResource::per_units(1, 1);
+        // Build three idle gaps: [2,10), [20,30), [40,50).
+        r.request(Cycle(0), 2);
+        r.request(Cycle(10), 10);
+        r.request(Cycle(30), 10);
+        r.request(Cycle(50), 5);
+        // A late-timestamped request that only fits from t=25 must land
+        // in the second gap (first fit among gaps that can hold it).
+        let a = r.request(Cycle(25), 5);
+        assert_eq!((a.start, a.end), (Cycle(25), Cycle(30)));
+        // An earlier request still backfills the first gap.
+        let b = r.request(Cycle(3), 4);
+        assert_eq!((b.start, b.end), (Cycle(3), Cycle(7)));
+    }
+
+    #[test]
     fn zero_unit_request_takes_a_slot() {
         let mut r = FifoResource::per_units(1, 8);
         let a = r.request(Cycle(0), 0);
@@ -269,5 +392,48 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn rejects_zero_rate() {
         let _ = FifoResource::per_units(0, 1);
+    }
+
+    #[test]
+    fn absorb_run_is_byte_identical_to_request_loop() {
+        // Spans of varying length (including > MAX_GAPS, so the ring
+        // evicts), alternating holds, and both a flush start
+        // (start == free_at) and a gapped start. After absorbing, the
+        // two resources must agree on every aggregate AND behave
+        // identically under later backfill probes — which exercises
+        // the remembered idle-gap ring entry by entry.
+        for &(n, first_gap) in &[(1u64, 0u64), (1, 5), (7, 3), (140, 2), (300, 0)] {
+            let mut a = FifoResource::per_units(1, 8);
+            let mut b = FifoResource::per_units(1, 8);
+            // Shared history so frontier and ring start non-trivial.
+            for r in [&mut a, &mut b] {
+                r.request(Cycle(0), 64);
+                r.request(Cycle(20), 8);
+            }
+            let base = a.free_at() + Cycle(first_gap);
+            // Alternating 8- and 24-unit reservations, 40 cycles apart.
+            let start = |i: u64| base + Cycle(i * 40);
+            let hold = |i: u64| Cycle(if i.is_multiple_of(2) { 1 } else { 3 });
+            let units = |i: u64| if i.is_multiple_of(2) { 8 } else { 24 };
+            let total: u64 = (0..n).map(|i| hold(i).raw()).sum();
+            for i in 0..n {
+                let r = a.request(start(i), units(i));
+                assert_eq!((r.start, r.end), (start(i), start(i) + hold(i)));
+            }
+            b.absorb_run(n, Cycle(total), |i| (start(i), hold(i)));
+            assert_eq!(a.free_at(), b.free_at(), "n={n}");
+            assert_eq!(a.busy_cycles(), b.busy_cycles(), "n={n}");
+            assert_eq!(a.served(), b.served(), "n={n}");
+            assert!((a.mean_wait() - b.mean_wait()).abs() < 1e-12);
+            // Probe every remembered gap position: identical first-fit
+            // backfill proves the rings match (probes mutate both
+            // sides equally, so they stay in lockstep).
+            for i in 0..n {
+                let at = start(i) + hold(i);
+                let (ra, rb) = (a.request(at, 8), b.request(at, 8));
+                assert_eq!(ra, rb, "n={n} probe after entry {i}");
+            }
+            assert_eq!(a.free_at(), b.free_at(), "n={n} after probes");
+        }
     }
 }

@@ -43,6 +43,14 @@ impl Counters {
         self.map.contains_key(key)
     }
 
+    /// Overwrite `key` with an absolute value (marking it touched).
+    /// Counters are otherwise monotone accumulators; `set` exists for
+    /// re-stamping identity fields (e.g. a derived record's fault
+    /// seed), not for accounting.
+    pub fn set(&mut self, key: &'static str, value: u64) {
+        self.map.insert(key, value);
+    }
+
     /// Iterate `(name, value)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.map.iter().map(|(k, v)| (*k, *v))
@@ -232,14 +240,25 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples in one update — exact: counts,
+    /// sum, min/max and every bucket land where `n` calls to
+    /// [`Histogram::record`] would put them. Fast-forward executors
+    /// use this to account a span of constant-latency events in O(1).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = if v <= 1 {
             0
         } else {
             63 - v.leading_zeros() as usize
         };
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += v;
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += v * n;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -266,6 +285,26 @@ impl Histogram {
     /// Largest sample (None if empty).
     pub fn max(&self) -> Option<u64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Fold another histogram into this one. Buckets are aligned (both
+    /// sides use the same power-of-two layout), so the merge is exact:
+    /// the result is indistinguishable from recording every sample of
+    /// `other` into `self` directly — counts, sums, min/max and every
+    /// quantile agree. This is what lets hot paths batch samples in a
+    /// scratch histogram and flush at phase boundaries without
+    /// changing any reported statistic.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate quantile from the exponential buckets (`q` in 0..=1).
@@ -335,6 +374,13 @@ impl BusyTime {
     /// Intervals reported.
     pub fn intervals(&self) -> u64 {
         self.intervals
+    }
+
+    /// Fold another tracker into this one (exact: totals and interval
+    /// counts add).
+    pub fn merge(&mut self, other: &BusyTime) {
+        self.busy += other.busy;
+        self.intervals += other.intervals;
     }
 
     /// Busy fraction over `[0, horizon]`, clamped to 1.
@@ -454,6 +500,94 @@ mod tests {
         h.record(0);
         h.record(1);
         assert_eq!(h.quantile(0.01), Some(1));
+    }
+
+    #[test]
+    fn counters_set_overwrites_and_marks_touched() {
+        let mut c = Counters::new();
+        c.add("fault_seed", 7);
+        c.set("fault_seed", 42);
+        assert_eq!(c.get("fault_seed"), 42);
+        c.set("zeroed", 0);
+        assert!(c.contains("zeroed"), "set must mark the key touched");
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_equals_direct_recording() {
+        // Record one stream directly, and the same stream split across
+        // two histograms merged afterwards: every statistic must agree.
+        let samples: Vec<u64> = (0..500u64).map(|i| i * i % 977).collect();
+        let mut direct = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            direct.record(v);
+            if i.is_multiple_of(3) {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.min(), direct.min());
+        assert_eq!(a.max(), direct.max());
+        assert!((a.mean() - direct.mean()).abs() < 1e-12);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), direct.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_record_n_equals_repeated_record() {
+        for &(v, n) in &[(0u64, 3u64), (1, 1), (7, 200), (1 << 40, 5), (977, 0)] {
+            let mut direct = Histogram::new();
+            let mut bulk = Histogram::new();
+            direct.record(3); // shared prior sample
+            bulk.record(3);
+            for _ in 0..n {
+                direct.record(v);
+            }
+            bulk.record_n(v, n);
+            assert_eq!(bulk.count(), direct.count(), "v={v} n={n}");
+            assert_eq!(bulk.min(), direct.min());
+            assert_eq!(bulk.max(), direct.max());
+            assert!((bulk.mean() - direct.mean()).abs() < 1e-9);
+            for q in [0.0, 0.5, 0.95, 1.0] {
+                assert_eq!(bulk.quantile(q), direct.quantile(q), "v={v} n={n} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(1000);
+        let snapshot = (h.count(), h.min(), h.max(), h.quantile(0.5));
+        h.merge(&Histogram::new());
+        assert_eq!((h.count(), h.min(), h.max(), h.quantile(0.5)), snapshot);
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.count(), h.count());
+        assert_eq!(empty.min(), h.min());
+        assert_eq!(empty.max(), h.max());
+    }
+
+    #[test]
+    fn busytime_merge_adds_totals() {
+        let mut a = BusyTime::new();
+        a.add(Cycle(30));
+        let mut b = BusyTime::new();
+        b.add(Cycle(20));
+        b.add(Cycle(10));
+        a.merge(&b);
+        assert_eq!(a.busy(), Cycle(60));
+        assert_eq!(a.intervals(), 3);
+        a.merge(&BusyTime::new());
+        assert_eq!(a.busy(), Cycle(60));
+        assert_eq!(a.intervals(), 3);
     }
 
     #[test]

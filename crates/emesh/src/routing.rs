@@ -54,35 +54,83 @@ pub struct Hop {
     pub dir: Direction,
 }
 
+/// Allocation-free walker over the XY route from `src` to `dst`: an
+/// exact-size iterator yielding each directed link in traversal order
+/// (fully along X, then along Y). An exhausted-immediately iterator
+/// means `src == dst` (local delivery without touching the mesh).
+///
+/// The mesh transfer hot path walks this directly; [`route_xy`]
+/// collects it for callers that want the materialised list.
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    cur: Coord,
+    dst: Coord,
+}
+
+impl RouteIter {
+    /// Walker from `src` to `dst`.
+    ///
+    /// # Panics
+    /// If either endpoint is outside `mesh`.
+    pub fn new(mesh: &Mesh2D, src: Coord, dst: Coord) -> RouteIter {
+        assert!(
+            mesh.contains(src) && mesh.contains(dst),
+            "route endpoints must be in mesh"
+        );
+        RouteIter { cur: src, dst }
+    }
+
+    /// Hops not yet yielded (the Manhattan distance still to cover).
+    pub fn remaining(&self) -> u32 {
+        self.cur.manhattan(self.dst)
+    }
+}
+
+impl Iterator for RouteIter {
+    type Item = Hop;
+
+    fn next(&mut self) -> Option<Hop> {
+        let (cur, dst) = (self.cur, self.dst);
+        if cur.x != dst.x {
+            let east = dst.x > cur.x;
+            self.cur.x = if east { cur.x + 1 } else { cur.x - 1 };
+            Some(Hop {
+                from: cur,
+                dir: if east {
+                    Direction::East
+                } else {
+                    Direction::West
+                },
+            })
+        } else if cur.y != dst.y {
+            let south = dst.y > cur.y;
+            self.cur.y = if south { cur.y + 1 } else { cur.y - 1 };
+            Some(Hop {
+                from: cur,
+                dir: if south {
+                    Direction::South
+                } else {
+                    Direction::North
+                },
+            })
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {}
+
 /// Compute the XY route from `src` to `dst` as the ordered list of
 /// directed links traversed. An empty route means `src == dst` (local
 /// delivery without touching the mesh).
 pub fn route_xy(mesh: &Mesh2D, src: Coord, dst: Coord) -> Vec<Hop> {
-    assert!(
-        mesh.contains(src) && mesh.contains(dst),
-        "route endpoints must be in mesh"
-    );
-    let mut hops = Vec::with_capacity(src.manhattan(dst) as usize);
-    let mut cur = src;
-    while cur.x != dst.x {
-        let dir = if dst.x > cur.x {
-            Direction::East
-        } else {
-            Direction::West
-        };
-        hops.push(Hop { from: cur, dir });
-        cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-    }
-    while cur.y != dst.y {
-        let dir = if dst.y > cur.y {
-            Direction::South
-        } else {
-            Direction::North
-        };
-        hops.push(Hop { from: cur, dir });
-        cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-    }
-    hops
+    RouteIter::new(mesh, src, dst).collect()
 }
 
 #[cfg(test)]
@@ -130,6 +178,20 @@ mod tests {
         let m = mesh();
         let c = Coord { x: 2, y: 1 };
         assert!(route_xy(&m, c, c).is_empty());
+    }
+
+    #[test]
+    fn route_iter_is_exact_size_and_matches_collected_route() {
+        let m = mesh();
+        for s in m.nodes() {
+            for d in m.nodes() {
+                let (sc, dc) = (m.coord(s), m.coord(d));
+                let it = RouteIter::new(&m, sc, dc);
+                assert_eq!(it.len() as u32, sc.manhattan(dc));
+                let walked: Vec<Hop> = it.collect();
+                assert_eq!(walked, route_xy(&m, sc, dc));
+            }
+        }
     }
 
     #[test]

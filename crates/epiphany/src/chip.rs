@@ -14,6 +14,7 @@ use emesh::{EMesh, Mesh2D, NodeId};
 use faultsim::{FaultState, FlagFault};
 use memsim::{GlobalAddr, LocalStore, Sdram};
 
+use crate::activity::{slot, CoreCounters};
 use crate::cost::{CostBlock, OpCounts};
 use crate::dma::{DmaDirection, DmaEngine};
 use crate::energy::{EnergyBreakdown, EnergyModel};
@@ -46,8 +47,9 @@ pub struct Chip {
     t: Vec<Cycle>,
     /// Per-core active (non-idle) cycles, for clock-gated energy.
     busy: Vec<Cycle>,
-    /// Per-core operation counters.
-    counters: Vec<Counters>,
+    /// Per-core operation counters (slot-indexed; materialised into
+    /// string-keyed [`Counters`] only at observation points).
+    counters: Vec<CoreCounters>,
     /// Per-core event timers (two ctimers per core, as on the E16G3).
     timers: Vec<[Option<Cycle>; 2]>,
     /// Phase-scoped statistics (see [`Chip::phase_begin`]).
@@ -80,7 +82,7 @@ impl Chip {
             dma: vec![DmaEngine::new(); n],
             t: vec![Cycle::ZERO; n],
             busy: vec![Cycle::ZERO; n],
-            counters: (0..n).map(|_| Counters::new()).collect(),
+            counters: (0..n).map(|_| CoreCounters::new()).collect(),
             timers: vec![[None; 2]; n],
             phases: PhaseTimeline::new(),
             phase_energy0: 0.0,
@@ -265,8 +267,15 @@ impl Chip {
         &self.stores[core]
     }
 
-    /// Per-core operation counters.
-    pub fn counters(&self, core: CoreId) -> &Counters {
+    /// Per-core operation counters, materialised by value from the
+    /// core's activity slots.
+    pub fn counters(&self, core: CoreId) -> Counters {
+        self.counters[core].to_counters()
+    }
+
+    /// Slot-indexed view of `core`'s counters (the hot-path storage
+    /// behind [`Chip::counters`]).
+    pub fn activity(&self, core: CoreId) -> &CoreCounters {
         &self.counters[core]
     }
 
@@ -299,9 +308,42 @@ impl Chip {
         self.tracer
             .span(Track::Core(core as u32), "compute", start, self.t[core]);
         let c = &mut self.counters[core];
-        c.add("fpu_instr", block.fpu_instrs);
-        c.add("ialu_ls_instr", block.ialu_ls_instrs);
-        c.add("local_access", block.local_accesses);
+        c.add(slot::FPU_INSTR, block.fpu_instrs);
+        c.add(slot::IALU_LS_INSTR, block.ialu_ls_instrs);
+        c.add(slot::LOCAL_ACCESS, block.local_accesses);
+    }
+
+    /// Fast-forward a compute-only span: `reps` repetitions of the
+    /// same op-count region, with no mesh or SDRAM interaction in
+    /// flight on `core`. Advances the cursor and the counters in
+    /// closed form (one multiply each) instead of `reps` round-trips
+    /// through [`Chip::compute`] — byte-identical output, because the
+    /// per-rep cycle cost and counter deltas are constants and `u64`
+    /// addition is exact.
+    ///
+    /// With a tracer attached the span executor falls back to per-rep
+    /// execution so the timeline keeps every `compute` span.
+    pub fn compute_span(&mut self, core: CoreId, ops: &OpCounts, reps: u64) {
+        let block = CostBlock::lower(ops, &self.params);
+        self.compute_block_span(core, &block, reps);
+    }
+
+    /// [`Chip::compute_span`] for an already-lowered block.
+    pub fn compute_block_span(&mut self, core: CoreId, block: &CostBlock, reps: u64) {
+        if reps == 0 {
+            return;
+        }
+        if self.tracer.is_enabled() {
+            for _ in 0..reps {
+                self.compute_block(core, block);
+            }
+            return;
+        }
+        self.spend(core, Cycle(block.cycles(&self.params) * reps));
+        let c = &mut self.counters[core];
+        c.add(slot::FPU_INSTR, block.fpu_instrs * reps);
+        c.add(slot::IALU_LS_INSTR, block.ialu_ls_instrs * reps);
+        c.add(slot::LOCAL_ACCESS, block.local_accesses * reps);
     }
 
     // ---- on-chip communication -------------------------------------------
@@ -328,8 +370,8 @@ impl Chip {
             );
         }
         let c = &mut self.counters[core];
-        c.bump("remote_write");
-        c.add("remote_write_bytes", bytes);
+        c.bump(slot::REMOTE_WRITE);
+        c.add(slot::REMOTE_WRITE_BYTES, bytes);
         if self.faults.is_enabled() {
             match self.faults.flag_fault(res.arrival) {
                 Some(FlagFault::Drop) => {
@@ -422,8 +464,8 @@ impl Chip {
         self.tracer
             .span(Track::Core(core as u32), "rd_remote", issued, self.t[core]);
         let c = &mut self.counters[core];
-        c.bump("remote_read");
-        c.add("remote_read_bytes", bytes);
+        c.bump(slot::REMOTE_READ);
+        c.add(slot::REMOTE_READ_BYTES, bytes);
         res.arrival
     }
 
@@ -445,9 +487,70 @@ impl Chip {
         self.tracer
             .span(Track::Core(core as u32), "rd_ext", issued, self.t[core]);
         let c = &mut self.counters[core];
-        c.bump("ext_read");
-        c.add("ext_read_bytes", bytes);
+        c.bump(slot::EXT_READ);
+        c.add(slot::EXT_READ_BYTES, bytes);
         res.arrival
+    }
+
+    /// Blocking reads of `bytes` at each address in `addrs`, issued
+    /// back-to-back by `core` — semantically `addrs.len()` calls to
+    /// [`Chip::read_external`], byte-identical in every observable
+    /// (cursors, counters, SDRAM state, fabric statistics).
+    ///
+    /// When the span is provably uncontended — no tracer attached, no
+    /// fault events pending, and the off-chip path idle at the first
+    /// issue ([`EMesh::can_absorb_offchip_reads`]) — issue and arrival
+    /// times follow arithmetically from the fabric's constant path
+    /// latencies, and the whole span absorbs into the fabric in
+    /// closed form ([`EMesh::absorb_offchip_reads`]): `O(1)` per-link
+    /// work per span instead of a dozen FIFO walks per read. This is
+    /// the read-side analogue of [`Chip::compute_span`] and the
+    /// dominant win for FFBP, whose inner loop is a run of 8-byte
+    /// external reads per output row.
+    ///
+    /// Otherwise the reads fall back to per-event execution one at a
+    /// time, re-checking before each read — so a span blocked by, say,
+    /// the previous row's write-back still absorbs its tail the
+    /// moment the eLink drains.
+    pub fn read_external_run(&mut self, core: CoreId, addrs: &[GlobalAddr], bytes: u64) {
+        let issue = Cycle(self.params.read_issue_cycles);
+        let node = self.node(core);
+        // Span-invariant gates: a tracer cannot attach mid-call and
+        // fault schedules only ever drain.
+        let quiet =
+            !self.tracer.is_enabled() && (!self.faults.is_enabled() || self.faults.pending() == 0);
+        let mut i = 0;
+        while i < addrs.len() {
+            if quiet
+                && self
+                    .fabric
+                    .can_absorb_offchip_reads(node, self.t[core] + issue)
+            {
+                let path = self.fabric.offchip_read_path(node, bytes);
+                let n = addrs.len() - i;
+                let mut t = Vec::with_capacity(n);
+                let mut mem = Vec::with_capacity(n);
+                for &addr in &addrs[i..] {
+                    assert!(
+                        addr.is_external(),
+                        "read_external wants an external address"
+                    );
+                    self.spend(core, issue);
+                    let at = self.t[core];
+                    let m = self.sdram.latency_of(at, addr.0);
+                    t.push(at);
+                    mem.push(m);
+                    self.stall_until(core, at + path.latency(m));
+                }
+                self.fabric.absorb_offchip_reads(node, bytes, &t, &mem);
+                let c = &mut self.counters[core];
+                c.add(slot::EXT_READ, n as u64);
+                c.add(slot::EXT_READ_BYTES, bytes * n as u64);
+                return;
+            }
+            self.read_external(core, addrs[i], bytes);
+            i += 1;
+        }
     }
 
     /// Posted write of `bytes` to external address `addr`. Issue is
@@ -479,8 +582,8 @@ impl Chip {
             );
         }
         let c = &mut self.counters[core];
-        c.bump("ext_write");
-        c.add("ext_write_bytes", bytes);
+        c.bump(slot::EXT_WRITE);
+        c.add(slot::EXT_WRITE_BYTES, bytes);
         res.arrival
     }
 
@@ -542,13 +645,13 @@ impl Chip {
         };
         self.tracer
             .span(Track::Dma(core as u32), dma_name, start, done);
-        self.counters[core].add("dma_bytes", bytes);
+        self.counters[core].add(slot::DMA_BYTES, bytes);
         done
     }
 
     /// Block `core` until its DMA engine reaches `completion`.
     pub fn dma_wait(&mut self, core: CoreId, completion: Cycle) {
-        self.counters[core].bump("dma_wait");
+        self.counters[core].bump(slot::DMA_WAIT);
         let from = self.t[core];
         self.stall_until(core, completion);
         self.tracer
@@ -618,8 +721,8 @@ impl Chip {
         self.dma[core].commit(t, rows as u64 * row_bytes);
         self.tracer
             .span(Track::Dma(core as u32), "dma_2d", started, t);
-        self.counters[core].add("dma_bytes", rows as u64 * row_bytes);
-        self.counters[core].bump("dma_2d");
+        self.counters[core].add(slot::DMA_BYTES, rows as u64 * row_bytes);
+        self.counters[core].bump(slot::DMA_2D);
         t
     }
 
@@ -640,8 +743,8 @@ impl Chip {
         self.tracer
             .span(Track::Host, "host_load", begun, landed.end);
         let c = &mut self.counters[core];
-        c.bump("host_load");
-        c.add("host_load_bytes", bytes);
+        c.bump(slot::HOST_LOAD);
+        c.add(slot::HOST_LOAD_BYTES, bytes);
         landed.end
     }
 
@@ -695,11 +798,11 @@ impl Chip {
         self.tracer
             .span(Track::Core(core as u32), "wait_flag", from, self.t[core]);
         let c = &mut self.counters[core];
-        c.bump("flag_wait");
-        c.add("flag_polls", polls);
+        c.bump(slot::FLAG_WAIT);
+        c.add(slot::FLAG_POLLS, polls);
         // Each poll iteration is a local load + compare on the IALU/LS
         // pipe; charge it so spin time shows up in the energy account.
-        c.add("ialu_ls_instr", polls);
+        c.add(slot::IALU_LS_INSTR, polls);
     }
 
     /// Barrier across `cores`: every participant advances to the
@@ -716,7 +819,7 @@ impl Chip {
             self.stall_until(c, release);
             self.tracer
                 .span(Track::Core(c as u32), "barrier", from, self.t[c]);
-            self.counters[c].bump("barrier");
+            self.counters[c].bump(slot::BARRIER);
         }
     }
 
@@ -726,7 +829,7 @@ impl Chip {
     fn merged_counters(&self) -> Counters {
         let mut merged = Counters::new();
         for c in &self.counters {
-            merged.merge(c);
+            c.merge_into(&mut merged);
         }
         merged
     }
@@ -736,6 +839,10 @@ impl Chip {
     /// sequential — close the previous one with [`Chip::phase_end`]
     /// first.
     pub fn phase_begin(&mut self, name: &str) {
+        // Phase boundary: drain the meshes' scratch statistics into
+        // their totals (getters merge both sides, so this is purely a
+        // batching bound — see `MeshNetwork::flush_stats`).
+        self.fabric.flush_stats();
         self.phases
             .begin(name, self.elapsed(), self.merged_counters());
         self.phase_energy0 = self.energy().total_j();
@@ -765,6 +872,7 @@ impl Chip {
     /// Close the open phase at the current makespan cursor, recording
     /// the energy and eLink activity it accounted for.
     pub fn phase_end(&mut self) {
+        self.fabric.flush_stats();
         let energy = self.energy().total_j() - self.phase_energy0;
         let elink = self
             .fabric
@@ -916,19 +1024,19 @@ impl Chip {
             "cmesh_lat_p50",
             "cmesh_lat_p95",
             "cmesh_lat_max",
-            f.cmesh.latency(),
+            &f.cmesh.latency(),
         );
         lat(
             "rmesh_lat_p50",
             "rmesh_lat_p95",
             "rmesh_lat_max",
-            f.rmesh.latency(),
+            &f.rmesh.latency(),
         );
         lat(
             "xmesh_lat_p50",
             "xmesh_lat_p95",
             "xmesh_lat_max",
-            f.xmesh.latency(),
+            &f.xmesh.latency(),
         );
         record.mesh_heatmap = Some(MeshHeatmap {
             cols: self.mesh.cols() as usize,
@@ -1000,9 +1108,7 @@ impl Chip {
         }
         self.t.iter_mut().for_each(|t| *t = Cycle::ZERO);
         self.busy.iter_mut().for_each(|b| *b = Cycle::ZERO);
-        self.counters
-            .iter_mut()
-            .for_each(desim::stats::Counters::clear);
+        self.counters.iter_mut().for_each(CoreCounters::clear);
         self.timers.iter_mut().for_each(|t| *t = [None; 2]);
         self.phases.clear();
         self.phase_energy0 = 0.0;
@@ -1755,5 +1861,190 @@ mod tests {
         assert_eq!(c.elapsed(), Cycle::ZERO);
         assert_eq!(c.counters(3).get("fpu_instr"), 0);
         assert_eq!(c.fabric().elink.busy_cycles(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn compute_span_is_identical_to_repeated_compute() {
+        let ops = OpCounts {
+            flops: 37,
+            fmas: 12,
+            ialu: 11,
+            loads: 5,
+            stores: 3,
+            sqrts: 1,
+            ..OpCounts::default()
+        };
+        for reps in [0u64, 1, 2, 7, 1000] {
+            let mut fast = chip();
+            fast.compute_span(0, &ops, reps);
+            let mut slow = chip();
+            for _ in 0..reps {
+                slow.compute(0, &ops);
+            }
+            assert_eq!(fast.now(0), slow.now(0), "reps={reps}");
+            assert_eq!(fast.busy(0), slow.busy(0), "reps={reps}");
+            let pairs = |c: &Chip| c.counters(0).iter().collect::<Vec<_>>();
+            assert_eq!(pairs(&fast), pairs(&slow), "reps={reps}");
+            // Energy is priced off the counters, so it must be
+            // bit-identical, not merely close.
+            assert_eq!(
+                fast.energy().total_j().to_bits(),
+                slow.energy().total_j().to_bits(),
+                "reps={reps}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_span_with_a_tracer_keeps_every_span() {
+        let ops = OpCounts {
+            flops: 100,
+            ..OpCounts::default()
+        };
+        let tracer = Tracer::enabled();
+        let mut traced = chip();
+        traced.set_tracer(tracer.clone());
+        traced.compute_span(0, &ops, 5);
+        // Per-rep fallback: five compute spans on the core track.
+        assert_eq!(tracer.event_count(), 5);
+        // The fallback still lands the cursor exactly where the
+        // closed form does.
+        let mut fast = chip();
+        fast.compute_span(0, &ops, 5);
+        assert_eq!(traced.now(0), fast.now(0));
+        assert_eq!(traced.counters(0).get("fpu_instr"), 500);
+    }
+
+    /// Every observable the report layer reads must agree between two
+    /// chips: cursors, busy cycles, counters, SDRAM behaviour, fabric
+    /// statistics and energy (bit-exact — it is priced off the rest).
+    fn assert_chips_agree(a: &Chip, b: &Chip, what: &str) {
+        assert_eq!(a.now(0), b.now(0), "{what}: cursor");
+        assert_eq!(a.busy(0), b.busy(0), "{what}: busy");
+        let (ca, cb): (Vec<_>, Vec<_>) = (
+            a.counters(0).iter().collect(),
+            b.counters(0).iter().collect(),
+        );
+        assert_eq!(ca, cb, "{what}: counters");
+        assert_eq!(a.sdram().accesses(), b.sdram().accesses(), "{what}: sdram");
+        assert_eq!(
+            a.sdram().row_hit_rate().to_bits(),
+            b.sdram().row_hit_rate().to_bits(),
+            "{what}: row hits"
+        );
+        let (fa, fb) = (a.fabric(), b.fabric());
+        assert_eq!(fa.elink.free_at(), fb.elink.free_at(), "{what}: elink");
+        assert_eq!(fa.elink.busy_cycles(), fb.elink.busy_cycles(), "{what}");
+        assert_eq!(fa.elink.served(), fb.elink.served(), "{what}");
+        assert_eq!(fa.total_link_busy(), fb.total_link_busy(), "{what}");
+        for (ma, mb) in [
+            (&fa.rmesh, &fb.rmesh),
+            (&fa.cmesh, &fb.cmesh),
+            (&fa.xmesh, &fb.xmesh),
+        ] {
+            assert_eq!(ma.transfers(), mb.transfers(), "{what}: transfers");
+            assert_eq!(ma.byte_hops(), mb.byte_hops(), "{what}: byte hops");
+            assert_eq!(ma.link_busy_vec(), mb.link_busy_vec(), "{what}: links");
+            let (ha, hb) = (ma.latency(), mb.latency());
+            assert_eq!(
+                (ha.count(), ha.min(), ha.max(), ha.quantile(0.5)),
+                (hb.count(), hb.min(), hb.max(), hb.quantile(0.5)),
+                "{what}: latency histogram"
+            );
+        }
+        assert_eq!(
+            a.energy().total_j().to_bits(),
+            b.energy().total_j().to_bits(),
+            "{what}: energy"
+        );
+    }
+
+    #[test]
+    fn read_external_run_matches_per_read_loop() {
+        // Addresses mixing open-row hits and misses across banks, so
+        // per-read SDRAM latencies genuinely vary within the span.
+        let addrs: Vec<GlobalAddr> = (0..300u32).map(|i| ext(i * 8 + (i % 5) * 4096)).collect();
+        let makes: [fn() -> Chip; 2] = [chip, || Chip::new(EpiphanyParams::e64(), 4, 4)];
+        for make in makes {
+            let (mut a, mut b) = (make(), make());
+            // A posted write first: the eLink is still draining when
+            // the span starts, so the run begins on the per-event
+            // fallback and absorbs its tail once the port is idle —
+            // the exact shape of FFBP's write-back-then-read rows.
+            a.write_external(0, ext(1 << 20), 512);
+            b.write_external(0, ext(1 << 20), 512);
+            for &addr in &addrs {
+                a.read_external(0, addr, 8);
+            }
+            b.read_external_run(0, &addrs, 8);
+            assert_chips_agree(&a, &b, "after hybrid span");
+            // Follow-on traffic lands identically: frontiers, idle-gap
+            // rings and SDRAM open rows all survived the absorption.
+            let ra = a.read_external(0, ext(64), 64);
+            let rb = b.read_external(0, ext(64), 64);
+            assert_eq!(ra, rb, "follow-on read");
+        }
+    }
+
+    #[test]
+    fn read_external_run_from_quiescent_start_absorbs_whole_span() {
+        let addrs: Vec<GlobalAddr> = (0..64u32).map(|i| ext(i * 8)).collect();
+        let (mut a, mut b) = (chip(), chip());
+        for &addr in &addrs {
+            a.read_external(5, addr, 8);
+        }
+        b.read_external_run(5, &addrs, 8);
+        assert_eq!(a.now(5), b.now(5));
+        assert_eq!(a.counters(5).get("ext_read"), 64);
+        assert_eq!(b.counters(5).get("ext_read"), 64);
+        assert_eq!(
+            a.fabric().elink.busy_cycles(),
+            b.fabric().elink.busy_cycles()
+        );
+    }
+
+    #[test]
+    fn read_external_run_with_tracer_falls_back_and_keeps_spans() {
+        let addrs: Vec<GlobalAddr> = (0..10u32).map(|i| ext(i * 8)).collect();
+        let tracer = Tracer::enabled();
+        let mut traced = chip();
+        traced.set_tracer(tracer.clone());
+        traced.read_external_run(0, &addrs, 8);
+        let mut plain = chip();
+        plain.read_external_run(0, &addrs, 8);
+        // Fallback lands the cursor exactly where the closed form does
+        // and keeps one rd_ext span per read on the core track.
+        assert_eq!(traced.now(0), plain.now(0));
+        let spans = tracer
+            .snapshot()
+            .iter()
+            .filter(|e| e.track == Track::Core(0) && e.name == "rd_ext")
+            .count();
+        assert_eq!(spans, 10);
+    }
+
+    #[test]
+    fn read_external_run_with_pending_faults_falls_back() {
+        use faultsim::{FaultEvent, FaultPlan};
+        let addrs: Vec<GlobalAddr> = (0..10u32).map(|i| ext(i * 8)).collect();
+        let plan = FaultPlan::from_events(
+            0,
+            vec![FaultEvent::ElinkDegrade {
+                at: Cycle(0),
+                extra: 5_000,
+            }],
+        );
+        let (mut a, mut b) = (chip(), chip());
+        a.set_faults(FaultState::from_plan(&plan));
+        b.set_faults(FaultState::from_plan(&plan));
+        for &addr in &addrs {
+            a.read_external(0, addr, 8);
+        }
+        b.read_external_run(0, &addrs, 8);
+        // Both sides take the degradation hit identically; once the
+        // schedule drained the run may absorb, which must not change
+        // any observable either.
+        assert_chips_agree(&a, &b, "faulted span");
+        assert!(a.now(0) > Cycle(5_000), "the degrade window was taken");
     }
 }

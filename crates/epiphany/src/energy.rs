@@ -7,6 +7,7 @@
 //! SDRAM and leakage. With fine-grained clock gating, idle cores cost
 //! only static power — dynamic energy follows the operation counters.
 
+use crate::activity::slot;
 use crate::chip::Chip;
 use crate::params::EpiphanyParams;
 
@@ -35,12 +36,16 @@ impl EnergyModel {
         let mut elink_bytes = 0u64;
         let mut sdram_bytes = 0u64;
         for core in 0..chip.cores() {
-            let c = chip.counters(core);
-            compute += c.get("fpu_instr") as f64 * p.pj_per_flop
-                + c.get("ialu_ls_instr") as f64 * p.pj_per_ialu;
-            sram += c.get("local_access") as f64 * p.pj_per_local_access;
-            elink_bytes += c.get("ext_read_bytes") + c.get("ext_write_bytes") + c.get("dma_bytes");
-            sdram_bytes += c.get("ext_read_bytes") + c.get("ext_write_bytes") + c.get("dma_bytes");
+            // Slot-indexed reads: this runs at every phase boundary,
+            // so it must not materialise the string-keyed map.
+            let c = chip.activity(core);
+            compute += c.get(slot::FPU_INSTR) as f64 * p.pj_per_flop
+                + c.get(slot::IALU_LS_INSTR) as f64 * p.pj_per_ialu;
+            sram += c.get(slot::LOCAL_ACCESS) as f64 * p.pj_per_local_access;
+            let offchip =
+                c.get(slot::EXT_READ_BYTES) + c.get(slot::EXT_WRITE_BYTES) + c.get(slot::DMA_BYTES);
+            elink_bytes += offchip;
+            sdram_bytes += offchip;
         }
 
         let fabric = chip.fabric();

@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod activity;
 pub mod chip;
 pub mod cost;
 pub mod dma;

@@ -48,6 +48,10 @@ pub fn run_traced(
 
     let mut stage: Vec<Subaperture> = stage0(&w.data, geom);
     let mut stage_idx = 0u32;
+    // Each output row issues its blocking element fetches back to
+    // back with nothing between them — buffered per row so the chip
+    // can absorb the span in closed form (`read_external_run`).
+    let mut row_reads = Vec::with_capacity(2 * geom.num_bins);
 
     while stage.len() > 1 {
         chip.phase_begin("merge");
@@ -68,6 +72,7 @@ pub fn run_traced(
             let out_beam_base = pair_idx as u32 * out_grid.n_beams as u32;
             for j in 0..out_grid.n_beams {
                 let theta = out_grid.beam_theta(j);
+                row_reads.clear();
                 for i in 0..geom.num_bins {
                     let r = geom.bin_range(i);
                     let (v, look) = combine_sample_with_lookup(
@@ -84,15 +89,22 @@ pub fn run_traced(
                     // Both contributing elements are blocking external
                     // reads (no cache, no prefetch in the naive port).
                     if let Some((bin, beam)) = nearest_indices(a, geom, look.r1, look.theta1) {
-                        let addr = layout.addr(stage_idx, beam_base_a + beam as u32, bin as u32);
-                        chip.read_external(core, addr, 8);
+                        row_reads.push(layout.addr(
+                            stage_idx,
+                            beam_base_a + beam as u32,
+                            bin as u32,
+                        ));
                     }
                     if let Some((bin, beam)) = nearest_indices(b, geom, look.r2, look.theta2) {
-                        let addr = layout.addr(stage_idx, beam_base_b + beam as u32, bin as u32);
-                        chip.read_external(core, addr, 8);
+                        row_reads.push(layout.addr(
+                            stage_idx,
+                            beam_base_b + beam as u32,
+                            bin as u32,
+                        ));
                     }
                     *out.data.at_mut(j, i) = v;
                 }
+                chip.read_external_run(core, &row_reads, 8);
                 // Arithmetic for the row, then a posted row write-back.
                 let delta = counts.since(&charged);
                 charged = counts;

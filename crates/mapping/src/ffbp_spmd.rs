@@ -162,6 +162,11 @@ pub fn run_faulted(
             // subgrid ids are sparse, so size for the whole chip.
             let mut last_write: Vec<Cycle> = vec![Cycle::ZERO; chip.cores()];
             let mut task = 0usize;
+            // Blocking miss fetches issue back to back with no other
+            // chip calls between them (the interleaved merge
+            // arithmetic is host-side) — buffered per row so the chip
+            // can absorb each span in closed form.
+            let mut row_misses = Vec::new();
             for (pair_idx, pair) in stage.chunks(2).enumerate() {
                 let (a, b) = (&pair[0], &pair[1]);
                 let l = b.center_y - a.center_y;
@@ -173,6 +178,7 @@ pub fn run_faulted(
                     let core = active[task % active.len()];
                     task += 1;
                     let theta = out_grid.beam_theta(j);
+                    row_misses.clear();
 
                     // Which child beams does this output beam map to at mid
                     // range? Prefetch those two (one per upper bank).
@@ -239,14 +245,17 @@ pub fn run_faulted(
                                     local_hits += 1;
                                 } else {
                                     external_misses += 1;
-                                    let addr =
-                                        layout.addr(stage_idx, base + beam as u32, bin as u32);
-                                    chip.read_external(core, addr, 8);
+                                    row_misses.push(layout.addr(
+                                        stage_idx,
+                                        base + beam as u32,
+                                        bin as u32,
+                                    ));
                                 }
                             }
                         }
                         *next[pair_idx].data.at_mut(j, i) = v;
                     }
+                    chip.read_external_run(core, &row_misses, 8);
                     let delta = counts.since(&charged);
                     charged = counts;
                     chip.compute(core, &delta);

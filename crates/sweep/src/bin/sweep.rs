@@ -4,13 +4,16 @@
 //! ```text
 //! cargo run -p sweep --bin sweep --release -- \
 //!     --grid specs/scaling_demo.json [--threads N] [--resume] \
-//!     [--out results/sweep_<name>.json] [--json] [--force] [--no-write]
+//!     [--out results/sweep_<name>.json] [--json] [--force] [--no-write] \
+//!     [--profile]
 //! ```
 //!
 //! `--resume` loads the existing output document as a cell cache, so
 //! re-running an unchanged grid simulates nothing and grown grids run
 //! only their new cells. The output is byte-identical for any
-//! `--threads` value.
+//! `--threads` value. `--profile` prints where the wall time went
+//! (workload setup, each simulated cell, serialisation) without
+//! changing the output document.
 
 use std::path::PathBuf;
 
@@ -80,9 +83,25 @@ fn main() {
     ));
     let outcome = run_grid(&spec, threads, &cache).unwrap_or_else(|d| fail(&d, 1));
     h.say(format_args!(
-        "{} cell(s): {} simulated, {} from cache",
-        outcome.cells_total, outcome.cells_run, outcome.cells_cached
+        "{} cell(s): {} simulated, {} derived, {} from cache",
+        outcome.cells_total, outcome.cells_run, outcome.cells_derived, outcome.cells_cached
     ));
+
+    if h.flag("profile") {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        h.say(format_args!("\nprofile: setup (workload build)"));
+        for (kernel, t) in &outcome.profile.setup {
+            h.say(format_args!("  {kernel:<28} {:>9.3} ms", ms(*t)));
+        }
+        h.say(format_args!("profile: simulate (per cell)"));
+        for (label, t) in &outcome.profile.cells {
+            h.say(format_args!("  {label:<28} {:>9.3} ms", ms(*t)));
+        }
+        h.say(format_args!(
+            "profile: serialize               {:>9.3} ms",
+            ms(outcome.profile.serialize)
+        ));
+    }
 
     if let Some(rows) = outcome
         .document

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use desim::{Json, RunRecord, RUN_RECORD_VERSION};
 use faultsim::{FaultPlan, FaultState};
@@ -298,9 +299,25 @@ impl CellCache {
     }
 }
 
+/// Wall-time attribution for one sweep, collected unconditionally
+/// (an `Instant` pair per phase costs nothing next to a simulation)
+/// and printed by the `sweep` binary under `--profile`. None of this
+/// reaches the results document — profiling a run never changes its
+/// bytes.
+#[derive(Debug, Default)]
+pub struct SweepProfile {
+    /// Workload construction per kernel, in first-use order.
+    pub setup: Vec<(String, Duration)>,
+    /// Simulation wall time per *simulated* cell (cached and derived
+    /// cells cost nothing), in canonical cell order.
+    pub cells: Vec<(String, Duration)>,
+    /// Assembling and pricing the results document.
+    pub serialize: Duration,
+}
+
 /// What [`run_grid`] produced: the serialisable document plus the
-/// run/cached split (deliberately *not* part of the document, so a
-/// resumed run emits byte-identical output).
+/// run/cached/derived split (deliberately *not* part of the document,
+/// so a resumed run emits byte-identical output).
 #[derive(Debug)]
 pub struct SweepOutcome {
     /// The versioned results document.
@@ -311,12 +328,29 @@ pub struct SweepOutcome {
     pub cells_run: usize,
     /// Cells satisfied from the cache.
     pub cells_cached: usize,
+    /// Cells fast-forwarded from a same-pair representative (fault-free
+    /// grids only — see [`run_grid`]).
+    pub cells_derived: usize,
+    /// Where the wall time went.
+    pub profile: SweepProfile,
 }
 
 /// Run every cell of `spec` not already in `cache`, fanning the work
 /// across `threads` scoped worker threads, and assemble the results
 /// document. The document depends only on the grid (not on `threads`
 /// or the cache hit pattern).
+///
+/// **Seed fast-forward.** On a fault-free grid the simulation is a
+/// deterministic function of (mapping, platform, kernel, scale) alone:
+/// the seed reaches the record only as the stamped `fault_seed`
+/// identity counter. So only one representative cell per pair is
+/// simulated; the remaining seeds are derived in closed form by
+/// cloning the representative's record and re-stamping `fault_seed`
+/// ([`SweepOutcome::cells_derived`] counts them). The equivalence
+/// suite (`tests/equivalence.rs`) pins derived == simulated byte for
+/// byte across every registered pair. Grids with a fault spec disable
+/// the fast-forward entirely — there every seed expands a different
+/// fault schedule.
 pub fn run_grid(
     spec: &GridSpec,
     threads: usize,
@@ -333,17 +367,26 @@ pub fn run_grid(
                 .kernel()
         })
         .collect();
+    let mut profile = SweepProfile::default();
     let mut workloads: HashMap<&'static str, Workload> = HashMap::new();
     for &kernel in &kernels {
-        workloads
-            .entry(kernel)
-            .or_insert_with(|| Workload::named(kernel, spec.small).expect("registered kernel"));
+        if !workloads.contains_key(kernel) {
+            let t0 = Instant::now();
+            let workload = Workload::named(kernel, spec.small).expect("registered kernel");
+            profile.setup.push((kernel.to_string(), t0.elapsed()));
+            workloads.insert(kernel, workload);
+        }
     }
     let kernel_of = |cell_index: usize| kernels[cell_index / spec.seeds.len()];
 
-    // Satisfy what the cache can; queue the rest.
+    // Satisfy what the cache can; queue the rest. Fault-free grids
+    // additionally dedup seeds: a pair's first unresolved cell becomes
+    // the simulated representative, the rest are derived afterwards.
+    let dedup = spec.faults.is_none();
+    let seeds_n = spec.seeds.len();
     let mut slots: Vec<Option<RunRecord>> = Vec::with_capacity(cells.len());
     let mut work: Vec<usize> = Vec::new();
+    let mut derive: Vec<usize> = Vec::new();
     for (i, cell) in cells.iter().enumerate() {
         let key = cell_key(
             &cell.mapping,
@@ -356,14 +399,24 @@ pub fn run_grid(
             Some(record) => slots.push(Some(record.clone())),
             None => {
                 slots.push(None);
-                work.push(i);
+                let pair_start = (i / seeds_n) * seeds_n;
+                let has_representative = dedup
+                    && (slots[pair_start..i].iter().any(Option::is_some)
+                        || work.last().is_some_and(|&w| w >= pair_start));
+                if has_representative {
+                    derive.push(i);
+                } else {
+                    work.push(i);
+                }
             }
         }
     }
     let cells_run = work.len();
-    let cells_cached = cells.len() - cells_run;
+    let cells_derived = derive.len();
+    let cells_cached = cells.len() - cells_run - cells_derived;
 
     let slots = Mutex::new(slots);
+    let timings: Mutex<Vec<Option<Duration>>> = Mutex::new(vec![None; cells.len()]);
     let errors: Mutex<Vec<Diagnostic>> = Mutex::new(Vec::new());
     let cursor = AtomicUsize::new(0);
     let workers = threads.clamp(1, work.len().max(1));
@@ -375,12 +428,16 @@ pub fn run_grid(
                     return;
                 };
                 let cell = &cells[cell_index];
+                let t0 = Instant::now();
                 match simulate(
                     cell,
                     &workloads[kernel_of(cell_index)],
                     spec.faults.as_deref(),
                 ) {
-                    Ok(record) => slots.lock().expect("slots lock")[cell_index] = Some(record),
+                    Ok(record) => {
+                        slots.lock().expect("slots lock")[cell_index] = Some(record);
+                        timings.lock().expect("timings lock")[cell_index] = Some(t0.elapsed());
+                    }
                     Err(d) => errors.lock().expect("error lock").push(d),
                 }
             });
@@ -390,7 +447,35 @@ pub fn run_grid(
         return Err(first);
     }
 
-    let slots = slots.into_inner().expect("slots lock");
+    let mut slots = slots.into_inner().expect("slots lock");
+    // Fast-forward the deduped seeds: clone any resolved same-pair
+    // record and re-stamp the identity counter.
+    for &i in &derive {
+        let pair_start = (i / seeds_n) * seeds_n;
+        let mut record = slots[pair_start..pair_start + seeds_n]
+            .iter()
+            .find_map(Clone::clone)
+            .expect("a representative cell was simulated or cached");
+        record.counters.set("fault_seed", cells[i].seed);
+        slots[i] = Some(record);
+    }
+    let slots = slots;
+    for (i, timing) in timings
+        .into_inner()
+        .expect("timings lock")
+        .iter()
+        .enumerate()
+    {
+        if let Some(elapsed) = timing {
+            let cell = &cells[i];
+            profile.cells.push((
+                format!("{} x {} seed {}", cell.mapping, cell.platform, cell.seed),
+                *elapsed,
+            ));
+        }
+    }
+
+    let t_serialize = Instant::now();
     let cell_docs: Vec<Json> = cells
         .iter()
         .zip(&slots)
@@ -422,11 +507,14 @@ pub fn run_grid(
         .with("grid", spec.to_json())
         .with("cells", Json::Arr(cell_docs))
         .with("scaling", scaling_summary(spec, &kernels, &cells, &slots));
+    profile.serialize = t_serialize.elapsed();
     Ok(SweepOutcome {
         document,
         cells_total: cells.len(),
         cells_run,
         cells_cached,
+        cells_derived,
+        profile,
     })
 }
 
@@ -586,7 +674,10 @@ mod tests {
         let spec = demo_spec();
         let out = run_grid(&spec, 2, &CellCache::empty()).expect("grid runs");
         assert_eq!(out.cells_total, 4);
-        assert_eq!(out.cells_run, 4);
+        // Fault-free grid: one representative simulation per pair, the
+        // second seed of each pair is derived in closed form.
+        assert_eq!(out.cells_run, 2);
+        assert_eq!(out.cells_derived, 2);
         assert_eq!(out.cells_cached, 0);
         let cells = out.document.get("cells").and_then(Json::as_array).unwrap();
         assert_eq!(cells.len(), 4);
@@ -632,6 +723,7 @@ mod tests {
         assert_eq!(cache.len(), 4);
         let second = run_grid(&spec, 2, &cache).expect("grid resumes");
         assert_eq!(second.cells_run, 0, "an identical grid simulates nothing");
+        assert_eq!(second.cells_derived, 0, "cached cells need no derivation");
         assert_eq!(second.cells_cached, 4);
         assert_eq!(
             first.document.to_string_pretty(),
@@ -649,6 +741,48 @@ mod tests {
             serial.document.to_string_pretty(),
             wide.document.to_string_pretty()
         );
+    }
+
+    #[test]
+    fn seed_derivation_matches_direct_simulation() {
+        // The fast-forward gate: a derived cell must be byte-identical
+        // to actually simulating that seed (the full cross-registry
+        // sweep lives in tests/equivalence.rs).
+        let spec = demo_spec();
+        let out = run_grid(&spec, 1, &CellCache::empty()).expect("grid runs");
+        let cells = out.document.get("cells").and_then(Json::as_array).unwrap();
+        let workload = Workload::named("autofocus", true).unwrap();
+        for (i, cell) in spec.cells().iter().enumerate() {
+            let direct = simulate(cell, &workload, None).expect("direct simulation");
+            assert_eq!(
+                cells[i].get("record").map(Json::to_string_pretty),
+                Some(direct.to_json().to_string_pretty()),
+                "cell {i} ({} x {} seed {}) derived != simulated",
+                cell.mapping,
+                cell.platform,
+                cell.seed
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_grids_simulate_every_seed() {
+        // Each seed expands its own fault schedule, so the seed
+        // fast-forward must stay off.
+        let spec = GridSpec::parse(
+            r#"{
+                "version": 1,
+                "name": "t",
+                "small": true,
+                "pairs": [{"mapping": "autofocus_seq", "platform": "epiphany"}],
+                "seeds": [7, 8],
+                "faults": {"version": 1, "faults": []}
+            }"#,
+        )
+        .expect("faulted spec parses");
+        let out = run_grid(&spec, 1, &CellCache::empty()).expect("grid runs");
+        assert_eq!(out.cells_run, 2);
+        assert_eq!(out.cells_derived, 0);
     }
 
     #[test]
