@@ -5,15 +5,16 @@
 //! datasheet watt than FFBP: it never touches the expensive off-chip
 //! path.
 //!
+//! Runs through the harness registry, so every record carries the
+//! powertrace block: the component split comes from the per-phase
+//! [`desim::PhasePower`] deltas, and each phase prints its dominant
+//! component and stall/compute attribution.
+//!
 //! Usage: `cargo run -p bench --bin energy_report --release [-- --full] [-- --json]`
 
 use desim::RunRecord;
-use sar_epiphany::autofocus_mpmd::{self, Placement};
-use sar_epiphany::autofocus_seq;
-use sar_epiphany::ffbp_seq;
-use sar_epiphany::ffbp_spmd::{self, SpmdOptions};
-use sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload};
-use sim_harness::BenchHarness;
+use sar_epiphany::harness_impls::mapping_named;
+use sim_harness::{platform_named, run, BenchHarness, Workload};
 
 fn show(h: &mut BenchHarness, record: RunRecord) {
     let e = &record.energy;
@@ -35,40 +36,35 @@ fn show(h: &mut BenchHarness, record: RunRecord) {
         pct(e.sdram_j),
         pct(e.static_j)
     ));
+    if let Some(power) = &record.power {
+        for p in &power.phases {
+            let a = &p.attribution;
+            h.say(format_args!(
+                "    {:<20} {:>9.6} J  dominant {:<7} {:>5.1}%  compute {:>3.0}% / stall {:>3.0}%",
+                format!("{}[{}]", p.name, p.index),
+                p.energy.total_j(),
+                a.dominant,
+                100.0 * a.dominant_share,
+                100.0 * a.compute_fraction,
+                100.0 * a.stall_fraction
+            ));
+        }
+    }
     h.record(record);
 }
 
 fn main() {
     let mut h = BenchHarness::new("energy_report");
-    let fw = if h.flag("full") {
-        FfbpWorkload::paper()
-    } else {
-        bench::reduced_ffbp(256, 1001)
-    };
-    let aw = AutofocusWorkload::paper();
+    let small = !h.flag("full");
+    let platform = platform_named("epiphany").expect("epiphany platform is registered");
 
     h.say("Component-level energy breakdowns (Epiphany model)");
-    show(
-        &mut h,
-        ffbp_seq::run(&fw, epiphany::EpiphanyParams::default()).record,
-    );
-    show(
-        &mut h,
-        ffbp_spmd::run(
-            &fw,
-            epiphany::EpiphanyParams::default(),
-            SpmdOptions::default(),
-        )
-        .record,
-    );
-    show(
-        &mut h,
-        autofocus_seq::run(&aw, autofocus_seq::params()).record,
-    );
-    show(
-        &mut h,
-        autofocus_mpmd::run(&aw, autofocus_mpmd::params(), Placement::neighbor()).record,
-    );
+    for name in ["ffbp_seq", "ffbp_spmd", "autofocus_seq", "autofocus_mpmd"] {
+        let m = mapping_named(name).expect("registered mapping");
+        let w = Workload::named(m.kernel(), small).expect("registered workload");
+        let out = run(m.as_ref(), &w, platform.as_ref()).expect("registered pair runs");
+        show(&mut h, out.record);
+    }
 
     h.say("\nFFBP pays for every byte that crosses the eLink (drivers + SDRAM);");
     h.say("the autofocus pipeline keeps data on the mesh, so nearly all its");

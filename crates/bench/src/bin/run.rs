@@ -7,7 +7,8 @@
 //! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
 //!     [--workload ffbp|autofocus] [--placement neighbor|scattered] \
 //!     [--faults spec.json] [--seed N] \
-//!     [--small] [--json] [--list] [--analyze] [--trace out.json] [--heatmap]
+//!     [--small] [--json] [--list] [--analyze] [--trace out.json] [--heatmap] \
+//!     [--power]
 //! ```
 //!
 //! Omitted selectors mean "all": with no flags the runner executes
@@ -18,7 +19,9 @@
 //! exports a Chrome `trace_event` timeline per executed pair (the
 //! first pair writes `P`, later ones `P` with `-1`, `-2`, … before the
 //! extension); `--heatmap` prints the per-link mesh table after each
-//! Epiphany run.
+//! Epiphany run; `--power` prints the power timeline and per-phase
+//! energy-attribution table after each run (presentation only — the
+//! records are byte-identical with or without it).
 //!
 //! `--faults spec.json` arms deterministic fault injection: the spec's
 //! random groups expand from `--seed N` (default 0), each executed
@@ -249,6 +252,11 @@ fn main() {
             if h.heatmap() {
                 if let Some(heatmap) = &r.record.mesh_heatmap {
                     h.say(format_args!("\n{}", heatmap.render(8)));
+                }
+            }
+            if h.flag("power") {
+                if let Some(power) = &r.record.power {
+                    h.say(format_args!("\n{}", power.render(r.record.elapsed.clock)));
                 }
             }
             h.record(r.record);

@@ -1,0 +1,79 @@
+//! The unified runner's `--power` surface: the flag renders the power
+//! timeline and attribution table (smoke), and is presentation-only —
+//! the versioned record document is byte-identical with and without
+//! it (powertrace sampling always runs; `--power` only prints).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_run"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn power_flag_renders_timeline_and_attribution() {
+    let out = run(&[
+        "--mapping",
+        "ffbp_spmd",
+        "--platform",
+        "epiphany",
+        "--small",
+        "--power",
+        "--no-write",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("power profile"), "{stdout}");
+    assert!(stdout.contains("phase attribution:"), "{stdout}");
+    assert!(stdout.contains("dominant"), "{stdout}");
+}
+
+#[test]
+fn power_flag_does_not_change_the_document() {
+    let args = [
+        "--mapping",
+        "ffbp_spmd",
+        "--platform",
+        "epiphany",
+        "--small",
+        "--json",
+        "--no-write",
+    ];
+    let plain = run(&args);
+    let powered = run(&[&args[..], &["--power"]].concat());
+    assert!(plain.status.success() && powered.status.success());
+    assert!(!plain.stdout.is_empty(), "document on stdout");
+    assert_eq!(
+        plain.stdout, powered.stdout,
+        "--power changed the record document"
+    );
+}
+
+#[test]
+fn every_emitted_record_carries_a_power_block() {
+    let out = run(&["--small", "--json", "--no-write"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = desim::Json::parse(&stdout).expect("document parses");
+    let records = doc
+        .get("records")
+        .and_then(desim::Json::as_array)
+        .expect("records array");
+    assert!(records.len() >= 13, "all registered pairs ran");
+    for r in records {
+        let power = r.get("power").expect("record has a power block");
+        let timeline = power
+            .get("timeline")
+            .and_then(desim::Json::as_array)
+            .expect("power.timeline array");
+        assert!(!timeline.is_empty(), "non-empty timeline");
+        for epoch in timeline {
+            for key in ["start_cycles", "end_cycles", "energy"] {
+                assert!(epoch.get(key).is_some(), "epoch missing {key}");
+            }
+        }
+        assert!(power.get("phases").is_some(), "power.phases present");
+    }
+}

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod power;
 pub mod queue;
 pub mod record;
 pub mod resource;
@@ -46,6 +47,7 @@ pub mod trace;
 pub mod work;
 
 pub use json::Json;
+pub use power::{PhaseAttribution, PhasePower, PowerEpoch, PowerRecord, PowerTimeline};
 pub use queue::{EventQueue, Simulator};
 pub use record::{
     EnergyRecord, FaultRecord, LinkLoad, MeshHeatmap, MeshUtilization, PhaseRecord, RunRecord,

@@ -1,0 +1,522 @@
+//! `powertrace` — time-resolved power telemetry (DESIGN.md §3 S18).
+//!
+//! The run-level [`crate::record::EnergyRecord`] says *how many* joules
+//! a run spent; this module says *when* and *where*. Producers snapshot
+//! their cumulative energy breakdown at every phase boundary (the
+//! "sampling epochs"), and the deltas between consecutive snapshots
+//! become a [`PowerTimeline`] of [`PowerEpoch`]s — a piecewise-constant
+//! per-component power curve whose total energy telescopes exactly to
+//! the run total. Each closed phase additionally carries its own
+//! component-resolved energy delta plus a [`PhaseAttribution`] block
+//! (dominant component, busiest-link pressure, stall vs compute split),
+//! so a record alone answers "which resource gated this phase".
+//!
+//! Epochs are serialised in raw cycles + joules — the exact quantities
+//! the producers measure — and watts are derived by renderers from the
+//! record's clock, so round-trips are bit-exact and the documents stay
+//! byte-deterministic. All watt math guards zero-length spans.
+
+use crate::json::Json;
+use crate::record::EnergyRecord;
+use crate::time::{Cycle, Frequency, TimeSpan};
+
+/// Upper bound on serialised epochs per timeline. Producers emit one
+/// epoch per phase boundary; a run with more boundaries than this gets
+/// adjacent epochs merged pairwise (energy sums, spans union), which
+/// halves the count while conserving total energy exactly.
+pub const POWER_EPOCH_CAP: usize = 512;
+
+/// One sampling epoch: the energy spent between two consecutive
+/// boundary snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEpoch {
+    /// Epoch start, cycles from the beginning of the run.
+    pub start: Cycle,
+    /// Epoch end, cycles.
+    pub end: Cycle,
+    /// Component-resolved energy spent within the epoch.
+    pub energy: EnergyRecord,
+}
+
+impl PowerEpoch {
+    /// Epoch length in cycles.
+    pub fn span(&self) -> Cycle {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Average power over the epoch at `clock`, watts. Zero-length
+    /// epochs report zero rather than dividing by zero.
+    pub fn avg_power_w(&self, clock: Frequency) -> f64 {
+        let seconds = TimeSpan::new(self.span(), clock).seconds();
+        self.energy.avg_power_w(seconds)
+    }
+
+    /// Serialise to a JSON object (cycles + joules, no derived watts).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("start_cycles", self.start.raw())
+            .with("end_cycles", self.end.raw())
+            .with("energy", self.energy.to_json())
+    }
+
+    /// Parse back from [`PowerEpoch::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<PowerEpoch> {
+        let u = |key: &str| json.get(key).and_then(Json::as_u64);
+        Some(PowerEpoch {
+            start: Cycle(u("start_cycles")?),
+            end: Cycle(u("end_cycles")?),
+            energy: EnergyRecord::from_json(json.get("energy")?)?,
+        })
+    }
+}
+
+/// A bounded sequence of [`PowerEpoch`]s covering a run in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerTimeline {
+    /// Epochs in time order. Total energy equals the run's energy by
+    /// construction (boundary deltas telescope).
+    pub epochs: Vec<PowerEpoch>,
+}
+
+impl PowerTimeline {
+    /// An empty timeline.
+    pub fn new() -> PowerTimeline {
+        PowerTimeline::default()
+    }
+
+    /// Epoch count.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the timeline holds no epochs.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Append an epoch. Degenerate epochs (zero span *and* zero
+    /// energy — e.g. two boundaries at the same cursor) are dropped;
+    /// when the cap is exceeded adjacent epochs are merged pairwise,
+    /// conserving total energy exactly.
+    pub fn push(&mut self, epoch: PowerEpoch) {
+        if epoch.span() == Cycle::ZERO && epoch.energy.total_j() == 0.0 {
+            return;
+        }
+        self.epochs.push(epoch);
+        if self.epochs.len() > POWER_EPOCH_CAP {
+            self.coalesce();
+        }
+    }
+
+    /// Merge adjacent epoch pairs: `[a, b, c, d] -> [a+b, c+d]`. The
+    /// merged epoch spans both parents and carries their summed
+    /// energy, so the timeline total is unchanged.
+    fn coalesce(&mut self) {
+        let mut merged = Vec::with_capacity(self.epochs.len().div_ceil(2));
+        let mut it = self.epochs.drain(..);
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => merged.push(PowerEpoch {
+                    start: a.start,
+                    end: b.end,
+                    energy: a.energy.plus(&b.energy),
+                }),
+                None => merged.push(a),
+            }
+        }
+        drop(it);
+        self.epochs = merged;
+    }
+
+    /// Component-wise energy summed over every epoch.
+    pub fn total_energy(&self) -> EnergyRecord {
+        let mut total = EnergyRecord::default();
+        for e in &self.epochs {
+            total = total.plus(&e.energy);
+        }
+        total
+    }
+
+    /// Total joules across the timeline.
+    pub fn total_j(&self) -> f64 {
+        self.total_energy().total_j()
+    }
+
+    /// The highest per-epoch average power at `clock`, watts. Epochs
+    /// with zero span contribute zero (see [`PowerEpoch::avg_power_w`]).
+    pub fn peak_power_w(&self, clock: Frequency) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| e.avg_power_w(clock))
+            .fold(0.0, f64::max)
+    }
+
+    /// Serialise to a JSON array of epochs.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.epochs.iter().map(PowerEpoch::to_json).collect())
+    }
+
+    /// Parse back from [`PowerTimeline::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<PowerTimeline> {
+        let mut epochs = Vec::new();
+        for e in json.as_array()? {
+            epochs.push(PowerEpoch::from_json(e)?);
+        }
+        Some(PowerTimeline { epochs })
+    }
+}
+
+/// Which resource gated one phase: the bottleneck-attribution block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAttribution {
+    /// Energy component with the largest share of the phase
+    /// (`"compute"`, `"sram"`, `"mesh"`, `"elink"`, `"sdram"`,
+    /// `"static"`); `"none"` when the phase spent no energy.
+    pub dominant: String,
+    /// The dominant component's fraction of the phase energy.
+    pub dominant_share: f64,
+    /// Busy fraction of the most loaded mesh link within the phase.
+    /// NOT clamped to 1: a posted write reserves link time that can
+    /// drain *after* the phase-end cursor, so short phases may show
+    /// over-unity here (see [`crate::record::MeshUtilization`]). The
+    /// [`PhaseAttribution::busiest_link_over_unity`] flag makes that
+    /// case explicit instead of silently passing it through.
+    pub busiest_link_fraction: f64,
+    /// Whether `busiest_link_fraction` exceeded 1 (posted-write tails
+    /// attributed to this phase drain during a later one).
+    pub busiest_link_over_unity: bool,
+    /// Fraction of core-cycles spent actively executing (busy cycles
+    /// over `cores x span`); 0 when the producer models no occupancy.
+    pub compute_fraction: f64,
+    /// Fraction of core-cycles lost to stalls (the complement of
+    /// `compute_fraction`, or the producer's own stall accounting).
+    pub stall_fraction: f64,
+}
+
+impl PhaseAttribution {
+    /// Build the block from a phase's energy split plus the producer's
+    /// link-pressure and occupancy figures.
+    pub fn attribute(
+        energy: &EnergyRecord,
+        busiest_link_fraction: f64,
+        compute_fraction: f64,
+        stall_fraction: f64,
+    ) -> PhaseAttribution {
+        let total = energy.total_j();
+        let (dominant, dominant_share) = if total > 0.0 {
+            let (name, joules) = energy
+                .components()
+                .into_iter()
+                // max_by on a stable order: first maximum wins, so the
+                // tie-break is deterministic.
+                .fold(("none", 0.0), |best, c| if c.1 > best.1 { c } else { best });
+            (name.to_string(), joules / total)
+        } else {
+            ("none".to_string(), 0.0)
+        };
+        PhaseAttribution {
+            dominant,
+            dominant_share,
+            busiest_link_fraction,
+            busiest_link_over_unity: busiest_link_fraction > 1.0,
+            compute_fraction,
+            stall_fraction,
+        }
+    }
+
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("dominant", self.dominant.as_str())
+            .with("dominant_share", self.dominant_share)
+            .with("busiest_link_fraction", self.busiest_link_fraction)
+            .with("busiest_link_over_unity", self.busiest_link_over_unity)
+            .with("compute_fraction", self.compute_fraction)
+            .with("stall_fraction", self.stall_fraction)
+    }
+
+    /// Parse back from [`PhaseAttribution::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<PhaseAttribution> {
+        let f = |key: &str| json.get(key).and_then(Json::as_f64);
+        Some(PhaseAttribution {
+            dominant: json.get("dominant")?.as_str()?.to_string(),
+            dominant_share: f("dominant_share")?,
+            busiest_link_fraction: f("busiest_link_fraction")?,
+            busiest_link_over_unity: json.get("busiest_link_over_unity")?.as_bool()?,
+            compute_fraction: f("compute_fraction")?,
+            stall_fraction: f("stall_fraction")?,
+        })
+    }
+}
+
+/// One phase's component-resolved energy delta plus its attribution.
+/// Mirrors the record's `phases` array one-to-one (same name/index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePower {
+    /// Phase family (matches [`crate::record::PhaseRecord::name`]).
+    pub name: String,
+    /// Occurrence number within the family.
+    pub index: u32,
+    /// Energy spent within the phase, by component. Sums (with the
+    /// other phases) to the run total — the harness appends an
+    /// `"unattributed"` entry for any gap the producer left.
+    pub energy: EnergyRecord,
+    /// Which resource gated the phase.
+    pub attribution: PhaseAttribution,
+}
+
+impl PhasePower {
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("index", self.index)
+            .with("energy", self.energy.to_json())
+            .with("attribution", self.attribution.to_json())
+    }
+
+    /// Parse back from [`PhasePower::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<PhasePower> {
+        Some(PhasePower {
+            name: json.get("name")?.as_str()?.to_string(),
+            index: json.get("index")?.as_u64()? as u32,
+            energy: EnergyRecord::from_json(json.get("energy")?)?,
+            attribution: PhaseAttribution::from_json(json.get("attribution")?)?,
+        })
+    }
+}
+
+/// The record-level `power` block: the epoch timeline plus per-phase
+/// energy deltas and attributions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerRecord {
+    /// The bounded power-over-time view.
+    pub timeline: PowerTimeline,
+    /// Per-phase deltas in execution order.
+    pub phases: Vec<PhasePower>,
+}
+
+impl PowerRecord {
+    /// The highest per-epoch average power at `clock`, watts.
+    pub fn peak_power_w(&self, clock: Frequency) -> f64 {
+        self.timeline.peak_power_w(clock)
+    }
+
+    /// Serialise to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj().with("timeline", self.timeline.to_json()).with(
+            "phases",
+            Json::Arr(self.phases.iter().map(PhasePower::to_json).collect()),
+        )
+    }
+
+    /// Parse back from [`PowerRecord::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<PowerRecord> {
+        let timeline = PowerTimeline::from_json(json.get("timeline")?)?;
+        let mut phases = Vec::new();
+        for p in json.get("phases").and_then(Json::as_array).unwrap_or(&[]) {
+            phases.push(PhasePower::from_json(p)?);
+        }
+        Some(PowerRecord { timeline, phases })
+    }
+
+    /// Render the ASCII power profile: one bar per epoch scaled to the
+    /// peak, plus the per-phase attribution table.
+    pub fn render(&self, clock: Frequency) -> String {
+        const BAR: usize = 40;
+        let peak = self.peak_power_w(clock);
+        let mut out = format!(
+            "power profile ({} epoch(s), peak {:.3} W, {:.6} J total)\n",
+            self.timeline.len(),
+            peak,
+            self.timeline.total_j()
+        );
+        out.push_str("  start ms   end ms    avg W\n");
+        for e in &self.timeline.epochs {
+            let w = e.avg_power_w(clock);
+            let filled = if peak > 0.0 {
+                ((w / peak) * BAR as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "  {:>8.3} {:>8.3} {:>8.3}  |{:<width$}|\n",
+                TimeSpan::new(e.start, clock).millis(),
+                TimeSpan::new(e.end, clock).millis(),
+                w,
+                "#".repeat(filled.min(BAR)),
+                width = BAR
+            ));
+        }
+        if !self.phases.is_empty() {
+            out.push_str("phase attribution:\n");
+            out.push_str(
+                "  phase                 energy J   dominant          link%  compute/stall\n",
+            );
+            for p in &self.phases {
+                let a = &p.attribution;
+                out.push_str(&format!(
+                    "  {:<20} {:>10.6}   {:<8} {:>5.1}%  {:>5.1}%{} {:>4.0}%/{:.0}%\n",
+                    format!("{}[{}]", p.name, p.index),
+                    p.energy.total_j(),
+                    a.dominant,
+                    a.dominant_share * 100.0,
+                    a.busiest_link_fraction * 100.0,
+                    if a.busiest_link_over_unity { "!" } else { " " },
+                    a.compute_fraction * 100.0,
+                    a.stall_fraction * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joules(j: f64) -> EnergyRecord {
+        EnergyRecord {
+            compute_j: j,
+            ..EnergyRecord::default()
+        }
+    }
+
+    #[test]
+    fn zero_length_epochs_report_zero_power() {
+        let e = PowerEpoch {
+            start: Cycle(100),
+            end: Cycle(100),
+            energy: joules(1.0),
+        };
+        assert_eq!(e.avg_power_w(Frequency::ghz(1.0)), 0.0);
+        assert_eq!(e.span(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn degenerate_epochs_are_dropped() {
+        let mut t = PowerTimeline::new();
+        t.push(PowerEpoch {
+            start: Cycle(5),
+            end: Cycle(5),
+            energy: EnergyRecord::default(),
+        });
+        assert!(t.is_empty());
+        // Zero span with energy is kept (instantaneous attribution).
+        t.push(PowerEpoch {
+            start: Cycle(5),
+            end: Cycle(5),
+            energy: joules(1e-6),
+        });
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn coalescing_conserves_energy_and_bounds_the_count() {
+        let mut t = PowerTimeline::new();
+        for i in 0..(2 * POWER_EPOCH_CAP as u64 + 3) {
+            t.push(PowerEpoch {
+                start: Cycle(i * 10),
+                end: Cycle(i * 10 + 10),
+                energy: joules(1.0),
+            });
+        }
+        assert!(t.len() <= POWER_EPOCH_CAP + 1);
+        let expect = (2 * POWER_EPOCH_CAP as u64 + 3) as f64;
+        assert!((t.total_j() - expect).abs() < 1e-9);
+        // Merged epochs stay in time order with unioned spans.
+        for pair in t.epochs.windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn peak_power_tracks_the_hottest_epoch() {
+        let mut t = PowerTimeline::new();
+        let clock = Frequency::ghz(1.0);
+        // 1 J over 1 ms = 1000 W; 1 J over 2 ms = 500 W.
+        t.push(PowerEpoch {
+            start: Cycle(0),
+            end: Cycle(1_000_000),
+            energy: joules(1.0),
+        });
+        t.push(PowerEpoch {
+            start: Cycle(1_000_000),
+            end: Cycle(3_000_000),
+            energy: joules(1.0),
+        });
+        assert!((t.peak_power_w(clock) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribution_finds_the_dominant_component() {
+        let e = EnergyRecord {
+            compute_j: 1.0,
+            sram_j: 0.25,
+            static_j: 3.0,
+            ..EnergyRecord::default()
+        };
+        let a = PhaseAttribution::attribute(&e, 0.5, 0.75, 0.25);
+        assert_eq!(a.dominant, "static");
+        assert!((a.dominant_share - 3.0 / 4.25).abs() < 1e-12);
+        assert!(!a.busiest_link_over_unity);
+        // Posted-write tails: over-unity is flagged, not clamped.
+        let tail = PhaseAttribution::attribute(&e, 1.5, 0.0, 0.0);
+        assert!(tail.busiest_link_over_unity);
+        assert!((tail.busiest_link_fraction - 1.5).abs() < 1e-12);
+        // No energy at all: explicit "none", not a division by zero.
+        let idle = PhaseAttribution::attribute(&EnergyRecord::default(), 0.0, 0.0, 0.0);
+        assert_eq!(idle.dominant, "none");
+        assert_eq!(idle.dominant_share, 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_block() {
+        let mut timeline = PowerTimeline::new();
+        timeline.push(PowerEpoch {
+            start: Cycle(0),
+            end: Cycle(500),
+            energy: joules(2e-3),
+        });
+        let record = PowerRecord {
+            timeline,
+            phases: vec![PhasePower {
+                name: "merge".into(),
+                index: 3,
+                energy: joules(2e-3),
+                attribution: PhaseAttribution::attribute(&joules(2e-3), 1.25, 0.5, 0.5),
+            }],
+        };
+        let text = record.to_json().to_string_pretty();
+        let back = PowerRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, record);
+        assert!(back.phases[0].attribution.busiest_link_over_unity);
+    }
+
+    #[test]
+    fn render_shows_epochs_and_attribution() {
+        let mut timeline = PowerTimeline::new();
+        timeline.push(PowerEpoch {
+            start: Cycle(0),
+            end: Cycle(1_000_000),
+            energy: joules(1e-3),
+        });
+        let record = PowerRecord {
+            timeline,
+            phases: vec![PhasePower {
+                name: "stage".into(),
+                index: 0,
+                energy: joules(1e-3),
+                attribution: PhaseAttribution::attribute(&joules(1e-3), 0.0, 1.0, 0.0),
+            }],
+        };
+        let text = record.render(Frequency::ghz(1.0));
+        assert!(text.contains("power profile (1 epoch(s)"));
+        assert!(text.contains("stage[0]"));
+        assert!(text.contains("compute"));
+        // Empty record renders without dividing by zero.
+        let empty = PowerRecord::default();
+        assert!(empty.render(Frequency::ghz(1.0)).contains("0 epoch(s)"));
+    }
+}

@@ -12,11 +12,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::json::Json;
+use crate::power::PowerRecord;
 use crate::stats::Counters;
 use crate::time::{Cycle, Frequency, TimeSpan};
 
 /// Bump when the serialised shape changes incompatibly.
-pub const RUN_RECORD_VERSION: u32 = 3;
+pub const RUN_RECORD_VERSION: u32 = 4;
 
 /// Fault-injection and recovery accounting for one run (v3). All-zero
 /// when the run executed with faults disabled — the serialised block is
@@ -103,7 +104,50 @@ impl EnergyRecord {
         self.total_j() > 0.0
     }
 
-    fn to_json(self) -> Json {
+    /// `(component name, joules)` in the canonical order — the shape
+    /// attribution and rendering iterate over.
+    pub fn components(&self) -> [(&'static str, f64); 6] {
+        [
+            ("compute", self.compute_j),
+            ("sram", self.sram_j),
+            ("mesh", self.mesh_j),
+            ("elink", self.elink_j),
+            ("sdram", self.sdram_j),
+            ("static", self.static_j),
+        ]
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &EnergyRecord) -> EnergyRecord {
+        EnergyRecord {
+            compute_j: self.compute_j + other.compute_j,
+            sram_j: self.sram_j + other.sram_j,
+            mesh_j: self.mesh_j + other.mesh_j,
+            elink_j: self.elink_j + other.elink_j,
+            sdram_j: self.sdram_j + other.sdram_j,
+            static_j: self.static_j + other.static_j,
+        }
+    }
+
+    /// Component-wise delta against an `earlier` snapshot of the same
+    /// cumulative quantity, floored at zero per component (cumulative
+    /// energy is monotone; the floor only absorbs float dust).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &EnergyRecord) -> EnergyRecord {
+        let d = |now: f64, was: f64| (now - was).max(0.0);
+        EnergyRecord {
+            compute_j: d(self.compute_j, earlier.compute_j),
+            sram_j: d(self.sram_j, earlier.sram_j),
+            mesh_j: d(self.mesh_j, earlier.mesh_j),
+            elink_j: d(self.elink_j, earlier.elink_j),
+            sdram_j: d(self.sdram_j, earlier.sdram_j),
+            static_j: d(self.static_j, earlier.static_j),
+        }
+    }
+
+    /// Serialise to a JSON object.
+    pub fn to_json(self) -> Json {
         Json::obj()
             .with("compute_j", self.compute_j)
             .with("sram_j", self.sram_j)
@@ -113,7 +157,8 @@ impl EnergyRecord {
             .with("static_j", self.static_j)
     }
 
-    fn from_json(json: &Json) -> Option<EnergyRecord> {
+    /// Parse back from [`EnergyRecord::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<EnergyRecord> {
         let f = |key: &str| json.get(key).and_then(Json::as_f64);
         Some(EnergyRecord {
             compute_j: f("compute_j")?,
@@ -433,6 +478,10 @@ pub struct RunRecord {
     pub mesh_heatmap: Option<MeshHeatmap>,
     /// Per-phase breakdown in execution order.
     pub phases: Vec<PhaseRecord>,
+    /// Time-resolved power telemetry (v4). Producers with an activity
+    /// model fill it directly; the harness synthesises a datasheet
+    /// block for the rest, so every harness-run record carries one.
+    pub power: Option<PowerRecord>,
 }
 
 impl RunRecord {
@@ -457,6 +506,7 @@ impl RunRecord {
             faults: FaultRecord::default(),
             mesh_heatmap: None,
             phases: Vec::new(),
+            power: None,
         }
     }
 
@@ -543,6 +593,9 @@ impl RunRecord {
         if let Some(heatmap) = &self.mesh_heatmap {
             doc.set("mesh_heatmap", heatmap.to_json());
         }
+        if let Some(power) = &self.power {
+            doc.set("power", power.to_json());
+        }
         doc.with(
             "phases",
             Json::Arr(self.phases.iter().map(PhaseRecord::to_json).collect()),
@@ -593,6 +646,8 @@ impl RunRecord {
                 .unwrap_or_default(),
             mesh_heatmap: json.get("mesh_heatmap").and_then(MeshHeatmap::from_json),
             phases,
+            // Pre-v4 documents lack the block; parse without it.
+            power: json.get("power").and_then(PowerRecord::from_json),
         })
     }
 }
@@ -621,6 +676,14 @@ impl fmt::Display for RunRecord {
             "  SDRAM row hits : {:.1}%",
             self.sdram_row_hit_rate * 100.0
         )?;
+        if let Some(power) = &self.power {
+            writeln!(
+                f,
+                "  power timeline : {} epoch(s), peak {:.3} W",
+                power.timeline.len(),
+                power.peak_power_w(self.elapsed.clock)
+            )?;
+        }
         if self.faults.any() {
             writeln!(
                 f,
@@ -731,6 +794,23 @@ mod tests {
                 busy_fraction: 0.25,
             }],
         });
+        r.power = Some(crate::power::PowerRecord {
+            timeline: {
+                let mut t = crate::power::PowerTimeline::new();
+                t.push(crate::power::PowerEpoch {
+                    start: Cycle(0),
+                    end: Cycle(12345),
+                    energy: r.energy,
+                });
+                t
+            },
+            phases: vec![crate::power::PhasePower {
+                name: "merge".into(),
+                index: 2,
+                energy: r.energy,
+                attribution: crate::power::PhaseAttribution::attribute(&r.energy, 0.25, 0.8, 0.2),
+            }],
+        });
         r.phases.push(PhaseRecord {
             name: "merge".into(),
             index: 2,
@@ -764,6 +844,7 @@ mod tests {
         assert_eq!(back.faults, r.faults);
         assert!(back.faults.any());
         assert_eq!(back.mesh_heatmap, r.mesh_heatmap);
+        assert_eq!(back.power, r.power);
         assert_eq!(back.phases, r.phases);
         assert_eq!(back.phases[0].mesh.total_byte_hops(), 4096 + 128 + 64);
         assert!((back.energy_j() - r.energy_j()).abs() < 1e-15);
@@ -814,6 +895,39 @@ mod tests {
         let back = RunRecord::from_json(&doc).unwrap();
         assert_eq!(back.faults, FaultRecord::default());
         assert!(!back.faults.any());
+    }
+
+    #[test]
+    fn record_without_power_block_parses_without_one() {
+        // Pre-v4 documents lack the "power" key.
+        let r = record(100);
+        let mut doc = r.to_json();
+        doc.set("power", Json::Null);
+        let back = RunRecord::from_json(&doc).unwrap();
+        assert!(back.power.is_none());
+    }
+
+    #[test]
+    fn energy_component_arithmetic() {
+        let a = EnergyRecord {
+            compute_j: 2.0,
+            sram_j: 1.0,
+            ..EnergyRecord::default()
+        };
+        let b = EnergyRecord {
+            compute_j: 0.5,
+            static_j: 3.0,
+            ..EnergyRecord::default()
+        };
+        let sum = a.plus(&b);
+        assert_eq!(sum.compute_j, 2.5);
+        assert_eq!(sum.static_j, 3.0);
+        let delta = sum.delta_since(&b);
+        assert_eq!(delta.compute_j, 2.0);
+        // The floor absorbs float dust instead of going negative.
+        assert_eq!(b.delta_since(&sum).compute_j, 0.0);
+        assert_eq!(a.components()[0], ("compute", 2.0));
+        assert_eq!(a.components()[5], ("static", 0.0));
     }
 
     #[test]

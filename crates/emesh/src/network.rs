@@ -609,6 +609,18 @@ impl EMesh {
         self.cmesh.total_link_busy() + self.rmesh.total_link_busy() + self.xmesh.total_link_busy()
     }
 
+    /// Cycles the off-chip eLink has been reserved — one of the
+    /// component busy times the power sampler snapshots at phase
+    /// boundaries.
+    pub fn elink_busy_cycles(&self) -> Cycle {
+        self.elink.busy_cycles()
+    }
+
+    /// Byte-hops summed across all three meshes.
+    pub fn total_byte_hops(&self) -> u64 {
+        self.cmesh.byte_hops() + self.rmesh.byte_hops() + self.xmesh.byte_hops()
+    }
+
     /// The topology this fabric spans.
     pub fn mesh(&self) -> Mesh2D {
         self.mesh

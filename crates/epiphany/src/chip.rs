@@ -5,6 +5,7 @@
 //! goes through the shared fabric/memory models where it contends with
 //! the other cores' traffic.
 
+use desim::power::{PhaseAttribution, PhasePower, PowerEpoch, PowerRecord, PowerTimeline};
 use desim::record::{MeshHeatmap, MeshUtilization, PhaseRecord, RunRecord};
 use desim::stats::{Counters, Histogram, PhaseTimeline};
 use desim::trace::{Tracer, Track};
@@ -54,12 +55,23 @@ pub struct Chip {
     timers: Vec<[Option<Cycle>; 2]>,
     /// Phase-scoped statistics (see [`Chip::phase_begin`]).
     phases: PhaseTimeline,
-    /// Modelled energy at the open phase's start, joules.
-    phase_energy0: f64,
+    /// Modelled energy breakdown at the open phase's start.
+    phase_energy0: EnergyBreakdown,
     /// eLink busy cycles at the open phase's start.
     phase_elink0: Cycle,
+    /// SDRAM bus busy cycles at the open phase's start.
+    phase_sdram0: Cycle,
+    /// Summed core busy cycles at the open phase's start (the
+    /// stall-vs-compute split of the attribution block).
+    phase_busy0: Cycle,
     /// Mesh statistics at the open phase's start.
     phase_mesh0: MeshSnapshot,
+    /// Power-sampling epochs: the cumulative energy breakdown at every
+    /// phase boundary, in boundary order. [`Chip::report`] turns the
+    /// deltas between consecutive marks into a [`PowerTimeline`], so
+    /// the timeline's total telescopes exactly to the run energy.
+    /// Grows only at phase boundaries — the hot path never touches it.
+    power_marks: Vec<(Cycle, EnergyBreakdown)>,
     /// Event tracer (disabled by default; see [`Chip::set_tracer`]).
     tracer: Tracer,
     /// Fault schedule (disabled by default; see [`Chip::set_faults`]).
@@ -85,9 +97,12 @@ impl Chip {
             counters: (0..n).map(|_| CoreCounters::new()).collect(),
             timers: vec![[None; 2]; n],
             phases: PhaseTimeline::new(),
-            phase_energy0: 0.0,
+            phase_energy0: EnergyBreakdown::default(),
             phase_elink0: Cycle::ZERO,
+            phase_sdram0: Cycle::ZERO,
+            phase_busy0: Cycle::ZERO,
             phase_mesh0: MeshSnapshot::default(),
+            power_marks: Vec::new(),
             tracer: Tracer::disabled(),
             faults: FaultState::disabled(),
             mesh,
@@ -843,11 +858,24 @@ impl Chip {
         // their totals (getters merge both sides, so this is purely a
         // batching bound — see `MeshNetwork::flush_stats`).
         self.fabric.flush_stats();
-        self.phases
-            .begin(name, self.elapsed(), self.merged_counters());
-        self.phase_energy0 = self.energy().total_j();
+        let now = self.elapsed();
+        self.phases.begin(name, now, self.merged_counters());
+        let e0 = self.energy();
+        self.mark_power(now, e0);
+        self.phase_energy0 = e0;
         self.phase_elink0 = self.fabric.elink.busy_cycles();
+        self.phase_sdram0 = self.sdram.busy_cycles();
+        self.phase_busy0 = self.busy.iter().copied().fold(Cycle::ZERO, |a, b| a + b);
         self.phase_mesh0 = self.mesh_snapshot();
+    }
+
+    /// Record a power-sampling mark: the cumulative energy breakdown at
+    /// a phase boundary. Consecutive identical marks are deduplicated so
+    /// back-to-back phases don't inject zero-span epochs.
+    fn mark_power(&mut self, at: Cycle, energy: EnergyBreakdown) {
+        if self.power_marks.last() != Some(&(at, energy)) {
+            self.power_marks.push((at, energy));
+        }
     }
 
     fn mesh_snapshot(&self) -> MeshSnapshot {
@@ -873,14 +901,33 @@ impl Chip {
     /// the energy and eLink activity it accounted for.
     pub fn phase_end(&mut self) {
         self.fabric.flush_stats();
-        let energy = self.energy().total_j() - self.phase_energy0;
+        let e_now = self.energy();
+        let denergy = e_now.delta_since(&self.phase_energy0);
         let elink = self
             .fabric
             .elink
             .busy_cycles()
             .saturating_sub(self.phase_elink0);
-        self.phases.metric("energy_j", energy);
+        let sdram_busy = self.sdram.busy_cycles().saturating_sub(self.phase_sdram0);
+        let core_busy = self
+            .busy
+            .iter()
+            .copied()
+            .fold(Cycle::ZERO, |a, b| a + b)
+            .saturating_sub(self.phase_busy0);
+        self.phases.metric("energy_j", denergy.total_j());
         self.phases.metric("elink_busy_cycles", elink.raw() as f64);
+        self.phases
+            .metric("sdram_busy_cycles", sdram_busy.raw() as f64);
+
+        // Component-resolved energy deltas, smuggled through reserved
+        // `power::` keys that report() lifts into the phase's
+        // PhasePower entry (and strips from the metric map).
+        for (name, joules) in denergy.components() {
+            self.phases.metric(&format!("power::{name}_j"), joules);
+        }
+        self.phases
+            .metric("power::busy_cycles", core_busy.raw() as f64);
 
         // Mesh deltas since phase_begin, smuggled through reserved
         // metric keys that report() lifts into PhaseRecord::mesh.
@@ -933,6 +980,7 @@ impl Chip {
         self.phases
             .metric("mesh::busiest_link_utilization", busiest);
         self.phases.end(now, &merged);
+        self.mark_power(now, e_now);
 
         // Run-track span + cumulative-energy sample for the timeline.
         if self.tracer.is_enabled() {
@@ -944,7 +992,15 @@ impl Chip {
                     span.start + span.cycles(),
                 );
                 self.tracer
-                    .counter(Track::Run, "energy_j", now, self.energy().total_j());
+                    .counter(Track::Run, "energy_j", now, e_now.total_j());
+                // Per-component average power over the phase, rendered
+                // as counter tracks by the Chrome trace export.
+                let seconds = TimeSpan::new(span.cycles(), self.params.clock).seconds();
+                for (name, joules) in denergy.components() {
+                    let watts = if seconds > 0.0 { joules / seconds } else { 0.0 };
+                    self.tracer
+                        .counter(Track::Run, format!("power_{name}_w"), now, watts);
+                }
             }
         }
     }
@@ -1048,6 +1104,7 @@ impl Chip {
         // `RunRecord::elink_utilization` applies. Exercise it here so
         // accounting bugs surface at the producer.
         let _ = record.elink_utilization();
+        let mut phase_powers = Vec::with_capacity(self.phases.spans().len());
         record.phases = self
             .phases
             .spans()
@@ -1067,6 +1124,17 @@ impl Chip {
                         .remove("mesh::busiest_link_utilization")
                         .unwrap_or(0.0),
                 };
+                // Lift the component-resolved energy deltas smuggled by
+                // phase_end into the phase's power entry.
+                let denergy = EnergyBreakdown {
+                    compute_j: metrics.remove("power::compute_j").unwrap_or(0.0),
+                    sram_j: metrics.remove("power::sram_j").unwrap_or(0.0),
+                    mesh_j: metrics.remove("power::mesh_j").unwrap_or(0.0),
+                    elink_j: metrics.remove("power::elink_j").unwrap_or(0.0),
+                    sdram_j: metrics.remove("power::sdram_j").unwrap_or(0.0),
+                    static_j: metrics.remove("power::static_j").unwrap_or(0.0),
+                };
+                let core_busy = metrics.remove("power::busy_cycles").unwrap_or(0.0);
                 for (name, delta) in span.counters.iter() {
                     metrics.insert(name.to_string(), delta as f64);
                 }
@@ -1081,6 +1149,30 @@ impl Chip {
                 } else {
                     0.0
                 };
+                // Stall-vs-compute split: busy cycles over the phase's
+                // core-cycle budget. Only cores actually used count —
+                // idle cores are clock-gated and cost static power only.
+                let compute_fraction = if span_cycles > 0.0 && cores_used > 0 {
+                    (core_busy / (cores_used as f64 * span_cycles)).min(1.0)
+                } else {
+                    0.0
+                };
+                let stall_fraction = if span_cycles > 0.0 {
+                    1.0 - compute_fraction
+                } else {
+                    0.0
+                };
+                phase_powers.push(PhasePower {
+                    name: span.name.clone(),
+                    index: span.index,
+                    energy: denergy,
+                    attribution: PhaseAttribution::attribute(
+                        &denergy,
+                        mesh.busiest_link_utilization,
+                        compute_fraction,
+                        stall_fraction,
+                    ),
+                });
                 PhaseRecord {
                     name: span.name.clone(),
                     index: span.index,
@@ -1093,6 +1185,32 @@ impl Chip {
                 }
             })
             .collect();
+
+        // Power timeline: deltas between consecutive boundary marks,
+        // closed by a final epoch up to the makespan. The telescoping
+        // sum equals the run energy exactly (modulo the non-negativity
+        // clamp in delta_since, which only fires on a non-monotone
+        // model).
+        let mut timeline = PowerTimeline::new();
+        let mut prev: (Cycle, EnergyBreakdown) = (Cycle::ZERO, EnergyBreakdown::default());
+        for &(at, e) in &self.power_marks {
+            timeline.push(PowerEpoch {
+                start: prev.0,
+                end: at,
+                energy: e.delta_since(&prev.1),
+            });
+            prev = (at, e);
+        }
+        let makespan = self.elapsed();
+        timeline.push(PowerEpoch {
+            start: prev.0,
+            end: makespan,
+            energy: record.energy.delta_since(&prev.1),
+        });
+        record.power = Some(PowerRecord {
+            timeline,
+            phases: phase_powers,
+        });
         record
     }
 
@@ -1111,9 +1229,12 @@ impl Chip {
         self.counters.iter_mut().for_each(CoreCounters::clear);
         self.timers.iter_mut().for_each(|t| *t = [None; 2]);
         self.phases.clear();
-        self.phase_energy0 = 0.0;
+        self.phase_energy0 = EnergyBreakdown::default();
         self.phase_elink0 = Cycle::ZERO;
+        self.phase_sdram0 = Cycle::ZERO;
+        self.phase_busy0 = Cycle::ZERO;
         self.phase_mesh0 = MeshSnapshot::default();
+        self.power_marks.clear();
     }
 }
 

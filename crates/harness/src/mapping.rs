@@ -4,7 +4,10 @@
 use std::fmt;
 
 use desim::trace::{Tracer, Track};
-use desim::RunRecord;
+use desim::{
+    EnergyRecord, MeshUtilization, PhaseAttribution, PhasePower, PhaseRecord, PowerEpoch,
+    PowerRecord, PowerTimeline, RunRecord,
+};
 use faultsim::FaultState;
 use sar_core::image::ComplexImage;
 
@@ -227,7 +230,125 @@ pub fn run_ctx(
     if ctx.tracer.is_enabled() && !ctx.tracer.has_span_on(Track::Run) {
         replay_phases(&out.record, &ctx.tracer);
     }
+    finalize_power(&mut out.record);
     Ok(out)
+}
+
+/// Close the record's energy books so every registered pair satisfies
+/// the powertrace invariants, whatever its driver provided:
+///
+/// 1. Phases on datasheet-priced platforms (no activity-based energy
+///    model) get `power_w × time` energy instead of `0.0`.
+/// 2. Energy the phases don't cover (warm-up, gaps, drain — or drivers
+///    that report no phases at all) lands in a synthetic
+///    `"unattributed"` phase, so `Σ phases.energy_j == energy_j()`.
+/// 3. Records without a power block (every platform but the Epiphany
+///    chip model) get one synthesised from their phase timings: one
+///    epoch per phase, energy on the `static` channel (datasheet power
+///    is leakage-shaped — no activity decomposition exists), stall
+///    fraction lifted from the driver's `mem_stall_cycles` metric when
+///    present.
+///
+/// Runs after [`replay_phases`] so the synthetic phase is never
+/// replayed as a trace span.
+fn finalize_power(record: &mut RunRecord) {
+    // 1. Datasheet pricing for drivers without an energy model.
+    if !record.energy.is_modelled() && record.power_w > 0.0 {
+        for p in &mut record.phases {
+            if p.energy_j == 0.0 {
+                p.energy_j = record.power_w * p.time_ms * 1e-3;
+            }
+        }
+    }
+
+    // 2. Attribute the residual. Phase deltas are non-negative and the
+    // phases are disjoint, so the residual is non-negative up to
+    // rounding; a sub-epsilon residual is rounding, not a gap.
+    let total_j = record.energy_j();
+    let covered_j: f64 = record.phases.iter().map(|p| p.energy_j).sum();
+    let covered_ms: f64 = record.phases.iter().map(|p| p.time_ms).sum();
+    let residual = total_j - covered_j;
+    if residual > 1e-12 * total_j.abs().max(1.0) {
+        let last_end = record
+            .phases
+            .iter()
+            .map(|p| p.start_ms + p.time_ms)
+            .fold(0.0, f64::max);
+        record.phases.push(PhaseRecord {
+            name: "unattributed".into(),
+            index: 0,
+            start_ms: last_end,
+            time_ms: (record.elapsed.millis() - covered_ms).max(0.0),
+            energy_j: residual,
+            elink_utilization: 0.0,
+            mesh: MeshUtilization::default(),
+            metrics: Default::default(),
+        });
+        if let Some(power) = &mut record.power {
+            let covered = power
+                .phases
+                .iter()
+                .fold(EnergyRecord::default(), |acc, p| acc.plus(&p.energy));
+            let energy = record.energy.delta_since(&covered);
+            power.phases.push(PhasePower {
+                name: "unattributed".into(),
+                index: 0,
+                energy,
+                attribution: PhaseAttribution::attribute(&energy, 0.0, 0.0, 0.0),
+            });
+        }
+    }
+
+    // 3. Synthesise a power block from phase timings.
+    if record.power.is_none() {
+        let clock = record.elapsed.clock;
+        let mut timeline = PowerTimeline::new();
+        let mut phases = Vec::with_capacity(record.phases.len());
+        for p in &record.phases {
+            let start = clock.cycles_in(p.start_ms / 1e3);
+            let end = clock.cycles_in((p.start_ms + p.time_ms) / 1e3);
+            let energy = EnergyRecord {
+                static_j: p.energy_j,
+                ..EnergyRecord::default()
+            };
+            timeline.push(PowerEpoch { start, end, energy });
+            let span_cycles = end.saturating_sub(start).raw() as f64;
+            let stall_fraction = if span_cycles > 0.0 {
+                p.metrics
+                    .get("mem_stall_cycles")
+                    .map_or(0.0, |s| (s / span_cycles).min(1.0))
+            } else {
+                0.0
+            };
+            let compute_fraction = if span_cycles > 0.0 {
+                1.0 - stall_fraction
+            } else {
+                0.0
+            };
+            phases.push(PhasePower {
+                name: p.name.clone(),
+                index: p.index,
+                energy,
+                attribution: PhaseAttribution::attribute(
+                    &energy,
+                    0.0,
+                    compute_fraction,
+                    stall_fraction,
+                ),
+            });
+        }
+        if timeline.epochs.is_empty() {
+            timeline.push(PowerEpoch {
+                start: desim::Cycle::ZERO,
+                end: record.elapsed.cycles,
+                energy: EnergyRecord {
+                    static_j: total_j,
+                    ..EnergyRecord::default()
+                },
+            });
+        }
+        record.power = Some(PowerRecord { timeline, phases });
+    }
 }
 
 /// Synthesise [`Track::Run`] phase spans from a closed record, for

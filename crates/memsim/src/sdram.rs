@@ -185,6 +185,12 @@ impl Sdram {
         self.bytes
     }
 
+    /// Cycles the data bus has been reserved — the SDRAM's busy time,
+    /// snapshotted by the power sampler at phase boundaries.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.bus.busy_cycles()
+    }
+
     /// Clear device state.
     pub fn reset(&mut self) {
         self.bus.reset();

@@ -506,7 +506,8 @@ pub fn run_grid(
         .with("version", RUN_RECORD_VERSION)
         .with("grid", spec.to_json())
         .with("cells", Json::Arr(cell_docs))
-        .with("scaling", scaling_summary(spec, &kernels, &cells, &slots));
+        .with("scaling", scaling_summary(spec, &kernels, &cells, &slots))
+        .with("power", power_summary(spec, &cells, &slots));
     profile.serialize = t_serialize.elapsed();
     Ok(SweepOutcome {
         document,
@@ -597,6 +598,74 @@ fn scaling_summary(
         rows.push(row);
     }
     Json::obj().with("rows", Json::Arr(rows))
+}
+
+/// Powertrace aggregates over the grid: per-pair energy, peak power
+/// and run-level dominant component from each first-seed record's
+/// power block, plus grid-wide peak-power percentiles over *every*
+/// priced cell (seeds included — fault recovery changes a cell's
+/// power profile even though its first-seed timing is shared).
+fn power_summary(spec: &GridSpec, cells: &[Cell], slots: &[Option<RunRecord>]) -> Json {
+    let mut peaks: Vec<f64> = Vec::new();
+    let mut total_energy = 0.0;
+    let mut priced = 0usize;
+    for record in slots.iter().flatten() {
+        if let Some(power) = &record.power {
+            peaks.push(power.peak_power_w(record.elapsed.clock));
+        }
+        total_energy += record.energy_j();
+        priced += 1;
+    }
+    // total_cmp gives a total order (NaN-safe), keeping the document
+    // byte-deterministic whatever the records contain.
+    peaks.sort_by(f64::total_cmp);
+    let quantile = |sorted: &[f64], q: f64| -> f64 {
+        if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+
+    let mut rows = Vec::with_capacity(spec.pairs.len());
+    for pair in &spec.pairs {
+        let record = cells
+            .iter()
+            .position(|c| c.mapping == pair.mapping && c.platform == pair.platform)
+            .and_then(|i| slots[i].as_ref());
+        let Some(record) = record else { continue };
+        let mut row = Json::obj()
+            .with("mapping", pair.mapping.as_str())
+            .with("platform", pair.platform.as_str())
+            .with("energy_j", record.energy_j());
+        if let Some(power) = &record.power {
+            let run_energy = power.timeline.total_energy();
+            let attribution = desim::PhaseAttribution::attribute(&run_energy, 0.0, 0.0, 0.0);
+            row.set("epochs", power.timeline.epochs.len() as u64);
+            row.set("peak_power_w", power.peak_power_w(record.elapsed.clock));
+            row.set("dominant", attribution.dominant);
+            row.set("dominant_share", attribution.dominant_share);
+        }
+        rows.push(row);
+    }
+    Json::obj()
+        .with("cells_priced", priced as u64)
+        .with(
+            "energy_per_cell_j",
+            if priced > 0 {
+                total_energy / priced as f64
+            } else {
+                0.0
+            },
+        )
+        .with(
+            "peak_power_w",
+            Json::obj()
+                .with("p50", quantile(&peaks, 0.5))
+                .with("p95", quantile(&peaks, 0.95))
+                .with("max", peaks.last().copied().unwrap_or(0.0)),
+        )
+        .with("rows", Json::Arr(rows))
 }
 
 #[cfg(test)]
@@ -713,6 +782,36 @@ mod tests {
             rows[1].get("platform_cores").and_then(Json::as_u64),
             Some(64)
         );
+    }
+
+    #[test]
+    fn the_power_summary_aggregates_every_priced_cell() {
+        let spec = demo_spec();
+        let out = run_grid(&spec, 2, &CellCache::empty()).expect("grid runs");
+        let power = out.document.get("power").expect("power summary present");
+        assert_eq!(
+            power.get("cells_priced").and_then(Json::as_u64),
+            Some(4),
+            "all four cells priced"
+        );
+        assert!(
+            power
+                .get("energy_per_cell_j")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let peaks = power.get("peak_power_w").expect("percentile block");
+        let pct = |key: &str| peaks.get(key).and_then(Json::as_f64).unwrap();
+        assert!(pct("p50") > 0.0);
+        assert!(pct("p50") <= pct("p95") && pct("p95") <= pct("max"));
+        let rows = power.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2, "one row per pair");
+        for row in rows {
+            assert!(row.get("epochs").and_then(Json::as_u64).unwrap() > 0);
+            assert!(row.get("peak_power_w").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(row.get("dominant").and_then(Json::as_str).is_some());
+        }
     }
 
     #[test]

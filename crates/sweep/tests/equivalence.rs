@@ -44,6 +44,14 @@ fn canonical(record: &RunRecord, platform: &str) -> String {
     let mut record = record.clone();
     if wall_clock(platform) {
         record.elapsed = TimeSpan::new(Cycle(1), Frequency::ghz(1.0));
+        // The harness-synthesised power timeline closes its epochs at
+        // the wall-clock makespan, so it is neutralised the same way.
+        if let Some(power) = &mut record.power {
+            for e in &mut power.timeline.epochs {
+                e.start = Cycle::ZERO;
+                e.end = Cycle(1);
+            }
+        }
     }
     record.to_json().to_string_pretty()
 }

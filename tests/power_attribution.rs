@@ -1,0 +1,153 @@
+//! Powertrace invariants across the whole registry (DESIGN.md §3 S18).
+//!
+//! Every supported Mapping × Platform pair must close its energy
+//! books: a non-empty power timeline whose epochs telescope to the
+//! run energy, per-phase energy deltas that sum to the run total
+//! within 1e-9 relative, and — wherever an activity-based energy
+//! model exists — no phase priced at exactly zero joules (static
+//! power alone makes any phase with a span cost something).
+
+use sar_repro::sar_epiphany::{all_mappings, mapping_named};
+use sar_repro::sim_harness::{all_platforms, platform_named, run, Workload};
+
+const REL_TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= REL_TOL * b.abs().max(1.0),
+        "{what}: {a} vs {b}"
+    );
+}
+
+/// Every supported Mapping × Platform combination, by registry name.
+fn registered_pairs() -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    for m in all_mappings() {
+        for p in all_platforms() {
+            if m.supports(p.kind()) {
+                pairs.push((m.name().to_string(), p.label().to_string()));
+            }
+        }
+    }
+    assert!(pairs.len() >= 13, "registry shrank: {} pairs", pairs.len());
+    pairs
+}
+
+#[test]
+fn every_pair_closes_its_energy_books() {
+    for (mapping, platform) in registered_pairs() {
+        let m = mapping_named(&mapping).expect("registered mapping");
+        let p = platform_named(&platform).expect("registered platform");
+        let w = Workload::named(m.kernel(), true).expect("registered kernel");
+        let r = run(m.as_ref(), &w, p.as_ref())
+            .expect("supported pair runs")
+            .record;
+        let pair = format!("{mapping} x {platform}");
+        let total = r.energy_j();
+
+        // Phase deltas (including any synthetic "unattributed" phase)
+        // account for every joule of the run.
+        let phase_sum: f64 = r.phases.iter().map(|ph| ph.energy_j).sum();
+        close(phase_sum, total, &format!("{pair}: sum(phases.energy_j)"));
+
+        // The power block exists for every pair and its timeline
+        // telescopes to the same total.
+        let power = r
+            .power
+            .as_ref()
+            .unwrap_or_else(|| panic!("{pair}: v4 record carries no power block"));
+        assert!(
+            !power.timeline.is_empty(),
+            "{pair}: power timeline is empty"
+        );
+        close(
+            power.timeline.total_j(),
+            total,
+            &format!("{pair}: timeline total"),
+        );
+        let attributed: f64 = power.phases.iter().map(|ph| ph.energy.total_j()).sum();
+        close(attributed, total, &format!("{pair}: sum(power.phases)"));
+
+        // Phase records and their power entries stay index-aligned.
+        assert_eq!(
+            r.phases.len(),
+            power.phases.len(),
+            "{pair}: phase/power-phase count mismatch"
+        );
+        for (ph, pp) in r.phases.iter().zip(&power.phases) {
+            assert_eq!((ph.name.as_str(), ph.index), (pp.name.as_str(), pp.index));
+            close(
+                pp.energy.total_j(),
+                ph.energy_j,
+                &format!("{pair}: phase '{}' energy", ph.name),
+            );
+        }
+
+        // With a live energy model, no phase is priced at zero — and
+        // with datasheet power, pricing is power × time everywhere.
+        if r.energy.is_modelled() {
+            for ph in &r.phases {
+                assert!(
+                    ph.energy_j > 0.0,
+                    "{pair}: phase '{}[{}]' carries zero energy under a live model",
+                    ph.name,
+                    ph.index
+                );
+            }
+        } else if r.power_w > 0.0 {
+            for ph in &r.phases {
+                assert!(
+                    ph.energy_j > 0.0 || ph.time_ms == 0.0,
+                    "{pair}: datasheet-priced phase '{}[{}]' with time but no energy",
+                    ph.name,
+                    ph.index
+                );
+            }
+        }
+
+        // Attribution sanity: shares and fractions are finite and the
+        // dominant share is a share.
+        for pp in &power.phases {
+            let a = &pp.attribution;
+            assert!(
+                (0.0..=1.0).contains(&a.dominant_share),
+                "{pair}: dominant_share {}",
+                a.dominant_share
+            );
+            assert!(
+                (0.0..=1.0).contains(&a.compute_fraction)
+                    && (0.0..=1.0).contains(&a.stall_fraction),
+                "{pair}: fractions out of range"
+            );
+            // busiest_link_fraction may legitimately exceed 1 (posted
+            // write tails); the flag must agree with the value.
+            assert_eq!(
+                a.busiest_link_over_unity,
+                a.busiest_link_fraction > 1.0,
+                "{pair}: over-unity flag disagrees with the fraction"
+            );
+        }
+    }
+}
+
+#[test]
+fn timeline_peaks_bound_average_power() {
+    for (mapping, platform) in registered_pairs() {
+        let m = mapping_named(&mapping).expect("registered mapping");
+        let p = platform_named(&platform).expect("registered platform");
+        let w = Workload::named(m.kernel(), true).expect("registered kernel");
+        let r = run(m.as_ref(), &w, p.as_ref())
+            .expect("supported pair runs")
+            .record;
+        let power = r.power.as_ref().expect("power block");
+        let peak = power.peak_power_w(r.elapsed.clock);
+        let avg = r.avg_power_w();
+        // Synthesised timelines quantise phase times to whole cycles,
+        // so allow that rounding (≲1e-6 relative on small runs) before
+        // insisting the peak bounds the average.
+        assert!(
+            peak + 1e-12 >= avg * (1.0 - 1e-3),
+            "{mapping} x {platform}: peak {peak} W below average {avg} W"
+        );
+    }
+}

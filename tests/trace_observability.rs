@@ -90,6 +90,35 @@ fn spmd_trace_has_all_core_tracks_and_mesh_link_tracks() {
 }
 
 #[test]
+fn trace_exports_per_component_power_counter_tracks() {
+    let (_, json) = traced_spmd_run();
+    let doc = Json::parse(&json).expect("trace must parse");
+    let mut counter_names = std::collections::BTreeSet::new();
+    for e in events(&doc) {
+        if e.get("ph").and_then(Json::as_str) == Some("C") {
+            let name = e.get("name").and_then(Json::as_str).expect("counter name");
+            counter_names.insert(name.to_string());
+        }
+    }
+    // The cumulative-energy counter plus one average-power track per
+    // energy component, sampled at every phase boundary.
+    for name in [
+        "energy_j",
+        "power_compute_w",
+        "power_sram_w",
+        "power_mesh_w",
+        "power_elink_w",
+        "power_sdram_w",
+        "power_static_w",
+    ] {
+        assert!(
+            counter_names.contains(name),
+            "missing counter track '{name}' (have {counter_names:?})"
+        );
+    }
+}
+
+#[test]
 fn heatmap_accounts_for_every_byte_hop() {
     let (record, _) = traced_spmd_run();
     let heatmap = record.mesh_heatmap.as_ref().expect("epiphany heatmap");
