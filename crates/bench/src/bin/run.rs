@@ -7,15 +7,18 @@
 //! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
 //!     [--workload ffbp|autofocus] [--placement neighbor|scattered] \
 //!     [--faults spec.json] [--seed N] \
-//!     [--small] [--json] [--list] [--analyze] [--trace out.json] [--heatmap] \
-//!     [--power]
+//!     [--small] [--json] [--list] [--analyze] [--cost] [--trace out.json] \
+//!     [--heatmap] [--power]
 //! ```
 //!
 //! Omitted selectors mean "all": with no flags the runner executes
 //! every supported mapping × platform pair on its kernel's workload.
 //! `--list` prints the registries and exits. `--analyze` runs the
 //! `sarlint` static checks on each pair first and *refuses to
-//! simulate* any pair with a hard diagnostic (exit 1). `--trace P`
+//! simulate* any pair with a hard diagnostic (exit 1); adding `--cost`
+//! also prices each simulated pair with the static cost model and
+//! prints the predicted bounds next to the simulated result
+//! (presentation only — the records are unchanged). `--trace P`
 //! exports a Chrome `trace_event` timeline per executed pair (the
 //! first pair writes `P`, later ones `P` with `-1`, `-2`, … before the
 //! extension); `--heatmap` prints the per-link mesh table after each
@@ -234,6 +237,24 @@ fn main() {
                 r.record.power_w,
                 r.record.energy_j()
             ));
+            if h.flag("analyze") && h.flag("cost") {
+                let (c, _lints) = sarlint::cost::cost_pair(m.as_ref(), &workload, p.as_ref());
+                if c.bounded {
+                    let cycles = r.record.elapsed.cycles.raw() as f64;
+                    let energy = r.record.energy_j();
+                    h.say(format_args!(
+                        "  {} — simulated {cycles:.3e} cycles / {energy:.6} J ({})",
+                        c.summary(),
+                        if c.cycles.contains(cycles) && c.total_j.contains(energy) {
+                            "within bounds"
+                        } else {
+                            "OUTSIDE BOUNDS"
+                        }
+                    ));
+                } else {
+                    h.say(format_args!("  {}", c.summary()));
+                }
+            }
             if r.record.faults.any() {
                 let f = &r.record.faults;
                 h.say(format_args!(

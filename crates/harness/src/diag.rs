@@ -140,6 +140,17 @@ impl Report {
     pub fn has_code(&self, code: &str) -> bool {
         self.diagnostics.iter().any(|d| d.code == code)
     }
+
+    /// Sort findings by `(code, subject, severity, message)` and drop
+    /// exact duplicates, so a rendered report is byte-stable no matter
+    /// what order the analysis passes emitted in.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.code, &a.subject, a.severity, &a.message)
+                .cmp(&(b.code, &b.subject, b.severity, &b.message))
+        });
+        self.diagnostics.dedup();
+    }
 }
 
 impl fmt::Display for Report {
@@ -171,6 +182,25 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.hard_count(), 1);
         assert!(r.has_code("SL001") && !r.has_code("SL002"));
+    }
+
+    #[test]
+    fn normalize_orders_by_code_then_subject_and_dedups() {
+        let mut r = Report::new();
+        r.push(Diagnostic::warning("SL005", "ch_b", "far"));
+        r.push(Diagnostic::hard("SL001", "buf", "overflow"));
+        r.push(Diagnostic::warning("SL005", "ch_a", "far"));
+        r.push(Diagnostic::hard("SL001", "buf", "overflow")); // duplicate
+        r.normalize();
+        let order: Vec<_> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.subject.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![("SL001", "buf"), ("SL005", "ch_a"), ("SL005", "ch_b")]
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub use desim::{PhaseRecord, RunRecord, RUN_RECORD_VERSION};
 pub use diag::{Diagnostic, Report, Severity};
 pub use faultsim::{FaultPlan, FaultState};
 pub use mapping::{run, run_ctx, run_traced, HarnessError, Mapping, MappingRun, RunContext};
-pub use model::{BarrierDecl, BufferDecl, ChannelDecl, FlagDecl, ProgramModel};
+pub use model::{
+    BarrierDecl, Bound, BufferDecl, ChannelDecl, FlagDecl, PhaseDecl, ProgramModel, TrafficDecl,
+    WorkDecl,
+};
 pub use platform::{
     all_platforms, platform_named, EpiphanyPlatform, HostPlatform, Platform, PlatformKind,
     RefCpuPlatform, EPIPHANY_POWER_W, INTEL_POWER_W,

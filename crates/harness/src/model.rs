@@ -9,6 +9,157 @@
 //! steady-state round of the mapping (one merge iteration, one
 //! hypothesis) — the analyzer's invariants are all per-round.
 
+use desim::OpCounts;
+
+/// An inclusive numeric interval `[lo, hi]` — the declaration language
+/// of the static cost model (DESIGN.md §3 S19). Everything a mapping
+/// cannot pin exactly (data-dependent off-chip misses, poll counts) is
+/// declared as a bound; everything it can is declared with `exact`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Bound {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Inclusive upper edge.
+    pub hi: f64,
+}
+
+impl Bound {
+    /// A degenerate interval `[v, v]`.
+    pub fn exact(v: f64) -> Bound {
+        Bound { lo: v, hi: v }
+    }
+
+    /// The interval `[lo, hi]`.
+    pub fn range(lo: f64, hi: f64) -> Bound {
+        Bound { lo, hi }
+    }
+
+    /// The additive identity `[0, 0]`.
+    pub fn zero() -> Bound {
+        Bound::default()
+    }
+
+    /// Both edges scaled by a non-negative factor.
+    pub fn scaled(self, k: f64) -> Bound {
+        Bound {
+            lo: self.lo * k,
+            hi: self.hi * k,
+        }
+    }
+
+    /// Whether `v` falls inside the interval, with a small relative
+    /// slack so float round-off on the edges does not flip a verdict.
+    pub fn contains(&self, v: f64) -> bool {
+        let slack = 1e-9 * self.hi.abs().max(v.abs()).max(1.0);
+        self.lo - slack <= v && v <= self.hi + slack
+    }
+
+    /// Midpoint of the interval.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Interval sum: both edges added independently.
+impl std::ops::Add for Bound {
+    type Output = Bound;
+
+    fn add(self, other: Bound) -> Bound {
+        Bound {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Bound {
+    fn add_assign(&mut self, other: Bound) {
+        *self = *self + other;
+    }
+}
+
+/// One core's declared work per round of a phase: compute op counts
+/// (as a `[lo, hi]` pair of [`OpCounts`]) plus the off-chip and
+/// synchronisation traffic the core itself initiates. On-chip
+/// core-to-core traffic lives in [`TrafficDecl`], not here.
+#[derive(Debug, Clone, Default)]
+pub struct WorkDecl {
+    /// Row-major node id of the core doing the work.
+    pub core: usize,
+    /// Lower edge of the per-round op counts.
+    pub ops_lo: OpCounts,
+    /// Upper edge of the per-round op counts.
+    pub ops_hi: OpCounts,
+    /// `compute()` invocations per round (ceil-granularity slack in
+    /// the cycle model accrues per call).
+    pub compute_calls: Bound,
+    /// Flag waits per round (each costs between 1 and 64 polls).
+    pub flag_waits: Bound,
+    /// Off-chip read payload bytes per round.
+    pub ext_read_bytes: Bound,
+    /// Off-chip read transactions per round.
+    pub ext_read_msgs: Bound,
+    /// Off-chip write payload bytes per round.
+    pub ext_write_bytes: Bound,
+    /// Off-chip write transactions per round.
+    pub ext_write_msgs: Bound,
+    /// DMA payload bytes (external -> local) per round.
+    pub dma_bytes: Bound,
+    /// DMA transfers per round.
+    pub dma_msgs: Bound,
+    /// Reference-CPU demand memory accesses (cache-line touches) per
+    /// round; ignored by the Epiphany model.
+    pub mem_accesses: Bound,
+}
+
+impl WorkDecl {
+    /// An all-zero declaration for `core`.
+    pub fn new(core: usize) -> WorkDecl {
+        WorkDecl {
+            core,
+            ..WorkDecl::default()
+        }
+    }
+
+    /// Declare the op counts exactly (lower = upper = `ops`).
+    pub fn exact_ops(&mut self, ops: OpCounts) {
+        self.ops_lo = ops;
+        self.ops_hi = ops;
+    }
+}
+
+/// Declared on-chip traffic over one directed core pair per round:
+/// posted remote writes (including reliable sends), which the mesh
+/// routes X-first-then-Y.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficDecl {
+    /// Producing core (row-major node id).
+    pub from: usize,
+    /// Consuming core.
+    pub to: usize,
+    /// Messages per round.
+    pub messages: Bound,
+    /// Total payload bytes per round (headers are the model's job).
+    pub bytes: Bound,
+}
+
+/// One phase of the mapping's execution: `rounds` repetitions of the
+/// declared per-core work, on-chip traffic and barriers. Phases run
+/// back to back, so per-phase bounds sum to run bounds.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseDecl {
+    /// Phase name, matching the driver's `phase_begin` label.
+    pub name: String,
+    /// How many rounds the phase executes.
+    pub rounds: u64,
+    /// Per-core work per round.
+    pub work: Vec<WorkDecl>,
+    /// On-chip traffic per round.
+    pub traffic: Vec<TrafficDecl>,
+    /// Barriers per round (all declared cores participate).
+    pub barriers: u64,
+}
+
 /// One live buffer in a core's local store.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferDecl {
@@ -91,6 +242,16 @@ pub struct ProgramModel {
     pub flags: Vec<FlagDecl>,
     /// Barriers.
     pub barriers: Vec<BarrierDecl>,
+    /// Per-phase workload declarations for the static cost model.
+    /// Empty means "structure only": the capacity/deadlock checks
+    /// still run but cost bounds are unavailable.
+    pub workload: Vec<PhaseDecl>,
+    /// Dual-issue pairing efficiency override for the cost model's
+    /// cycle lowering; `None` means the platform default.
+    pub pairing_efficiency: Option<f64>,
+    /// Sustained-IPC override for reference-CPU cost lowering; `None`
+    /// means the platform default.
+    pub sustained_ipc: Option<f64>,
 }
 
 impl ProgramModel {
@@ -166,6 +327,22 @@ impl ProgramModel {
             matched += 1;
         }
         matched
+    }
+
+    /// Declare a workload phase and return it for filling in.
+    pub fn phase(&mut self, name: impl Into<String>, rounds: u64) -> &mut PhaseDecl {
+        self.workload.push(PhaseDecl {
+            name: name.into(),
+            rounds,
+            ..PhaseDecl::default()
+        });
+        self.workload.last_mut().expect("just pushed")
+    }
+
+    /// Whether the model carries workload declarations (cost bounds
+    /// are only available when it does).
+    pub fn has_workload(&self) -> bool {
+        !self.workload.is_empty()
     }
 
     /// `(x, y)` mesh coordinates of row-major node `core`.

@@ -76,6 +76,9 @@ impl Mapping for FfbpRefMapping {
             best: None,
         })
     }
+    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
+        workload.ffbp().map(crate::program_model::ffbp_ref_model)
+    }
 }
 
 /// FFBP on one Epiphany core (Table I row 2).
@@ -111,10 +114,10 @@ impl Mapping for FfbpSeqMapping {
             best: None,
         })
     }
-    fn program_model(&self, _workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
-        Some(crate::program_model::ffbp_seq_model(platform_mesh(
-            platform,
-        )))
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .ffbp()
+            .map(|w| crate::program_model::ffbp_seq_model(w, platform_mesh(platform)))
     }
 }
 
@@ -257,6 +260,11 @@ impl Mapping for AutofocusRefMapping {
             best: Some(r.best),
         })
     }
+    fn program_model(&self, workload: &Workload, _platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .autofocus()
+            .map(crate::program_model::autofocus_ref_model)
+    }
 }
 
 /// Autofocus on one Epiphany core (Table I row 5).
@@ -293,10 +301,10 @@ impl Mapping for AutofocusSeqMapping {
             best: Some(r.best),
         })
     }
-    fn program_model(&self, _workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
-        Some(crate::program_model::autofocus_seq_model(platform_mesh(
-            platform,
-        )))
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .autofocus()
+            .map(|w| crate::program_model::autofocus_seq_model(w, platform_mesh(platform)))
     }
 }
 

@@ -11,10 +11,17 @@
 //! or a channel must update its model, and the analyzer (plus the
 //! dynamic trace cross-check) catches the drift.
 
+use desim::OpCounts;
 use epiphany::Chip;
-use sim_harness::{BarrierDecl, FlagDecl, ProgramModel};
+use sar_core::autofocus::criterion::{BeamStageOut, RangeStageOut};
+use sar_core::autofocus::{beam_stage, correlate_partial, focus_criterion, range_stage};
+use sar_core::ffbp::merge::combine_sample_with_lookup;
+use sar_core::ffbp::pipeline::stage0;
+use sim_harness::{BarrierDecl, Bound, FlagDecl, ProgramModel, TrafficDecl, WorkDecl};
 
 use crate::autofocus_mpmd::Placement;
+use crate::autofocus_ref::AUTOFOCUS_SUSTAINED_IPC;
+use crate::autofocus_seq::AUTOFOCUS_PAIRING;
 use crate::ffbp_spmd::SpmdOptions;
 use crate::layout::{ExternalLayout, BANK_CHILD_A, BANK_CHILD_B};
 use crate::workloads::{AutofocusWorkload, FfbpWorkload};
@@ -23,12 +30,96 @@ use crate::workloads::{AutofocusWorkload, FfbpWorkload};
 /// 6x6 block of complex pixels, as DMA'd by the pipeline drivers).
 pub const AUTOFOCUS_BLOCK_BYTES: u32 = 288;
 
+/// Op counts of one `combine_sample` call under the workload's
+/// interpolation and phase-correction settings. The kernel's counts
+/// are data-independent, so a single probe on the first stage-0 pair
+/// is exact for every sample of the run — the declaration can never
+/// drift from the kernel, because it *is* the kernel.
+fn probe_combine_sample(w: &FfbpWorkload) -> OpCounts {
+    let stage = stage0(&w.data, &w.geom);
+    let (a, b) = (&stage[0], &stage[1]);
+    let out_grid = a.grid.refined();
+    let mut counts = OpCounts::default();
+    combine_sample_with_lookup(
+        a,
+        b,
+        &w.geom,
+        w.geom.bin_range(0),
+        out_grid.beam_theta(0),
+        b.center_y - a.center_y,
+        w.config.interp,
+        w.config.phase_correct,
+        &mut counts,
+    );
+    counts
+}
+
+/// Op counts of the SPMD driver's per-row prefetch geometry probe
+/// (one `merge_geometry` call) — also data-independent.
+fn probe_merge_geometry() -> OpCounts {
+    let mut counts = OpCounts::default();
+    sar_core::geometry::merge_geometry(1.0, 0.0, 1.0, &mut counts);
+    counts
+}
+
+/// Op counts of one hypothesis of the whole staged autofocus
+/// criterion (what the sequential drivers charge per hypothesis).
+fn probe_focus_criterion(w: &AutofocusWorkload) -> OpCounts {
+    let mut counts = OpCounts::default();
+    focus_criterion(&w.f_minus, &w.f_plus, 0.0, &w.config, &mut counts);
+    counts
+}
+
+/// Op counts of one `range_stage`, one `beam_stage` and one
+/// `correlate_partial` call — the per-firing work of the three
+/// pipeline stages. All three are data-independent.
+fn probe_autofocus_stages(w: &AutofocusWorkload) -> (OpCounts, OpCounts, OpCounts) {
+    let cfg = &w.config;
+    let mut scratch = OpCounts::default();
+    let r: [RangeStageOut; 3] = [
+        range_stage(&w.f_minus, 0, 0.0, 0, cfg, &mut scratch),
+        range_stage(&w.f_minus, 1, 0.0, 0, cfg, &mut scratch),
+        range_stage(&w.f_minus, 2, 0.0, 0, cfg, &mut scratch),
+    ];
+    let mut range_counts = OpCounts::default();
+    range_stage(&w.f_minus, 0, 0.0, 0, cfg, &mut range_counts);
+    let b: [BeamStageOut; 3] = [
+        beam_stage(&r, 0, 0.0, 0, cfg, &mut scratch),
+        beam_stage(&r, 1, 0.0, 0, cfg, &mut scratch),
+        beam_stage(&r, 2, 0.0, 0, cfg, &mut scratch),
+    ];
+    let mut beam_counts = OpCounts::default();
+    beam_stage(&r, 0, 0.0, 0, cfg, &mut beam_counts);
+    let mut corr_counts = OpCounts::default();
+    correlate_partial(&b, &b, &mut corr_counts);
+    (range_counts, beam_counts, corr_counts)
+}
+
 /// FFBP on one Epiphany core: core 0 streams every contributing
 /// element from external memory — no prefetch buffers, no channels.
 /// `mesh` is the target platform's geometry.
-pub fn ffbp_seq_model(mesh: (u16, u16)) -> ProgramModel {
+pub fn ffbp_seq_model(w: &FfbpWorkload, mesh: (u16, u16)) -> ProgramModel {
     let mut m = ProgramModel::new(mesh.0, mesh.1);
     m.cores = vec![0];
+    let layout = ExternalLayout::new(w.geom.num_pulses as u32, w.geom.num_bins as u32);
+    let pixels = w.pixels() as f64;
+    let rows = w.geom.num_pulses as f64;
+    let beam_bytes = layout.beam_bytes() as f64;
+    let per_sample = probe_combine_sample(w);
+    let iters = u64::from(w.geom.merge_iterations());
+
+    let mut wd = WorkDecl::new(0);
+    wd.exact_ops(per_sample.scaled(w.pixels()));
+    wd.compute_calls = Bound::exact(rows);
+    // Each output sample fetches its in-swath contributors (of two
+    // candidates) with blocking 8 B reads; edge samples can fall out
+    // of one or both child swaths.
+    wd.ext_read_msgs = Bound::range(0.0, 2.0 * pixels);
+    wd.ext_read_bytes = Bound::range(0.0, 16.0 * pixels);
+    wd.ext_write_msgs = Bound::exact(rows);
+    wd.ext_write_bytes = Bound::exact(rows * beam_bytes);
+    let ph = m.phase("merge", iters);
+    ph.work.push(wd);
     m
 }
 
@@ -85,15 +176,67 @@ pub fn ffbp_spmd_model(w: &FfbpWorkload, opts: &SpmdOptions, mesh: (u16, u16)) -
         participants: m.cores.clone(),
         arrivals: m.cores.clone(),
     });
+
+    // Workload: rows (output beams) are dealt round-robin over the
+    // subgrid, so the core at deal position `p` owns exactly
+    // `floor(P/n) + (p < P mod n)` rows per merge iteration.
+    let pulses = w.geom.num_pulses;
+    let bins = w.geom.num_bins as f64;
+    let n_active = m.cores.len();
+    let per_sample = probe_combine_sample(w);
+    let per_row_probe = probe_merge_geometry();
+    let beam_bytes = layout.beam_bytes() as f64;
+    let iters = u64::from(w.geom.merge_iterations());
+    let cores = m.cores.clone();
+    let ph = m.phase("merge", iters);
+    for (p, &c) in cores.iter().enumerate() {
+        let rows = (pulses / n_active + usize::from(p < pulses % n_active)) as u64;
+        let rows_f = rows as f64;
+        let mut wd = WorkDecl::new(c);
+        let mut ops = per_sample.scaled(rows * w.geom.num_bins as u64);
+        ops.add(&per_row_probe.scaled(rows));
+        wd.exact_ops(ops);
+        wd.compute_calls = Bound::exact(if opts.prefetch { 2.0 * rows_f } else { rows_f });
+        if opts.prefetch {
+            // Zero to two child beams prefetched per row, depending on
+            // which children the mid-range probe lands in.
+            wd.dma_msgs = Bound::range(0.0, 2.0 * rows_f);
+            wd.dma_bytes = Bound::range(0.0, 2.0 * rows_f * beam_bytes);
+        }
+        // Every contributing element the prefetch misses is a blocking
+        // 8 B external read.
+        wd.ext_read_msgs = Bound::range(0.0, 2.0 * rows_f * bins);
+        wd.ext_read_bytes = Bound::range(0.0, 16.0 * rows_f * bins);
+        wd.ext_write_msgs = Bound::exact(rows_f);
+        wd.ext_write_bytes = Bound::exact(rows_f * beam_bytes);
+        wd.flag_waits = Bound::exact(1.0); // posted-write drain
+        ph.work.push(wd);
+    }
+    ph.barriers = 1;
     m
 }
 
 /// Autofocus on one Epiphany core: one DMA'd block pair in an upper
 /// bank, everything else register/stack traffic.
-pub fn autofocus_seq_model(mesh: (u16, u16)) -> ProgramModel {
+pub fn autofocus_seq_model(w: &AutofocusWorkload, mesh: (u16, u16)) -> ProgramModel {
     let mut m = ProgramModel::new(mesh.0, mesh.1);
     m.cores = vec![0];
     m.buffer("block_pair", 0, BANK_CHILD_A, 0, 2 * AUTOFOCUS_BLOCK_BYTES);
+    m.pairing_efficiency = Some(AUTOFOCUS_PAIRING);
+
+    let setup = m.phase("setup", 1);
+    let mut wd = WorkDecl::new(0);
+    wd.dma_msgs = Bound::exact(1.0);
+    wd.dma_bytes = Bound::exact(f64::from(2 * AUTOFOCUS_BLOCK_BYTES));
+    setup.work.push(wd);
+
+    let ph = m.phase("hypothesis", w.hypotheses as u64);
+    let mut wd = WorkDecl::new(0);
+    wd.exact_ops(probe_focus_criterion(w));
+    wd.compute_calls = Bound::exact(1.0);
+    wd.ext_write_msgs = Bound::exact(1.0);
+    wd.ext_write_bytes = Bound::exact(8.0);
+    ph.work.push(wd);
     m
 }
 
@@ -111,6 +254,17 @@ pub fn autofocus_pipeline_model(
     w: &AutofocusWorkload,
     place: &Placement,
     mesh: (u16, u16),
+) -> ProgramModel {
+    // The streams network waits once per firing — range actors wait on
+    // their command tokens too, unlike the hand-written MPMD driver.
+    pipeline_model_with(w, place, mesh, 3.0)
+}
+
+fn pipeline_model_with(
+    w: &AutofocusWorkload,
+    place: &Placement,
+    mesh: (u16, u16),
+    range_waits_per_hyp: f64,
 ) -> ProgramModel {
     let mut m = ProgramModel::new(mesh.0, mesh.1);
     // Placements use canonical E16G3 (4-column) ids; the model mirrors
@@ -173,6 +327,61 @@ pub fn autofocus_pipeline_model(
             );
         }
     }
+
+    // Workload: six range-core DMAs up front, then per hypothesis
+    // three iterations of range -> beam -> correlate, every stage's
+    // per-firing op counts probed from the kernels themselves.
+    m.pairing_efficiency = Some(AUTOFOCUS_PAIRING);
+    let (range_ops, beam_ops, corr_ops) = probe_autofocus_stages(w);
+    let setup = m.phase("setup", 1);
+    for range_cores in &place.range {
+        for &rc in range_cores {
+            let mut wd = WorkDecl::new(rc);
+            wd.dma_msgs = Bound::exact(1.0);
+            wd.dma_bytes = Bound::exact(f64::from(AUTOFOCUS_BLOCK_BYTES));
+            setup.work.push(wd);
+        }
+    }
+    let ph = m.phase("hypothesis", w.hypotheses as u64);
+    for (blk, range_cores) in place.range.iter().enumerate() {
+        for &rc in range_cores {
+            let mut wd = WorkDecl::new(rc);
+            wd.exact_ops(range_ops.scaled(3));
+            wd.compute_calls = Bound::exact(3.0);
+            wd.flag_waits = Bound::exact(range_waits_per_hyp);
+            ph.work.push(wd);
+            for &bc in &place.beam[blk] {
+                ph.traffic.push(TrafficDecl {
+                    from: rc,
+                    to: bc,
+                    messages: Bound::exact(3.0),
+                    bytes: Bound::exact(3.0 * f64::from(range_msg)),
+                });
+            }
+        }
+    }
+    for beam_cores in &place.beam {
+        for &bc in beam_cores {
+            let mut wd = WorkDecl::new(bc);
+            wd.exact_ops(beam_ops.scaled(3));
+            wd.compute_calls = Bound::exact(3.0);
+            wd.flag_waits = Bound::exact(3.0);
+            ph.work.push(wd);
+            ph.traffic.push(TrafficDecl {
+                from: bc,
+                to: place.corr,
+                messages: Bound::exact(3.0),
+                bytes: Bound::exact(3.0 * f64::from(beam_msg)),
+            });
+        }
+    }
+    let mut wd = WorkDecl::new(place.corr);
+    wd.exact_ops(corr_ops.scaled(3));
+    wd.compute_calls = Bound::exact(3.0);
+    wd.flag_waits = Bound::exact(3.0);
+    wd.ext_write_msgs = Bound::exact(1.0);
+    wd.ext_write_bytes = Bound::exact(8.0);
+    ph.work.push(wd);
     m
 }
 
@@ -188,10 +397,51 @@ pub fn autofocus_mpmd_model(
     place: &Placement,
     mesh: (u16, u16),
 ) -> ProgramModel {
-    let mut m = autofocus_pipeline_model(w, place, mesh);
+    // The hand-written driver's range cores never wait — they fire as
+    // soon as the host loop reaches them.
+    let mut m = pipeline_model_with(w, place, mesh, 0.0);
     let covered = m.declare_recovery("range", "retry_backoff+drain_restart")
         + m.declare_recovery("beam", "retry_backoff+drain_restart");
     debug_assert!(covered > 0, "the pipeline's channels must match");
+    m
+}
+
+/// FFBP on the single-core reference CPU: no mesh, no banks — the
+/// model exists purely for its workload declarations, so the cost
+/// model can bracket the i7 rows of Table I too.
+pub fn ffbp_ref_model(w: &FfbpWorkload) -> ProgramModel {
+    let mut m = ProgramModel::new(1, 1);
+    m.cores = vec![0];
+    let pixels = w.pixels() as f64;
+    let rows = w.geom.num_pulses as f64;
+    let per_sample = probe_combine_sample(w);
+    let ph = m.phase("merge", u64::from(w.geom.merge_iterations()));
+    let mut wd = WorkDecl::new(0);
+    wd.exact_ops(per_sample.scaled(w.pixels()));
+    wd.compute_calls = Bound::exact(rows);
+    // Per sample: one 8 B result write always, plus zero to two
+    // in-swath demand reads — each touching one cache line.
+    wd.mem_accesses = Bound::range(pixels, 3.0 * pixels);
+    ph.work.push(wd);
+    m
+}
+
+/// Autofocus on the single-core reference CPU.
+pub fn autofocus_ref_model(w: &AutofocusWorkload) -> ProgramModel {
+    let mut m = ProgramModel::new(1, 1);
+    m.cores = vec![0];
+    m.sustained_ipc = Some(AUTOFOCUS_SUSTAINED_IPC);
+    let setup = m.phase("setup", 1);
+    let mut wd = WorkDecl::new(0);
+    // Two 288 B block reads, five 64 B lines each.
+    wd.mem_accesses = Bound::exact(10.0);
+    setup.work.push(wd);
+    let ph = m.phase("hypothesis", w.hypotheses as u64);
+    let mut wd = WorkDecl::new(0);
+    wd.exact_ops(probe_focus_criterion(w));
+    wd.compute_calls = Bound::exact(1.0);
+    wd.mem_accesses = Bound::exact(1.0); // the 8 B criterion write-back
+    ph.work.push(wd);
     m
 }
 

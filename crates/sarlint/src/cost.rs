@@ -1,0 +1,804 @@
+//! Check 6 — the contention-aware static cost model (`SL013`–`SL015`,
+//! DESIGN.md §3 S19): turn a mapping's per-phase workload declarations
+//! ([`sim_harness::PhaseDecl`]) into *guaranteed* lower/upper bounds on
+//! makespan and per-component energy, priced with the exact datasheet
+//! constants the simulator uses ([`EpiphanyParams`], [`RefCpuParams`])
+//! and the same XY-routed mesh geometry ([`emesh`]).
+//!
+//! The bound arguments:
+//!
+//! * **lower** — per phase, the makespan is at least the largest of
+//!   (a) any single core's serial work (compute issue slots under
+//!   pairing, blocking-read round trips, write/DMA issue, minimum poll
+//!   and barrier costs), (b) any single directed mesh link's total
+//!   serialization under XY routing, and (c) the eLink's total
+//!   occupancy. Each is a per-resource busy total, so the max is sound
+//!   even when rounds overlap across cores.
+//! * **upper** — every cycle of the phase is attributable to a counted
+//!   term on some work-conserving resource: the sum over cores of
+//!   worst-case serial work (row-miss round trips, full poll caps,
+//!   write backpressure allowances) plus every declared transfer's
+//!   flight latency and per-link serialization bounds the makespan.
+//!
+//! Energy bounds mirror [`epiphany::EnergyModel`] term by term:
+//! lowered FPU/IALU-LS issue slots (plus 1–64 spin polls per flag
+//! wait), local-store accesses, wire-byte×hop products on the three
+//! meshes (8-byte headers included, as the fabric charges them), and
+//! payload bytes through the eLink/SDRAM. Static power integrates the
+//! makespan bound. The reference CPU prices compute at sustained IPC
+//! with latency-priced special functions, brackets memory stalls
+//! between all-L1 and all-DRAM at the declared cache-line touch
+//! counts, and carries the paper's flat 17.5 W datasheet power.
+
+use std::collections::HashMap;
+
+use desim::{Json, OpCounts};
+use emesh::{route_xy, Mesh2D};
+use epiphany::EpiphanyParams;
+use refcpu::RefCpuParams;
+use sim_harness::{
+    Bound, Diagnostic, Mapping, PhaseDecl, Platform, PlatformKind, ProgramModel, Report, Workload,
+};
+
+/// A per-round link occupancy above this multiple of the busiest
+/// core's compute midpoint is flagged `SL013` (the mesh, not the
+/// cores, paces the phase).
+pub const LINK_OVERSUBSCRIPTION_RATIO: f64 = 1.0;
+
+/// A per-round eLink/SDRAM occupancy above this multiple of the
+/// busiest core's compute midpoint is flagged `SL014` (the off-chip
+/// wall: the phase cannot go faster than the eLink drains).
+pub const OFFCHIP_WALL_RATIO: f64 = 1.0;
+
+/// Max/mean per-core serial-work midpoint ratio above which a phase is
+/// flagged `SL015` (load imbalance leaves cores idle).
+pub const IMBALANCE_RATIO: f64 = 2.0;
+
+/// Cost bounds for one declared phase (totals across all its rounds
+/// for `cycles`; the structural components are per round).
+#[derive(Debug, Clone)]
+pub struct PhaseCost {
+    /// Phase name from the declaration.
+    pub name: String,
+    /// Rounds the phase executes.
+    pub rounds: u64,
+    /// Makespan bound for the whole phase (all rounds), cycles.
+    pub cycles: Bound,
+    /// Busiest single core's serial work per round, cycles.
+    pub compute: Bound,
+    /// Busiest directed mesh link's serialization per round, cycles.
+    pub link: Bound,
+    /// eLink occupancy per round, cycles (memory-stall bound on the
+    /// reference CPU).
+    pub offchip: Bound,
+    /// Per-core serial-work midpoints per round `(core, cycles)`, for
+    /// the imbalance lint.
+    pub per_core_mid: Vec<(usize, f64)>,
+}
+
+/// Static lower/upper bounds on a whole run, in the same component
+/// decomposition as [`desim::record::EnergyRecord`].
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Whether bounds exist at all. `false` for wall-clock platforms
+    /// and model-less mappings: `cycles`/`total_j` are then `[0, inf)`.
+    pub bounded: bool,
+    /// Makespan, cycles.
+    pub cycles: Bound,
+    /// Makespan, seconds.
+    pub seconds: Bound,
+    /// FPU + IALU/LS issue energy, joules.
+    pub compute_j: Bound,
+    /// Local-store access energy, joules.
+    pub sram_j: Bound,
+    /// Mesh wire-byte×hop energy, joules.
+    pub mesh_j: Bound,
+    /// eLink payload energy, joules.
+    pub elink_j: Bound,
+    /// SDRAM payload energy, joules.
+    pub sdram_j: Bound,
+    /// Leakage + datasheet-priced energy over the makespan, joules.
+    pub static_j: Bound,
+    /// Sum of the components, joules.
+    pub total_j: Bound,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseCost>,
+}
+
+impl CostReport {
+    /// The vacuous report: nothing claimed, so the only sound bounds
+    /// are `[0, inf)` for time and energy.
+    pub fn unbounded() -> CostReport {
+        let open = Bound::range(0.0, f64::INFINITY);
+        CostReport {
+            bounded: false,
+            cycles: open,
+            seconds: open,
+            compute_j: Bound::zero(),
+            sram_j: Bound::zero(),
+            mesh_j: Bound::zero(),
+            elink_j: Bound::zero(),
+            sdram_j: Bound::zero(),
+            static_j: Bound::zero(),
+            total_j: open,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Serialise for `--json` output. Infinite edges render as `null`
+    /// (JSON has no `inf`).
+    pub fn to_json(&self) -> Json {
+        fn bound(b: Bound) -> Json {
+            let edge = |v: f64| {
+                if v.is_finite() {
+                    Json::from(v)
+                } else {
+                    Json::Null
+                }
+            };
+            Json::obj().with("lo", edge(b.lo)).with("hi", edge(b.hi))
+        }
+        let phases: Vec<Json> = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("name", p.name.as_str())
+                    .with("rounds", p.rounds)
+                    .with("cycles", bound(p.cycles))
+                    .with("compute_per_round", bound(p.compute))
+                    .with("link_per_round", bound(p.link))
+                    .with("offchip_per_round", bound(p.offchip))
+            })
+            .collect();
+        Json::obj()
+            .with("bounded", self.bounded)
+            .with("cycles", bound(self.cycles))
+            .with("seconds", bound(self.seconds))
+            .with(
+                "energy_j",
+                Json::obj()
+                    .with("compute", bound(self.compute_j))
+                    .with("sram", bound(self.sram_j))
+                    .with("mesh", bound(self.mesh_j))
+                    .with("elink", bound(self.elink_j))
+                    .with("sdram", bound(self.sdram_j))
+                    .with("static", bound(self.static_j))
+                    .with("total", bound(self.total_j)),
+            )
+            .with("phases", Json::Arr(phases))
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if !self.bounded {
+            return "cost: unbounded (no workload declarations for this platform)".to_string();
+        }
+        format!(
+            "cost: cycles [{:.3e}, {:.3e}], energy [{:.3e}, {:.3e}] J over {} phase(s)",
+            self.cycles.lo,
+            self.cycles.hi,
+            self.total_j.lo,
+            self.total_j.hi,
+            self.phases.len()
+        )
+    }
+}
+
+/// FPU-slot instructions after lowering special functions, matching
+/// [`epiphany::CostBlock::lower`].
+fn fpu_slots(ops: &OpCounts, p: &EpiphanyParams) -> f64 {
+    (ops.flops
+        + ops.fmas
+        + ops.sqrts * p.sqrt_flops
+        + ops.divs * p.div_flops
+        + ops.trigs * p.trig_flops) as f64
+}
+
+/// IALU/load-store-slot instructions, matching the same lowering.
+fn ls_slots(ops: &OpCounts, p: &EpiphanyParams) -> f64 {
+    (ops.ialu + ops.loads * p.local_load_cycles + ops.stores * p.local_store_cycles) as f64
+}
+
+/// Interval accumulator for `lo`/`hi` running sums.
+#[derive(Default, Clone, Copy)]
+struct Acc {
+    lo: f64,
+    hi: f64,
+}
+
+impl Acc {
+    fn add(&mut self, lo: f64, hi: f64) {
+        self.lo += lo;
+        self.hi += hi;
+    }
+
+    fn bound(self) -> Bound {
+        Bound::range(self.lo, self.hi)
+    }
+}
+
+/// Per-link load map: `(mesh id, node, direction index) -> cycles`.
+type LinkLoads = HashMap<(u8, usize, usize), f64>;
+
+/// Accumulate `wire / rate` serialization cycles on every link of the
+/// XY route `from -> to` of mesh `mesh_id`.
+fn load_route(
+    loads: &mut LinkLoads,
+    mesh: &Mesh2D,
+    mesh_id: u8,
+    from: usize,
+    to: usize,
+    cycles: f64,
+) {
+    if cycles <= 0.0 {
+        return;
+    }
+    let src = mesh.coord(emesh::NodeId(from as u16));
+    let dst = mesh.coord(emesh::NodeId(to as u16));
+    for hop in route_xy(mesh, src, dst) {
+        let node = mesh.node(hop.from).raw();
+        *loads.entry((mesh_id, node, hop.dir.index())).or_insert(0.0) += cycles;
+    }
+}
+
+/// Whole-run energy accumulators an Epiphany phase merges into: the
+/// exact counter mirrors the energy model prices per component.
+#[derive(Default)]
+struct EnergyAcc {
+    fpu: Acc,
+    ialu: Acc,
+    local: Acc,
+    byte_hops: Acc,
+    offchip_bytes: Acc,
+}
+
+/// Evaluate one Epiphany phase; returns its cost row and merges its
+/// energy terms into the accumulators.
+#[allow(clippy::too_many_lines)]
+fn epiphany_phase(
+    ph: &PhaseDecl,
+    p: &EpiphanyParams,
+    mesh: &Mesh2D,
+    pairing: f64,
+    energy: &mut EnergyAcc,
+) -> PhaseCost {
+    let elink = mesh.elink_node();
+    let elink_coord = mesh.coord(elink);
+    let link_bpc = p.emesh.link_bytes_per_cycle.max(1) as f64;
+    let elink_bpc = p.emesh.elink_bytes_per_cycle.max(1) as f64;
+    let hop_lat = p.emesh.hop_latency as f64;
+    let row_hit = p.sdram.row_hit_cycles as f64;
+    let row_miss = p.sdram.row_miss_cycles as f64;
+    let wic = p.write_issue_cycles_per_dword.max(1) as f64;
+    let rounds = ph.rounds as f64;
+
+    // Per-round, per-core serial work.
+    let mut serial: HashMap<usize, Acc> = HashMap::new();
+    // Busiest core's pure compute (op-count) work — the reference the
+    // SL013/SL014 lints compare resource occupancies against.
+    let mut comp_max = Acc::default();
+    let mut links_lo = LinkLoads::new();
+    let mut links_hi = LinkLoads::new();
+    let mut elink_occ = Acc::default();
+    let mut flight_hi = 0.0f64;
+
+    for w in &ph.work {
+        let s = serial.entry(w.core).or_default();
+        let coord = mesh.coord(emesh::NodeId(w.core as u16));
+        let hops = f64::from(coord.manhattan(elink_coord));
+        let hl = hops.max(1.0) * hop_lat;
+
+        // Compute: lower is the dominant slot over the whole round
+        // (per-call maxima only grow it); upper assumes no pairing
+        // between the slots plus one ceil cycle per compute() call.
+        let comp_lo = fpu_slots(&w.ops_lo, p).max(ls_slots(&w.ops_lo, p)) / pairing;
+        let comp_hi =
+            (fpu_slots(&w.ops_hi, p) + ls_slots(&w.ops_hi, p)) / pairing + w.compute_calls.hi;
+        s.add(comp_lo, comp_hi);
+        comp_max.lo = comp_max.lo.max(comp_lo);
+        comp_max.hi = comp_max.hi.max(comp_hi);
+
+        // Blocking off-chip reads: issue + rMesh request + eLink
+        // request slot + SDRAM + reply hop latency per message, plus
+        // the reply wire (payload + 8 B header) serialising once
+        // through the eLink and once onto the cMesh.
+        let r_wire_lo = w.ext_read_bytes.lo + 8.0 * w.ext_read_msgs.lo;
+        let r_wire_hi = w.ext_read_bytes.hi + 8.0 * w.ext_read_msgs.hi;
+        let read_fixed = p.read_issue_cycles as f64 + hl + 1.0 + 1.0 + hl;
+        s.add(
+            w.ext_read_msgs.lo * (read_fixed + row_hit)
+                + r_wire_lo * (1.0 / elink_bpc + 1.0 / link_bpc),
+            w.ext_read_msgs.hi * (read_fixed + row_miss)
+                + r_wire_hi * (1.0 / elink_bpc + 1.0 / link_bpc),
+        );
+
+        // Posted off-chip writes: issue cycles always; the upper bound
+        // additionally drains each write's xMesh flight and eLink hold
+        // (the write-buffer backpressure allowance, ignoring the
+        // buffer credit — sound, just looser).
+        let w_wire_lo = w.ext_write_bytes.lo + 8.0 * w.ext_write_msgs.lo;
+        let w_wire_hi = w.ext_write_bytes.hi + 8.0 * w.ext_write_msgs.hi;
+        s.add(
+            wic * (w.ext_write_msgs.lo.max(w.ext_write_bytes.lo / 8.0)),
+            wic * (w.ext_write_msgs.hi + w.ext_write_bytes.hi / 8.0)
+                + w.ext_write_msgs.hi * hl
+                + w_wire_hi * (1.0 / link_bpc + 1.0 / elink_bpc),
+        );
+
+        // DMA: the core pays descriptor setup; the upper bound also
+        // charges the engine's full transfer (request, SDRAM row miss,
+        // reply wire through eLink + cMesh + landing bank port) since
+        // a dma_wait may stall until exactly that completes.
+        let d_wire_hi = w.dma_bytes.hi + 8.0 * w.dma_msgs.hi;
+        let d_wire_lo = w.dma_bytes.lo + 8.0 * w.dma_msgs.lo;
+        s.add(
+            w.dma_msgs.lo * p.dma_setup_cycles as f64,
+            w.dma_msgs.hi * (p.dma_setup_cycles as f64 + 2.0 * hl + 2.0 + row_miss)
+                + d_wire_hi * (2.0 / link_bpc + 1.0 / elink_bpc),
+        );
+
+        // Flag waits: 1..=flag_poll_max_polls polls, flag_poll_cycles
+        // each. The stall beyond the polls is another core's counted
+        // work or a counted flight.
+        s.add(
+            w.flag_waits.lo * p.flag_poll_cycles as f64,
+            w.flag_waits.hi * (p.flag_poll_max_polls * p.flag_poll_cycles) as f64,
+        );
+
+        // Barriers: base cost on every participant.
+        let bar = (ph.barriers * p.barrier_base_cycles) as f64;
+        s.add(bar, bar);
+
+        // Link loads: read/DMA requests ride the rMesh (1 cycle per
+        // transaction per link), replies ride the cMesh from the eLink
+        // node, off-chip writes ride the xMesh toward it.
+        let req_lo = w.ext_read_msgs.lo + w.dma_msgs.lo;
+        let req_hi = w.ext_read_msgs.hi + w.dma_msgs.hi;
+        load_route(&mut links_lo, mesh, 1, w.core, elink.raw(), req_lo);
+        load_route(&mut links_hi, mesh, 1, w.core, elink.raw(), req_hi);
+        load_route(
+            &mut links_lo,
+            mesh,
+            0,
+            elink.raw(),
+            w.core,
+            (r_wire_lo + d_wire_lo) / link_bpc,
+        );
+        load_route(
+            &mut links_hi,
+            mesh,
+            0,
+            elink.raw(),
+            w.core,
+            (r_wire_hi + d_wire_hi) / link_bpc,
+        );
+        load_route(
+            &mut links_lo,
+            mesh,
+            2,
+            w.core,
+            elink.raw(),
+            w_wire_lo / link_bpc,
+        );
+        load_route(
+            &mut links_hi,
+            mesh,
+            2,
+            w.core,
+            elink.raw(),
+            w_wire_hi / link_bpc,
+        );
+
+        // eLink occupancy: one request slot per read/DMA plus every
+        // wire (reply payloads and write payloads) at eLink width.
+        elink_occ.add(
+            req_lo + (r_wire_lo + d_wire_lo + w_wire_lo) / elink_bpc,
+            req_hi + (r_wire_hi + d_wire_hi + w_wire_hi) / elink_bpc,
+        );
+
+        // Energy terms (exact counter mirrors; scaled by rounds).
+        energy.fpu.add(
+            fpu_slots(&w.ops_lo, p) * rounds,
+            fpu_slots(&w.ops_hi, p) * rounds,
+        );
+        energy.ialu.add(
+            (ls_slots(&w.ops_lo, p) + w.flag_waits.lo) * rounds,
+            (ls_slots(&w.ops_hi, p) + w.flag_waits.hi * p.flag_poll_max_polls as f64) * rounds,
+        );
+        energy.local.add(
+            (w.ops_lo.loads + w.ops_lo.stores) as f64 * rounds,
+            (w.ops_hi.loads + w.ops_hi.stores) as f64 * rounds,
+        );
+        energy.byte_hops.add(
+            (8.0 * req_lo + r_wire_lo + d_wire_lo + w_wire_lo) * hops * rounds,
+            (8.0 * req_hi + r_wire_hi + d_wire_hi + w_wire_hi) * hops * rounds,
+        );
+        energy.offchip_bytes.add(
+            (w.ext_read_bytes.lo + w.ext_write_bytes.lo + w.dma_bytes.lo) * rounds,
+            (w.ext_read_bytes.hi + w.ext_write_bytes.hi + w.dma_bytes.hi) * rounds,
+        );
+    }
+
+    // On-chip traffic: sender issue cycles, cMesh link loads along the
+    // XY route, and a flight-latency allowance in the upper bound.
+    for t in &ph.traffic {
+        let src = mesh.coord(emesh::NodeId(t.from as u16));
+        let dst = mesh.coord(emesh::NodeId(t.to as u16));
+        let hops = f64::from(src.manhattan(dst));
+        let wire_lo = t.bytes.lo + 8.0 * t.messages.lo;
+        let wire_hi = t.bytes.hi + 8.0 * t.messages.hi;
+        let s = serial.entry(t.from).or_default();
+        s.add(
+            wic * t.messages.lo.max(t.bytes.lo / 8.0),
+            wic * (t.messages.hi + t.bytes.hi / 8.0),
+        );
+        load_route(&mut links_lo, mesh, 0, t.from, t.to, wire_lo / link_bpc);
+        load_route(&mut links_hi, mesh, 0, t.from, t.to, wire_hi / link_bpc);
+        // Hop latency of each message plus one landing-bank port hold.
+        flight_hi += t.messages.hi * (hops.max(1.0) * hop_lat + 1.0) + wire_hi / link_bpc;
+        energy
+            .byte_hops
+            .add(wire_lo * hops * rounds, wire_hi * hops * rounds);
+    }
+
+    let core_lo_max = serial.values().map(|a| a.lo).fold(0.0, f64::max);
+    let core_hi_sum: f64 = serial.values().map(|a| a.hi).sum();
+    let link_lo_max = links_lo.values().copied().fold(0.0, f64::max);
+    let link_hi_max = links_hi.values().copied().fold(0.0, f64::max);
+    let link_hi_sum: f64 = links_hi.values().sum();
+
+    let round_lo = core_lo_max.max(link_lo_max).max(elink_occ.lo);
+    let round_hi = core_hi_sum + link_hi_sum + elink_occ.hi + flight_hi;
+
+    let mut per_core_mid: Vec<(usize, f64)> = serial
+        .iter()
+        .map(|(&core, a)| (core, a.bound().mid()))
+        .collect();
+    per_core_mid.sort_unstable_by_key(|&(core, _)| core);
+
+    PhaseCost {
+        name: ph.name.clone(),
+        rounds: ph.rounds,
+        cycles: Bound::range(round_lo * rounds, round_hi * rounds),
+        compute: comp_max.bound(),
+        link: Bound::range(link_lo_max, link_hi_max),
+        offchip: elink_occ.bound(),
+        per_core_mid,
+    }
+}
+
+/// Bounds for a declared workload on the Epiphany chip model.
+pub fn epiphany_cost(model: &ProgramModel, p: &EpiphanyParams) -> CostReport {
+    let mesh = Mesh2D::new(model.mesh.0.max(1), model.mesh.1.max(1));
+    let pairing = model
+        .pairing_efficiency
+        .unwrap_or(p.pairing_efficiency)
+        .max(1e-6);
+
+    let mut energy = EnergyAcc::default();
+    let mut cycles = Acc::default();
+    let mut phases = Vec::new();
+
+    for ph in &model.workload {
+        let pc = epiphany_phase(ph, p, &mesh, pairing, &mut energy);
+        cycles.add(pc.cycles.lo, pc.cycles.hi);
+        phases.push(pc);
+    }
+    let EnergyAcc {
+        fpu: fpu_e,
+        ialu: ialu_e,
+        local: local_e,
+        byte_hops,
+        offchip_bytes,
+    } = energy;
+
+    let pj = 1e-12;
+    let hz = p.clock.hz().max(1.0);
+    let seconds = Bound::range(cycles.lo / hz, cycles.hi / hz);
+    let compute_j = Bound::range(
+        (fpu_e.lo * p.pj_per_flop + ialu_e.lo * p.pj_per_ialu) * pj,
+        (fpu_e.hi * p.pj_per_flop + ialu_e.hi * p.pj_per_ialu) * pj,
+    );
+    let sram_j = local_e.bound().scaled(p.pj_per_local_access * pj);
+    let mesh_j = byte_hops.bound().scaled(p.pj_per_mesh_byte_hop * pj);
+    let elink_j = offchip_bytes.bound().scaled(p.pj_per_elink_byte * pj);
+    let sdram_j = offchip_bytes.bound().scaled(p.pj_per_sdram_byte * pj);
+    let static_w = p.static_w_per_core * p.cores() as f64 + p.static_w_chip;
+    let static_j = seconds.scaled(static_w);
+    let total_j = compute_j + sram_j + mesh_j + elink_j + sdram_j + static_j;
+
+    CostReport {
+        bounded: true,
+        cycles: cycles.bound(),
+        seconds,
+        compute_j,
+        sram_j,
+        mesh_j,
+        elink_j,
+        sdram_j,
+        static_j,
+        total_j,
+        phases,
+    }
+}
+
+/// Bounds for a declared workload on the reference-CPU model: compute
+/// at sustained IPC plus latency-priced special functions; memory
+/// stalls bracketed between all-L1 (zero beyond-L1 stall) and every
+/// declared cache-line touch missing to DRAM, divided by the MLP the
+/// out-of-order window extracts. Energy is the paper's flat datasheet
+/// power over the makespan, carried on the `static` channel.
+pub fn refcpu_cost(model: &ProgramModel, p: &RefCpuParams) -> CostReport {
+    let ipc = model.sustained_ipc.unwrap_or(p.sustained_ipc).max(1e-6);
+    let special = |ops: &OpCounts| {
+        (ops.sqrts * p.sqrt_cycles + ops.divs * p.div_cycles + ops.trigs * p.trig_cycles) as f64
+    };
+    let comp = |ops: &OpCounts| ops.instrs_no_fma() as f64 / ipc + special(ops);
+    let stall_per_line = p.hierarchy.dram_cycles as f64 / p.mlp.max(1e-6);
+
+    let mut cycles = Acc::default();
+    let mut phases = Vec::new();
+    for ph in &model.workload {
+        let rounds = ph.rounds as f64;
+        let mut round = Acc::default();
+        let mut pure = Acc::default();
+        let mut stall_hi = 0.0f64;
+        let mut per_core_mid = Vec::new();
+        for w in &ph.work {
+            let lo = comp(&w.ops_lo);
+            let hi = comp(&w.ops_hi) + w.mem_accesses.hi * stall_per_line;
+            stall_hi += w.mem_accesses.hi * stall_per_line;
+            round.add(lo, hi);
+            pure.add(lo, comp(&w.ops_hi));
+            per_core_mid.push((w.core, 0.5 * (lo + hi)));
+        }
+        cycles.add(round.lo * rounds, round.hi * rounds);
+        phases.push(PhaseCost {
+            name: ph.name.clone(),
+            rounds: ph.rounds,
+            cycles: Bound::range(round.lo * rounds, round.hi * rounds),
+            compute: pure.bound(),
+            link: Bound::zero(),
+            offchip: Bound::range(0.0, stall_hi),
+            per_core_mid,
+        });
+    }
+    // The run's elapsed cycle count is the ceiling of the float cursor.
+    cycles.hi += 1.0;
+
+    let hz = p.clock.hz().max(1.0);
+    let seconds = Bound::range(cycles.lo / hz, cycles.hi / hz);
+    let static_j = seconds.scaled(p.power_w);
+    CostReport {
+        bounded: true,
+        cycles: cycles.bound(),
+        seconds,
+        compute_j: Bound::zero(),
+        sram_j: Bound::zero(),
+        mesh_j: Bound::zero(),
+        elink_j: Bound::zero(),
+        sdram_j: Bound::zero(),
+        static_j,
+        total_j: static_j,
+        phases,
+    }
+}
+
+/// Run the cost lints over a bounded report: `SL013` link
+/// oversubscription, `SL014` off-chip wall, `SL015` load imbalance.
+/// All are warnings — a slow mapping is a smell, not an invariant
+/// violation.
+pub fn lint(cost: &CostReport, report: &mut Report) {
+    for ph in &cost.phases {
+        let compute = ph.compute.mid().max(1e-9);
+        let link = ph.link.mid();
+        if link > LINK_OVERSUBSCRIPTION_RATIO * compute && link > 0.0 {
+            report.push(Diagnostic::warning(
+                "SL013",
+                ph.name.clone(),
+                format!(
+                    "busiest mesh link serialises ~{link:.0} cycles/round against \
+                     ~{compute:.0} cycles/round of core work: the phase is \
+                     network-bound, not compute-bound"
+                ),
+            ));
+        }
+        let offchip = ph.offchip.mid();
+        if offchip > OFFCHIP_WALL_RATIO * compute && offchip > 0.0 {
+            report.push(Diagnostic::warning(
+                "SL014",
+                ph.name.clone(),
+                format!(
+                    "off-chip path occupied ~{offchip:.0} cycles/round against \
+                     ~{compute:.0} cycles/round of core work: the eLink/SDRAM \
+                     wall paces this phase"
+                ),
+            ));
+        }
+        let busy: Vec<f64> = ph
+            .per_core_mid
+            .iter()
+            .map(|&(_, c)| c)
+            .filter(|&c| c > 0.0)
+            .collect();
+        if busy.len() >= 2 {
+            let max = busy.iter().copied().fold(0.0, f64::max);
+            let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+            if mean > 0.0 && max / mean > IMBALANCE_RATIO {
+                report.push(Diagnostic::warning(
+                    "SL015",
+                    ph.name.clone(),
+                    format!(
+                        "per-core work is imbalanced: busiest core ~{max:.0} \
+                         cycles/round vs mean ~{mean:.0} (ratio {:.1} > {IMBALANCE_RATIO}); \
+                         idle cores still burn static power",
+                        max / mean
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Cost one registered Mapping × Platform pair: resolve the model,
+/// evaluate the platform's analytical bounds, and run the cost lints.
+/// Pairs without workload declarations (host threads, model-less
+/// mappings) get the vacuous unbounded report plus an `SL000` note.
+pub fn cost_pair(
+    mapping: &dyn Mapping,
+    workload: &Workload,
+    platform: &dyn Platform,
+) -> (CostReport, Report) {
+    let mut report = Report::new();
+    let subject = format!("{} x {}", mapping.name(), platform.label());
+    let model = mapping
+        .program_model(workload, platform)
+        .filter(ProgramModel::has_workload);
+    let Some(model) = model else {
+        report.push(Diagnostic::note(
+            "SL000",
+            subject,
+            "no per-phase workload declarations; cost bounds are vacuous".to_string(),
+        ));
+        return (CostReport::unbounded(), report);
+    };
+    let cost = match platform.kind() {
+        PlatformKind::Epiphany => {
+            epiphany_cost(&model, &platform.epiphany_params().unwrap_or_default())
+        }
+        PlatformKind::RefCpu => refcpu_cost(&model, &platform.refcpu_params().unwrap_or_default()),
+        PlatformKind::Host => CostReport::unbounded(),
+    };
+    if cost.bounded {
+        lint(&cost, &mut report);
+    } else {
+        report.push(Diagnostic::note(
+            "SL000",
+            subject,
+            "wall-clock platform; no analytical cost model".to_string(),
+        ));
+    }
+    (cost, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_harness::WorkDecl;
+
+    fn exact_work(core: usize, flops: u64) -> WorkDecl {
+        let mut w = WorkDecl::new(core);
+        w.exact_ops(OpCounts {
+            flops,
+            ..OpCounts::default()
+        });
+        w.compute_calls = Bound::exact(1.0);
+        w
+    }
+
+    #[test]
+    fn compute_only_phase_brackets_the_pairing_window() {
+        let mut m = ProgramModel::new(4, 4);
+        let ph = m.phase("p", 2);
+        ph.work.push(exact_work(0, 800));
+        let p = EpiphanyParams::default();
+        let cost = epiphany_cost(&m, &p);
+        assert!(cost.bounded);
+        // 800 FPU slots at 0.8 pairing = 1000 cycles/round, 2 rounds.
+        assert!(cost.cycles.contains(2000.0), "{:?}", cost.cycles);
+        assert!(cost.cycles.lo <= 2000.0 && cost.cycles.hi >= 2000.0);
+        // Energy: exactly 1600 flops * 50 pJ plus statics.
+        let flop_j = 1600.0 * 50.0e-12;
+        assert!(cost.compute_j.contains(flop_j), "{:?}", cost.compute_j);
+    }
+
+    #[test]
+    fn oversubscribed_link_is_sl013() {
+        let mut m = ProgramModel::new(4, 4);
+        let ph = m.phase("p", 1);
+        ph.work.push(exact_work(0, 10));
+        ph.work.push(exact_work(1, 10));
+        // A torrent of traffic through one link against trivial compute.
+        ph.traffic.push(sim_harness::TrafficDecl {
+            from: 0,
+            to: 1,
+            messages: Bound::exact(1000.0),
+            bytes: Bound::exact(8000.0),
+        });
+        let cost = epiphany_cost(&m, &EpiphanyParams::default());
+        let mut r = Report::new();
+        lint(&cost, &mut r);
+        assert!(r.has_code("SL013"), "{:?}", r.diagnostics);
+        assert!(r.is_clean(), "cost lints stay warnings");
+    }
+
+    #[test]
+    fn offchip_wall_is_sl014() {
+        let mut m = ProgramModel::new(4, 4);
+        let ph = m.phase("p", 1);
+        let mut w = exact_work(0, 10);
+        w.ext_write_msgs = Bound::exact(1000.0);
+        w.ext_write_bytes = Bound::exact(64000.0);
+        ph.work.push(w);
+        let cost = epiphany_cost(&m, &EpiphanyParams::default());
+        let mut r = Report::new();
+        lint(&cost, &mut r);
+        assert!(r.has_code("SL014"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn load_imbalance_is_sl015() {
+        let mut m = ProgramModel::new(4, 4);
+        let ph = m.phase("p", 1);
+        ph.work.push(exact_work(0, 100_000));
+        ph.work.push(exact_work(1, 10));
+        ph.work.push(exact_work(2, 10));
+        let cost = epiphany_cost(&m, &EpiphanyParams::default());
+        let mut r = Report::new();
+        lint(&cost, &mut r);
+        assert!(r.has_code("SL015"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn balanced_compute_phase_has_no_findings() {
+        let mut m = ProgramModel::new(4, 4);
+        let ph = m.phase("p", 1);
+        ph.work.push(exact_work(0, 1000));
+        ph.work.push(exact_work(1, 1000));
+        let cost = epiphany_cost(&m, &EpiphanyParams::default());
+        let mut r = Report::new();
+        lint(&cost, &mut r);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn refcpu_stall_bracket_is_zero_to_all_dram() {
+        let mut m = ProgramModel::new(1, 1);
+        let ph = m.phase("p", 1);
+        let mut w = exact_work(0, 1000);
+        w.mem_accesses = Bound::range(10.0, 30.0);
+        ph.work.push(w);
+        let p = RefCpuParams::default();
+        let cost = refcpu_cost(&m, &p);
+        let base = 1000.0 / p.sustained_ipc;
+        assert!(cost.cycles.lo <= base + 1.0);
+        let all_dram = base + 30.0 * p.hierarchy.dram_cycles as f64 / p.mlp;
+        assert!(cost.cycles.hi >= all_dram, "{:?}", cost.cycles);
+        // Energy is the flat datasheet power over the time bracket.
+        assert!(cost.total_j.lo > 0.0);
+        assert!((cost.total_j.hi - cost.seconds.hi * p.power_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_report_contains_everything() {
+        let c = CostReport::unbounded();
+        assert!(!c.bounded);
+        assert!(c.cycles.contains(0.0) && c.cycles.contains(1e18));
+        assert!(c.total_j.contains(123.0));
+        // JSON renders infinities as null, keeping the document valid.
+        let j = c.to_json();
+        let hi = j.get("cycles").and_then(|b| b.get("hi")).unwrap();
+        assert!(matches!(hi, Json::Null));
+    }
+}

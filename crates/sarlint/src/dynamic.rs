@@ -1,10 +1,20 @@
-//! Dynamic cross-check (`SL009`, `SL010`): replay one traced run and
-//! verify that every remote landing the machine model observed (posted
-//! writes, inbound DMA bursts) targets a `(core, bank)` slot the
-//! mapping *declared* a buffer in, with at least the observed burst
-//! size. This catches the gap static checks cannot: a model that
-//! passes all four lints but does not describe what the driver
-//! actually does.
+//! Dynamic cross-check (`SL009`, `SL010`, `SL016`): replay one traced
+//! run and verify the declarations against what the machine model
+//! actually observed.
+//!
+//! * `SL009` (hard) — a remote landing (posted write, inbound DMA
+//!   burst) targets a `(core, bank)` slot no declared buffer covers at
+//!   the observed size: the model does not describe the run.
+//! * `SL010` — the converse: hard when the traced run itself fails
+//!   (nothing can corroborate the claims), warning when a declared
+//!   buffer's `(core, bank)` slot never received any landing (the
+//!   model over-declares what the driver does).
+//! * `SL016` (warning) — model drift: the run's aggregated activity
+//!   counters (off-chip reads/writes, DMA bytes, remote writes, flag
+//!   waits) fall outside the totals the per-phase workload
+//!   declarations imply. This is the closed loop behind the static
+//!   cost model: the same declarations `sarlint::cost` prices are
+//!   checked against the simulated `RunRecord`.
 //!
 //! The chip emits a gated `land:bank{bank}+{bytes}` instant on
 //! [`Track::Dma`] at every remote landing; this module parses the
@@ -13,7 +23,10 @@
 use std::collections::BTreeSet;
 
 use desim::trace::{Tracer, Track};
-use sim_harness::{run_traced, Diagnostic, Mapping, Platform, ProgramModel, Report, Workload};
+use desim::RunRecord;
+use sim_harness::{
+    run_traced, Bound, Diagnostic, Mapping, Platform, ProgramModel, Report, Workload,
+};
 
 /// One observed remote landing, parsed from the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -45,8 +58,72 @@ fn declared(model: &ProgramModel, l: Landing) -> bool {
         .any(|b| b.core == l.core && b.bank == l.bank && b.bytes >= l.bytes)
 }
 
+/// The run-total bounds the per-phase workload declarations imply for
+/// the chip's aggregated activity counters, keyed by counter slot
+/// name. Empty when the model declares no workload.
+fn declared_totals(model: &ProgramModel) -> Vec<(&'static str, Bound)> {
+    if !model.has_workload() {
+        return Vec::new();
+    }
+    let mut ext_read = Bound::zero();
+    let mut ext_read_bytes = Bound::zero();
+    let mut ext_write = Bound::zero();
+    let mut ext_write_bytes = Bound::zero();
+    let mut dma_bytes = Bound::zero();
+    let mut remote_write = Bound::zero();
+    let mut remote_write_bytes = Bound::zero();
+    let mut flag_wait = Bound::zero();
+    for ph in &model.workload {
+        let r = ph.rounds as f64;
+        for w in &ph.work {
+            ext_read += w.ext_read_msgs.scaled(r);
+            ext_read_bytes += w.ext_read_bytes.scaled(r);
+            ext_write += w.ext_write_msgs.scaled(r);
+            ext_write_bytes += w.ext_write_bytes.scaled(r);
+            dma_bytes += w.dma_bytes.scaled(r);
+            flag_wait += w.flag_waits.scaled(r);
+        }
+        for t in &ph.traffic {
+            remote_write += t.messages.scaled(r);
+            remote_write_bytes += t.bytes.scaled(r);
+        }
+    }
+    vec![
+        ("ext_read", ext_read),
+        ("ext_read_bytes", ext_read_bytes),
+        ("ext_write", ext_write),
+        ("ext_write_bytes", ext_write_bytes),
+        ("dma_bytes", dma_bytes),
+        ("remote_write", remote_write),
+        ("remote_write_bytes", remote_write_bytes),
+        ("flag_wait", flag_wait),
+    ]
+}
+
+/// `SL016` model drift: every observed counter total must fall inside
+/// the interval the declarations imply. Missing counters read as zero
+/// (the reference CPU has no mesh counters; its models declare no
+/// mesh traffic either).
+fn check_drift(model: &ProgramModel, record: &RunRecord, report: &mut Report) {
+    for (slot, bound) in declared_totals(model) {
+        let observed = record.counters.get(slot) as f64;
+        if !bound.contains(observed) {
+            report.push(Diagnostic::warning(
+                "SL016",
+                slot.to_string(),
+                format!(
+                    "model drift: run observed {observed} but the workload \
+                     declarations imply [{}, {}]",
+                    bound.lo, bound.hi
+                ),
+            ));
+        }
+    }
+}
+
 /// Run the pair once with tracing on and cross-check every observed
-/// landing against the model's declared buffers.
+/// landing against the model's declared buffers, plus the counter
+/// totals against the declared workload.
 pub fn cross_check(mapping: &dyn Mapping, workload: &Workload, platform: &dyn Platform) -> Report {
     let mut report = Report::new();
     let Some(model) = mapping.program_model(workload, platform) else {
@@ -58,22 +135,27 @@ pub fn cross_check(mapping: &dyn Mapping, workload: &Workload, platform: &dyn Pl
         return report;
     };
     let tracer = Tracer::enabled();
-    if let Err(e) = run_traced(mapping, workload, platform, &tracer) {
-        report.push(Diagnostic::hard(
-            "SL010",
-            mapping.name().to_string(),
-            format!("traced run failed during dynamic cross-check: {e}"),
-        ));
-        return report;
-    }
+    let run = match run_traced(mapping, workload, platform, &tracer) {
+        Ok(run) => run,
+        Err(e) => {
+            report.push(Diagnostic::hard(
+                "SL010",
+                mapping.name().to_string(),
+                format!("traced run failed during dynamic cross-check: {e}"),
+            ));
+            return report;
+        }
+    };
 
     let mut seen = 0u64;
     let mut flagged: BTreeSet<Landing> = BTreeSet::new();
+    let mut landed_slots: BTreeSet<(usize, usize)> = BTreeSet::new();
     for e in tracer.snapshot() {
         let Some(l) = parse_landing(e.track, e.name.as_ref()) else {
             continue;
         };
         seen += 1;
+        landed_slots.insert((l.core, l.bank));
         if !declared(&model, l) && flagged.insert(l) {
             report.push(Diagnostic::hard(
                 "SL009",
@@ -92,7 +174,27 @@ pub fn cross_check(mapping: &dyn Mapping, workload: &Workload, platform: &dyn Pl
             mapping.name().to_string(),
             "run emitted no remote landings; dynamic check is vacuous".to_string(),
         ));
+    } else {
+        // The over-declared direction: a buffer slot that never
+        // received a landing claims communication the driver does not
+        // perform. Per (core, bank) rather than per buffer — multiple
+        // same-bank inboxes receive indistinguishable landings.
+        let mut over: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for b in &model.buffers {
+            if !landed_slots.contains(&(b.core, b.bank)) && over.insert((b.core, b.bank)) {
+                report.push(Diagnostic::warning(
+                    "SL010",
+                    b.label.clone(),
+                    format!(
+                        "declared buffer in core {} bank {} never received a \
+                         landing: the model over-declares the run",
+                        b.core, b.bank
+                    ),
+                ));
+            }
+        }
     }
+    check_drift(&model, &run.record, &mut report);
     report
 }
 

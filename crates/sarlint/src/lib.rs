@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod capacity;
+pub mod cost;
 pub mod deadlock;
 pub mod dynamic;
 pub mod placement;
@@ -103,10 +104,19 @@ mod tests {
 
     #[test]
     fn modelless_mappings_note_sl000() {
-        let r = pair("ffbp_ref", "refcpu");
+        let r = pair("ffbp_host", "host");
         assert!(r.is_clean());
         assert!(r.has_code("SL000"));
         assert_eq!(r.diagnostics[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn reference_cpu_mappings_now_carry_models() {
+        for name in ["ffbp_ref", "autofocus_ref"] {
+            let r = pair(name, "refcpu");
+            assert!(r.is_clean(), "{name}: {:?}", r.diagnostics);
+            assert!(!r.has_code("SL000"), "{name} declares a workload model");
+        }
     }
 
     #[test]

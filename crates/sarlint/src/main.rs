@@ -2,14 +2,19 @@
 //! simulating them.
 //!
 //! ```text
-//! sarlint --all [--small] [--dynamic]
-//! sarlint --mapping NAME [--platform NAME] [--placement NAME] [--small] [--dynamic]
+//! sarlint --all [--small] [--dynamic] [--cost] [--json]
+//! sarlint --mapping NAME [--platform NAME] [--placement NAME]
+//!         [--small] [--dynamic] [--cost] [--json]
 //! ```
 //!
 //! With `--all` (or no `--mapping`), every registered mapping is
 //! analyzed on every platform it supports. `--dynamic` additionally
 //! replays one traced run per pair and cross-checks observed remote
-//! landings against the declared buffers.
+//! landings and activity counters against the declarations. `--cost`
+//! prices each pair with the contention-aware static cost model
+//! (lower/upper bounds on cycles and energy) and runs the cost lints
+//! (`SL013`–`SL015`). `--json` replaces the prose report with one
+//! machine-readable document on stdout.
 //!
 //! Exit status: `0` clean, `1` hard findings, `2` command-line error.
 
@@ -17,11 +22,13 @@
 
 use std::process::ExitCode;
 
+use desim::Json;
 use sar_epiphany::autofocus_mpmd::Placement;
 use sar_epiphany::{all_mappings, mapping_named_placed};
-use sarlint::{analyze_pair, dynamic};
+use sarlint::{analyze_pair, cost, dynamic};
 use sim_harness::{
     all_platforms, platform_named, BenchHarness, Diagnostic, Mapping, Platform, Workload,
+    RUN_RECORD_VERSION,
 };
 
 fn main() -> ExitCode {
@@ -86,6 +93,7 @@ fn check(h: &BenchHarness) -> Result<usize, Diagnostic> {
 
     let mut pairs = 0usize;
     let mut hard = 0usize;
+    let mut json_pairs: Vec<Json> = Vec::new();
     for m in &mappings {
         let platforms: Vec<Box<dyn Platform>> = match &platform_override {
             Some(p) => {
@@ -116,18 +124,63 @@ fn check(h: &BenchHarness) -> Result<usize, Diagnostic> {
             if h.flag("dynamic") && m.supports(p.kind()) {
                 report.merge(dynamic::cross_check(m.as_ref(), &w, p.as_ref()));
             }
+            let costed = (h.flag("cost") && m.supports(p.kind())).then(|| {
+                let (c, lints) = cost::cost_pair(m.as_ref(), &w, p.as_ref());
+                report.merge(lints);
+                c
+            });
+            report.normalize();
             pairs += 1;
             hard += report.hard_count();
-            println!(
+            h.say(format!(
                 "== {} x {} ({} workload): {}",
                 m.name(),
                 p.label(),
                 if h.small() { "small" } else { "paper" },
                 if report.is_clean() { "ok" } else { "FAIL" }
-            );
-            print!("{report}");
+            ));
+            if !h.json() {
+                print!("{report}");
+            }
+            if let Some(c) = &costed {
+                h.say(format!("   {}", c.summary()));
+            }
+            if h.json() {
+                let diags = report
+                    .diagnostics
+                    .iter()
+                    .map(|d| {
+                        Json::obj()
+                            .with("code", d.code)
+                            .with("severity", d.severity.to_string().as_str())
+                            .with("subject", d.subject.as_str())
+                            .with("message", d.message.as_str())
+                    })
+                    .collect();
+                let mut pair = Json::obj()
+                    .with("mapping", m.name())
+                    .with("platform", p.label())
+                    .with("clean", report.is_clean())
+                    .with("hard", report.hard_count())
+                    .with("diagnostics", Json::Arr(diags));
+                if let Some(c) = costed {
+                    pair = pair.with("cost", c.to_json());
+                }
+                json_pairs.push(pair);
+            }
         }
     }
-    println!("{pairs} pair(s) analyzed, {hard} hard finding(s)");
+    if h.json() {
+        let doc = Json::obj()
+            .with("bench", "sarlint")
+            .with("version", RUN_RECORD_VERSION)
+            .with("workload", if h.small() { "small" } else { "paper" })
+            .with("pairs", Json::Arr(json_pairs))
+            .with("pairs_analyzed", pairs)
+            .with("hard_findings", hard);
+        println!("{}", doc.to_string_pretty());
+    } else {
+        println!("{pairs} pair(s) analyzed, {hard} hard finding(s)");
+    }
     Ok(hard)
 }

@@ -32,8 +32,12 @@ pub fn check(model: &ProgramModel, report: &mut Report) {
         let d = model.manhattan(ch.from, ch.to);
         let (fx, fy) = model.node_xy(ch.from);
         let (tx, ty) = model.node_xy(ch.to);
+        // Spell the dimension-ordered route the eMesh will take: the
+        // full x leg first, then the y leg.
+        let (dx, dy) = (fx.abs_diff(tx), fy.abs_diff(ty));
         let hop = format!(
-            "core {} ({fx},{fy}) -> core {} ({tx},{ty}) is {d} hops",
+            "core {} ({fx},{fy}) -> core {} ({tx},{ty}) is {d} hops \
+             (XY route: {dx} along x, then {dy} along y)",
             ch.from, ch.to
         );
         if d > HOP_BUDGET {
@@ -85,6 +89,12 @@ mod tests {
         assert_eq!(d.code, "SL005");
         assert!(d.message.contains("(0,0)") && d.message.contains("(2,3)"));
         assert!(d.message.contains("5 hops"));
+        // The dimension-ordered legs the eMesh would route.
+        assert!(
+            d.message.contains("2 along x") && d.message.contains("3 along y"),
+            "{}",
+            d.message
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The `sarlint` binary's observable contract: exit status 0 for a
-//! clean analysis, 1 for hard findings, 2 for a bad command line.
+//! clean analysis, 1 for hard findings, 2 for a bad command line;
+//! `--json` emits one parseable document whose schema the CI gate
+//! reads, `--cost` appends a bounds summary per pair.
 
+use desim::Json;
 use std::process::Command;
 
 fn sarlint(args: &[&str]) -> std::process::Output {
@@ -18,6 +21,58 @@ fn all_registered_pairs_pass_the_gate() {
     assert!(
         stdout.contains("13 pair(s) analyzed, 0 hard finding(s)"),
         "{stdout}"
+    );
+}
+
+#[test]
+fn json_output_is_parseable_and_covers_every_pair() {
+    let out = sarlint(&["--all", "--small", "--json", "--cost"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = Json::parse(&stdout).expect("stdout is one JSON document");
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("sarlint"));
+    assert_eq!(doc.get("workload").and_then(Json::as_str), Some("small"));
+    assert_eq!(doc.get("pairs_analyzed").and_then(Json::as_u64), Some(13));
+    assert_eq!(doc.get("hard_findings").and_then(Json::as_u64), Some(0));
+    let pairs = doc
+        .get("pairs")
+        .and_then(Json::as_array)
+        .expect("pairs array");
+    assert_eq!(pairs.len(), 13);
+    for pair in pairs {
+        assert_eq!(pair.get("clean").and_then(Json::as_bool), Some(true));
+        assert!(pair.get("mapping").and_then(Json::as_str).is_some());
+        assert!(pair.get("platform").and_then(Json::as_str).is_some());
+        assert!(pair.get("diagnostics").and_then(Json::as_array).is_some());
+        // --cost attaches a cost object to every analyzable pair; the
+        // host pair carries bounded=false with null bound edges.
+        let cost = pair.get("cost").expect("costed pair");
+        let bounded = cost.get("bounded").and_then(Json::as_bool).expect("flag");
+        let cycles = cost.get("cycles").expect("cycles bound");
+        if bounded {
+            let lo = cycles.get("lo").and_then(Json::as_f64).expect("finite lo");
+            let hi = cycles.get("hi").and_then(Json::as_f64).expect("finite hi");
+            assert!(0.0 < lo && lo <= hi, "{pair:?}");
+        } else {
+            assert!(matches!(cycles.get("hi"), Some(Json::Null)), "{pair:?}");
+        }
+    }
+}
+
+#[test]
+fn cost_summary_prints_per_pair_in_prose_mode() {
+    let out = sarlint(&["--all", "--small", "--cost"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches("cost:").count(),
+        13,
+        "one cost line per pair:\n{stdout}"
+    );
+    assert!(stdout.contains("cost: cycles ["), "{stdout}");
+    assert!(
+        stdout.contains("cost: unbounded"),
+        "the host pair reports unbounded:\n{stdout}"
     );
 }
 

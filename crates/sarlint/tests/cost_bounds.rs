@@ -1,0 +1,59 @@
+//! The cost model's acceptance criterion (DESIGN.md §3 S19): for every
+//! registered Mapping × Platform pair, the static bounds must bracket
+//! the simulated run — `cycles.lo <= elapsed <= cycles.hi` and
+//! `total_j.lo <= energy <= total_j.hi`. Wall-clock pairs (the host
+//! mapping) are exempt: they report unbounded.
+
+use sar_epiphany::all_mappings;
+use sarlint::cost::cost_pair;
+use sim_harness::{all_platforms, run, Workload};
+
+#[test]
+fn static_bounds_bracket_every_simulated_pair() {
+    let mut bounded_pairs = 0;
+    let mut unbounded_pairs = 0;
+    for m in all_mappings() {
+        let w = Workload::named(m.kernel(), true).expect("registered kernel");
+        for p in all_platforms() {
+            if !m.supports(p.kind()) {
+                continue;
+            }
+            let pair = format!("{} x {}", m.name(), p.label());
+            let (cost, _lints) = cost_pair(m.as_ref(), &w, p.as_ref());
+            if !cost.bounded {
+                unbounded_pairs += 1;
+                assert_eq!(
+                    p.label(),
+                    "host",
+                    "{pair}: only wall-clock pairs may be unbounded"
+                );
+                continue;
+            }
+            bounded_pairs += 1;
+            let run = run(m.as_ref(), &w, p.as_ref()).expect("pair simulates");
+            let elapsed = run.record.elapsed.cycles.raw() as f64;
+            let energy = run.record.energy_j();
+            assert!(
+                cost.cycles.contains(elapsed),
+                "{pair}: elapsed {elapsed} outside cycle bound [{}, {}]",
+                cost.cycles.lo,
+                cost.cycles.hi
+            );
+            assert!(
+                cost.total_j.contains(energy),
+                "{pair}: energy {energy} J outside bound [{}, {}] J",
+                cost.total_j.lo,
+                cost.total_j.hi
+            );
+            assert!(
+                cost.cycles.lo > 0.0,
+                "{pair}: a simulated pair must have a non-trivial lower bound"
+            );
+        }
+    }
+    assert_eq!(
+        (bounded_pairs, unbounded_pairs),
+        (12, 1),
+        "12 simulated pairs bracketed, the host pair unbounded"
+    );
+}
