@@ -9,7 +9,10 @@
 //!   (the machine-model path: chip, meshes, SDRAM, counters),
 //! * **sweep** — cold-cache single-threaded [`run_grid`] cells per
 //!   second on `specs/scaling_demo.json` (the headline figure
-//!   `BENCH_simulator.json` pins).
+//!   `BENCH_simulator.json` pins),
+//! * **pricing** — candidate placements priced per second through the
+//!   `autotune` evaluator (probe wiring + static cost model), the
+//!   placement search's inner loop.
 //!
 //! Usage:
 //!
@@ -29,7 +32,7 @@ use std::time::Instant;
 use desim::Json;
 use emesh::network::EMeshParams;
 use emesh::{EMesh, Mesh2D, NodeId};
-use sim_harness::{platform_named, run, BenchHarness, Workload};
+use sim_harness::{platform_named, run, BenchHarness, Placement, Workload};
 use sweep::{CellCache, GridSpec};
 
 /// One measured set of the three probe metrics.
@@ -37,6 +40,7 @@ struct Metrics {
     mesh_transfer_ns: f64,
     spmd_runs_per_sec: f64,
     sweep_cells_per_sec: f64,
+    placement_prices_per_sec: f64,
 }
 
 impl Metrics {
@@ -46,6 +50,10 @@ impl Metrics {
             .with("mesh_transfer_ns", round1(self.mesh_transfer_ns))
             .with("spmd_runs_per_sec", round1(self.spmd_runs_per_sec))
             .with("sweep_cells_per_sec", round1(self.sweep_cells_per_sec))
+            .with(
+                "placement_prices_per_sec",
+                round1(self.placement_prices_per_sec),
+            )
     }
 }
 
@@ -109,6 +117,34 @@ fn bench_sweep(spec: &GridSpec, reps: u32) -> f64 {
     best
 }
 
+/// Candidate placements priced per second through the autotune
+/// evaluator: every legal move from the hand `neighbor` placement,
+/// cycled until `reps` candidates have been priced. This is the
+/// placement search's entire inner loop — model wiring plus the
+/// static cost model, no simulation.
+fn bench_pricing(reps: u32) -> f64 {
+    let eval = autotune::Evaluator::for_pair("autofocus_mpmd:epiphany", true).expect("tunable");
+    let space = autotune::PlacementSpace::for_mesh(eval.mesh());
+    let start = Placement::neighbor();
+    let moves = space.moves(&start);
+    // Warm once (the probe and platform tables are already built; this
+    // pays any lazy allocator costs).
+    black_box(eval.evaluate(&start));
+    let t0 = Instant::now();
+    let mut priced = 0u32;
+    'outer: loop {
+        for &mv in &moves {
+            if priced >= reps {
+                break 'outer;
+            }
+            let cand = autotune::PlacementSpace::apply(&start, mv);
+            black_box(eval.evaluate(&cand));
+            priced += 1;
+        }
+    }
+    f64::from(reps) / t0.elapsed().as_secs_f64()
+}
+
 /// `measured` regressed more than 2x against `recorded` (higher is
 /// better for throughputs; `inverted` flips that for latencies).
 fn regressed(recorded: f64, measured: f64, inverted: bool) -> bool {
@@ -152,6 +188,11 @@ fn check(path: &str, m: &Metrics) -> i32 {
         ("mesh_transfer_ns", m.mesh_transfer_ns, true),
         ("spmd_runs_per_sec", m.spmd_runs_per_sec, false),
         ("sweep_cells_per_sec", m.sweep_cells_per_sec, false),
+        (
+            "placement_prices_per_sec",
+            m.placement_prices_per_sec,
+            false,
+        ),
     ];
     for (key, measured, inverted) in checks {
         let recorded = get(key);
@@ -195,15 +236,16 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot read {spec_path}: {e}"));
     let spec = GridSpec::parse(&text).unwrap_or_else(|d| panic!("bad grid spec: {d}"));
 
-    let (mesh_n, spmd_reps, sweep_reps) = if quick {
-        (200_000, 3, 1)
+    let (mesh_n, spmd_reps, sweep_reps, price_reps) = if quick {
+        (200_000, 3, 1, 2_000)
     } else {
-        (2_000_000, 10, 4)
+        (2_000_000, 10, 4, 20_000)
     };
     let metrics = Metrics {
         mesh_transfer_ns: bench_mesh(mesh_n),
         spmd_runs_per_sec: bench_spmd(spmd_reps),
         sweep_cells_per_sec: bench_sweep(&spec, sweep_reps),
+        placement_prices_per_sec: bench_pricing(price_reps),
     };
     if h.json() {
         println!("{}", metrics.to_json("measured").to_string_pretty());
@@ -219,6 +261,10 @@ fn main() {
         println!(
             "sweep ({}): {:>10.1} cells/sec",
             spec.name, metrics.sweep_cells_per_sec
+        );
+        println!(
+            "placement pricing: {:>10.1} placements/sec",
+            metrics.placement_prices_per_sec
         );
     }
 

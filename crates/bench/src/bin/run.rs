@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
-//!     [--workload ffbp|autofocus] [--placement neighbor|scattered] \
+//!     [--workload ffbp|autofocus] \
+//!     [--placement neighbor|scattered|@placement.json] \
 //!     [--faults spec.json] [--seed N] \
 //!     [--small] [--json] [--list] [--analyze] [--cost] [--trace out.json] \
 //!     [--heatmap] [--power]
@@ -32,9 +33,16 @@
 //! land in the record (`faults_injected`, `retries`, …). Same seed +
 //! same spec reproduce the run exactly.
 //!
+//! `--placement` accepts the hand names or `@path/to/placement.json`
+//! — a file the `autotune` binary's `--placement-out` writes — so a
+//! tuned placement is simulated through the identical path as the
+//! hand ones.
+//!
 //! Bad command lines exit 2 with a `CLI***` diagnostic on stderr:
-//! `CLI004` for a malformed `--seed`, `CLI005` for an unreadable or
-//! malformed `--faults` spec.
+//! `CLI003` for an unknown `--placement` name, `CLI004` for a
+//! malformed `--seed`, `CLI005` for an unreadable or malformed
+//! `--faults` spec, `CLI007` for an unreadable, malformed or
+//! out-of-bounds `--placement` file.
 
 use sar_epiphany::autofocus_mpmd::Placement;
 use sar_epiphany::harness_impls::{all_mappings, mapping_named_placed};
@@ -68,24 +76,24 @@ fn operand<'a>(h: &'a BenchHarness, name: &str) -> Option<&'a str> {
     h.operand(name).unwrap_or_else(|d| fail(&d))
 }
 
-/// What the selector flags resolved to: mappings, platforms, and the
-/// optional kernel filter.
+/// What the selector flags resolved to: mappings, platforms, the
+/// optional kernel filter, and the resolved `--placement` override
+/// (with its original spelling for diagnostics).
 type Selection = (
     Vec<Box<dyn Mapping>>,
     Vec<Box<dyn Platform>>,
     Option<String>,
+    Option<(String, Placement)>,
 );
 
 fn selection(h: &BenchHarness) -> Selection {
-    let place = operand(h, "placement").map_or_else(Placement::neighbor, |name| {
-        Placement::named(name).unwrap_or_else(|| {
-            fail(&Diagnostic::hard(
-                "CLI003",
-                format!("--placement {name}"),
-                "unknown placement; expected 'neighbor' or 'scattered'",
-            ))
-        })
+    let placed = operand(h, "placement").map(|spec| {
+        let p = Placement::resolve(spec).unwrap_or_else(|d| fail(&d));
+        (spec.to_string(), p)
     });
+    let place = placed
+        .as_ref()
+        .map_or_else(Placement::neighbor, |(_, p)| *p);
     let mappings = match operand(h, "mapping") {
         Some(name) => vec![mapping_named_placed(name, place).unwrap_or_else(|| {
             fail(&Diagnostic::hard(
@@ -119,12 +127,12 @@ fn selection(h: &BenchHarness) -> Selection {
             ));
         }
     }
-    (mappings, platforms, kernel)
+    (mappings, platforms, kernel, placed)
 }
 
 fn main() {
     let mut h = BenchHarness::new("run");
-    let (mappings, platforms, kernel) = selection(&h);
+    let (mappings, platforms, kernel, placed) = selection(&h);
 
     if h.flag("list") {
         println!("mappings  :");
@@ -136,7 +144,7 @@ fn main() {
             println!("  {}", p.label());
         }
         println!("workloads : ffbp, autofocus");
-        println!("placements: neighbor, scattered");
+        println!("placements: neighbor, scattered, @path/to/placement.json");
         return;
     }
 
@@ -195,6 +203,24 @@ fn main() {
         for p in &platforms {
             if !m.supports(p.kind()) {
                 continue; // unsupported pair — skip, don't fail
+            }
+            if let Some((spec, pl)) = &placed {
+                // An out-of-bounds placement would panic deep inside
+                // the drivers; refuse it up front, per platform mesh.
+                if let Some(ep) = p.epiphany_params() {
+                    if !pl.fits(ep.mesh_cols, ep.mesh_rows) {
+                        fail(&Diagnostic::hard(
+                            "CLI007",
+                            format!("--placement {spec}"),
+                            format!(
+                                "placement does not fit the {}x{} {} mesh",
+                                ep.mesh_cols,
+                                ep.mesh_rows,
+                                p.label()
+                            ),
+                        ));
+                    }
+                }
             }
             if h.flag("analyze") {
                 let report = sarlint::analyze_pair(m.as_ref(), &workload, p.as_ref());

@@ -147,6 +147,42 @@ impl Mesh2D {
         out
     }
 
+    /// `(x, y)` of the row-major node index `id`.
+    ///
+    /// Shared coordinate helper: every layer that reasons about node
+    /// positions (program models, placement lints, the cost model, the
+    /// placement autotuner) derives coordinates from here so they can
+    /// never disagree about the geometry.
+    ///
+    /// # Panics
+    /// If `id` is outside the mesh.
+    pub fn xy(&self, id: usize) -> (u16, u16) {
+        let c = self.coord(NodeId(u16::try_from(id).expect("node id fits u16")));
+        (c.x, c.y)
+    }
+
+    /// XY-routed hop count between the row-major node indices `a` and
+    /// `b` (the Manhattan distance; injection/ejection excluded).
+    ///
+    /// # Panics
+    /// If either id is outside the mesh.
+    pub fn hops(&self, a: usize, b: usize) -> u16 {
+        let (dx, dy) = self.xy_legs(a, b);
+        dx + dy
+    }
+
+    /// The two legs of the dimension-ordered XY route between the
+    /// row-major node indices `a` and `b`: `(|dx|, |dy|)` — first along
+    /// x, then along y.
+    ///
+    /// # Panics
+    /// If either id is outside the mesh.
+    pub fn xy_legs(&self, a: usize, b: usize) -> (u16, u16) {
+        let (ax, ay) = self.xy(a);
+        let (bx, by) = self.xy(b);
+        (ax.abs_diff(bx), ay.abs_diff(by))
+    }
+
     /// The node whose east edge hosts the off-chip eLink on the E16G3
     /// evaluation board: the east-most node of row 2 in a 4x4 array
     /// (clamped for other sizes).
@@ -201,6 +237,20 @@ mod tests {
                 assert_eq!(c.manhattan(nb), 1);
             }
         }
+    }
+
+    #[test]
+    fn id_level_helpers_match_coord_arithmetic() {
+        let m = Mesh2D::new(5, 3);
+        for a in m.nodes() {
+            for b in m.nodes() {
+                let d = m.coord(a).manhattan(m.coord(b));
+                assert_eq!(u32::from(m.hops(a.raw(), b.raw())), d);
+                let (dx, dy) = m.xy_legs(a.raw(), b.raw());
+                assert_eq!(u32::from(dx) + u32::from(dy), d);
+            }
+        }
+        assert_eq!(m.xy(7), (2, 1));
     }
 
     #[test]

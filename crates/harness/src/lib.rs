@@ -24,6 +24,7 @@ pub mod cli;
 pub mod diag;
 pub mod mapping;
 pub mod model;
+pub mod placement;
 pub mod platform;
 pub mod workload;
 
@@ -36,6 +37,7 @@ pub use model::{
     BarrierDecl, Bound, BufferDecl, ChannelDecl, FlagDecl, PhaseDecl, ProgramModel, TrafficDecl,
     WorkDecl,
 };
+pub use placement::Placement;
 pub use platform::{
     all_platforms, platform_named, EpiphanyPlatform, HostPlatform, Platform, PlatformKind,
     RefCpuPlatform, EPIPHANY_POWER_W, INTEL_POWER_W,

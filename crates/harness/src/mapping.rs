@@ -12,20 +12,26 @@ use faultsim::FaultState;
 use sar_core::image::ComplexImage;
 
 use crate::model::ProgramModel;
+use crate::placement::Placement;
 use crate::platform::{Platform, PlatformKind};
 use crate::workload::Workload;
 
 /// Everything a driver may consult while executing: the run's event
-/// timeline and its fault schedule. [`run_ctx`] passes it through to
-/// [`Mapping::execute_ctx`]; [`run_traced`] wraps a bare tracer in a
-/// fault-free context, so the two entry points price identically when
-/// no faults are armed.
+/// timeline, its fault schedule, and an optional placement override.
+/// [`run_ctx`] passes it through to [`Mapping::execute_ctx`];
+/// [`run_traced`] wraps a bare tracer in a fault-free context, so the
+/// two entry points price identically when no faults are armed.
 #[derive(Clone)]
 pub struct RunContext {
     /// Event timeline (disabled unless the caller requested a trace).
     pub tracer: Tracer,
     /// Fault schedule (disabled unless the caller armed one).
     pub faults: FaultState,
+    /// Placement override for placement-aware mappings (`None` keeps
+    /// the mapping's own placement). Mappings without a placement
+    /// ignore it — injecting a placement never changes kernel results,
+    /// only routing.
+    pub placement: Option<Placement>,
 }
 
 impl Default for RunContext {
@@ -33,6 +39,7 @@ impl Default for RunContext {
         RunContext {
             tracer: Tracer::disabled(),
             faults: FaultState::disabled(),
+            placement: None,
         }
     }
 }
@@ -55,6 +62,13 @@ impl RunContext {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultState) -> RunContext {
         self.faults = faults;
+        self
+    }
+
+    /// Override the placement of placement-aware mappings.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> RunContext {
+        self.placement = Some(placement);
         self
     }
 }

@@ -345,17 +345,38 @@ impl ProgramModel {
         !self.workload.is_empty()
     }
 
-    /// `(x, y)` mesh coordinates of row-major node `core`.
-    pub fn node_xy(&self, core: usize) -> (u16, u16) {
-        let cols = self.mesh.0.max(1) as usize;
-        ((core % cols) as u16, (core / cols) as u16)
+    /// The mesh geometry as an [`emesh::Mesh2D`] — the shared source
+    /// of truth for all coordinate/hop arithmetic.
+    pub fn mesh2d(&self) -> emesh::Mesh2D {
+        emesh::Mesh2D::new(self.mesh.0.max(1), self.mesh.1.max(1))
     }
 
-    /// Manhattan distance between two cores on the mesh.
+    /// `(x, y)` mesh coordinates of row-major node `core`.
+    ///
+    /// # Panics
+    /// If `core` is off the mesh (callers gate on mesh membership
+    /// first; see the `SL005` off-mesh check).
+    pub fn node_xy(&self, core: usize) -> (u16, u16) {
+        self.mesh2d().xy(core)
+    }
+
+    /// Manhattan distance between two cores on the mesh — the XY-routed
+    /// hop count, delegated to [`emesh::Mesh2D::hops`] so the program
+    /// model, the placement lint and the cost model can never disagree.
+    ///
+    /// # Panics
+    /// If either core is off the mesh.
     pub fn manhattan(&self, a: usize, b: usize) -> u16 {
-        let (ax, ay) = self.node_xy(a);
-        let (bx, by) = self.node_xy(b);
-        ax.abs_diff(bx) + ay.abs_diff(by)
+        self.mesh2d().hops(a, b)
+    }
+
+    /// Dimension-ordered XY route legs `(|dx|, |dy|)` between two
+    /// cores, delegated to [`emesh::Mesh2D::xy_legs`].
+    ///
+    /// # Panics
+    /// If either core is off the mesh.
+    pub fn xy_legs(&self, a: usize, b: usize) -> (u16, u16) {
+        self.mesh2d().xy_legs(a, b)
     }
 }
 

@@ -33,104 +33,10 @@ pub fn params() -> EpiphanyParams {
     }
 }
 
-/// Which core runs which pipeline stage. Indexing: `[block][instance]`
-/// with block 0 = `f-`, block 1 = `f+`.
-#[derive(Debug, Clone, Copy)]
-pub struct Placement {
-    /// Range-interpolator cores.
-    pub range: [[usize; 3]; 2],
-    /// Beam-interpolator cores.
-    pub beam: [[usize; 3]; 2],
-    /// Correlation/summation core.
-    pub corr: usize,
-}
-
-impl Placement {
-    /// The paper-style neighbour mapping on the 4x4 mesh: each block's
-    /// range column feeds an adjacent beam column, and both beam
-    /// columns sit next to the correlator.
-    pub fn neighbor() -> Placement {
-        // Node ids are row-major on the 4x4 mesh: id = y * 4 + x.
-        Placement {
-            range: [[0, 4, 8], [3, 7, 11]], // columns x=0 and x=3
-            beam: [[1, 5, 9], [2, 6, 10]],  // columns x=1 and x=2
-            corr: 13,                       // (x=1, y=3)
-        }
-    }
-
-    /// A deliberately bad mapping (ablation): producers and consumers
-    /// scattered to opposite corners.
-    pub fn scattered() -> Placement {
-        Placement {
-            range: [[0, 10, 5], [15, 1, 12]],
-            beam: [[14, 3, 8], [2, 13, 4]],
-            corr: 7,
-        }
-    }
-
-    /// Resolve a `--placement` name: `"neighbor"` or `"scattered"`.
-    pub fn named(name: &str) -> Option<Placement> {
-        match name {
-            "neighbor" => Some(Placement::neighbor()),
-            "scattered" => Some(Placement::scattered()),
-            _ => None,
-        }
-    }
-
-    /// The placement with every occurrence of `dead` replaced by
-    /// `spare` — the spare-core remap recovery move. The stage shape
-    /// is untouched; only the node id changes.
-    #[must_use]
-    pub fn remap(&self, dead: usize, spare: usize) -> Placement {
-        let sub = |c: usize| if c == dead { spare } else { c };
-        Placement {
-            range: self.range.map(|col| col.map(sub)),
-            beam: self.beam.map(|col| col.map(sub)),
-            corr: sub(self.corr),
-        }
-    }
-
-    /// The placement re-expressed on a `(cols, rows)` mesh. Placement
-    /// ids are canonically written row-major for the 4-column E16G3
-    /// mesh; rebasing keeps every core's `(x, y)` coordinate — and
-    /// therefore every producer-consumer hop count — while renumbering
-    /// into the target mesh's row-major id space. Identity on a
-    /// 4-column mesh.
-    ///
-    /// # Panics
-    /// If a coordinate falls off the target mesh.
-    #[must_use]
-    pub fn rebased(&self, cols: u16, rows: u16) -> Placement {
-        let sub = |c: usize| {
-            let (x, y) = (c % 4, c / 4);
-            assert!(
-                x < cols as usize && y < rows as usize,
-                "placement core {c} at ({x},{y}) falls off a {cols}x{rows} mesh"
-            );
-            y * cols as usize + x
-        };
-        Placement {
-            range: self.range.map(|col| col.map(sub)),
-            beam: self.beam.map(|col| col.map(sub)),
-            corr: sub(self.corr),
-        }
-    }
-
-    /// All thirteen distinct cores.
-    pub fn cores(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .range
-            .iter()
-            .chain(self.beam.iter())
-            .flatten()
-            .copied()
-            .collect();
-        v.push(self.corr);
-        v.sort_unstable();
-        v.dedup();
-        v
-    }
-}
+// The placement type lives in the harness (so `RunContext` can carry
+// an override and `autotune` can search over it); re-exported here
+// where it historically lived, next to the drivers that consume it.
+pub use sim_harness::Placement;
 
 /// Outcome of the MPMD run.
 pub struct AutofocusMpmdRun {

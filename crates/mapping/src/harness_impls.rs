@@ -369,7 +369,7 @@ impl Mapping for AutofocusMpmdMapping {
         let r = autofocus_mpmd::run_faulted(
             w,
             params,
-            self.place,
+            ctx.placement.unwrap_or(self.place),
             ctx.tracer.clone(),
             ctx.faults.clone(),
         );
@@ -433,6 +433,19 @@ impl Mapping for AutofocusNetMapping {
         };
         run.record.set_metric("firings", r.firings as f64);
         Ok(run)
+    }
+    fn execute_ctx(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        ctx: &RunContext,
+    ) -> Result<MappingRun, HarnessError> {
+        // The process network has no fault-recovery story, so only the
+        // tracer and the placement override flow through.
+        let placed = AutofocusNetMapping {
+            place: ctx.placement.unwrap_or(self.place),
+        };
+        placed.execute(workload, platform, &ctx.tracer)
     }
     fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
         workload.autofocus().map(|w| {

@@ -255,23 +255,81 @@ pub fn autofocus_pipeline_model(
     place: &Placement,
     mesh: (u16, u16),
 ) -> ProgramModel {
-    // The streams network waits once per firing — range actors wait on
-    // their command tokens too, unlike the hand-written MPMD driver.
-    pipeline_model_with(w, place, mesh, 3.0)
+    PipelineProbe::net(w).model(place, mesh)
 }
 
-fn pipeline_model_with(
-    w: &AutofocusWorkload,
-    place: &Placement,
-    mesh: (u16, u16),
+/// The placement-independent half of the pipeline model: per-firing op
+/// counts probed from the kernels plus the workload's message
+/// geometry. Probing runs the actual stage kernels (the expensive
+/// part); [`PipelineProbe::model`] only wires a placement, so a
+/// placement search probes once and rebuilds models per candidate
+/// cheaply.
+pub struct PipelineProbe {
+    range_ops: OpCounts,
+    beam_ops: OpCounts,
+    corr_ops: OpCounts,
+    per_it: u32,
+    hypotheses: u64,
+    /// Flag waits a range core pays per hypothesis (the streams
+    /// network's actors wait on command tokens; the hand-written MPMD
+    /// driver's range cores never wait).
     range_waits_per_hyp: f64,
-) -> ProgramModel {
+    /// Whether every channel carries the MPMD driver's recovery story.
+    mpmd_recovery: bool,
+}
+
+impl PipelineProbe {
+    /// Probe for the `streams` process network (`autofocus_net`).
+    pub fn net(w: &AutofocusWorkload) -> PipelineProbe {
+        // The streams network waits once per firing — range actors
+        // wait on their command tokens too, unlike the hand-written
+        // MPMD driver.
+        PipelineProbe::probed(w, 3.0, false)
+    }
+
+    /// Probe for the hand-written MPMD driver (`autofocus_mpmd`).
+    pub fn mpmd(w: &AutofocusWorkload) -> PipelineProbe {
+        // The hand-written driver's range cores never wait — they fire
+        // as soon as the host loop reaches them.
+        PipelineProbe::probed(w, 0.0, true)
+    }
+
+    fn probed(
+        w: &AutofocusWorkload,
+        range_waits_per_hyp: f64,
+        mpmd_recovery: bool,
+    ) -> PipelineProbe {
+        let (range_ops, beam_ops, corr_ops) = probe_autofocus_stages(w);
+        PipelineProbe {
+            range_ops,
+            beam_ops,
+            corr_ops,
+            per_it: u32::try_from(w.config.samples_per_iteration()).expect("samples fit u32"),
+            hypotheses: w.hypotheses as u64,
+            range_waits_per_hyp,
+            mpmd_recovery,
+        }
+    }
+
+    /// Wire the probed workload onto `place` (no kernel execution).
+    pub fn model(&self, place: &Placement, mesh: (u16, u16)) -> ProgramModel {
+        let mut m = pipeline_model_from(self, place, mesh);
+        if self.mpmd_recovery {
+            let covered = m.declare_recovery("range", "retry_backoff+drain_restart")
+                + m.declare_recovery("beam", "retry_backoff+drain_restart");
+            debug_assert!(covered > 0, "the pipeline's channels must match");
+        }
+        m
+    }
+}
+
+fn pipeline_model_from(probe: &PipelineProbe, place: &Placement, mesh: (u16, u16)) -> ProgramModel {
     let mut m = ProgramModel::new(mesh.0, mesh.1);
     // Placements use canonical E16G3 (4-column) ids; the model mirrors
     // the drivers and renumbers onto the target mesh.
     let place = place.rebased(mesh.0, mesh.1);
     m.cores = place.cores();
-    let per_it = u32::try_from(w.config.samples_per_iteration()).expect("samples fit u32");
+    let per_it = probe.per_it;
     let range_msg = 6 * per_it * 8;
     let beam_msg = 3 * per_it * 8;
 
@@ -332,7 +390,6 @@ fn pipeline_model_with(
     // three iterations of range -> beam -> correlate, every stage's
     // per-firing op counts probed from the kernels themselves.
     m.pairing_efficiency = Some(AUTOFOCUS_PAIRING);
-    let (range_ops, beam_ops, corr_ops) = probe_autofocus_stages(w);
     let setup = m.phase("setup", 1);
     for range_cores in &place.range {
         for &rc in range_cores {
@@ -342,13 +399,13 @@ fn pipeline_model_with(
             setup.work.push(wd);
         }
     }
-    let ph = m.phase("hypothesis", w.hypotheses as u64);
+    let ph = m.phase("hypothesis", probe.hypotheses);
     for (blk, range_cores) in place.range.iter().enumerate() {
         for &rc in range_cores {
             let mut wd = WorkDecl::new(rc);
-            wd.exact_ops(range_ops.scaled(3));
+            wd.exact_ops(probe.range_ops.scaled(3));
             wd.compute_calls = Bound::exact(3.0);
-            wd.flag_waits = Bound::exact(range_waits_per_hyp);
+            wd.flag_waits = Bound::exact(probe.range_waits_per_hyp);
             ph.work.push(wd);
             for &bc in &place.beam[blk] {
                 ph.traffic.push(TrafficDecl {
@@ -363,7 +420,7 @@ fn pipeline_model_with(
     for beam_cores in &place.beam {
         for &bc in beam_cores {
             let mut wd = WorkDecl::new(bc);
-            wd.exact_ops(beam_ops.scaled(3));
+            wd.exact_ops(probe.beam_ops.scaled(3));
             wd.compute_calls = Bound::exact(3.0);
             wd.flag_waits = Bound::exact(3.0);
             ph.work.push(wd);
@@ -376,7 +433,7 @@ fn pipeline_model_with(
         }
     }
     let mut wd = WorkDecl::new(place.corr);
-    wd.exact_ops(corr_ops.scaled(3));
+    wd.exact_ops(probe.corr_ops.scaled(3));
     wd.compute_calls = Bound::exact(3.0);
     wd.flag_waits = Bound::exact(3.0);
     wd.ext_write_msgs = Bound::exact(1.0);
@@ -397,13 +454,7 @@ pub fn autofocus_mpmd_model(
     place: &Placement,
     mesh: (u16, u16),
 ) -> ProgramModel {
-    // The hand-written driver's range cores never wait — they fire as
-    // soon as the host loop reaches them.
-    let mut m = pipeline_model_with(w, place, mesh, 0.0);
-    let covered = m.declare_recovery("range", "retry_backoff+drain_restart")
-        + m.declare_recovery("beam", "retry_backoff+drain_restart");
-    debug_assert!(covered > 0, "the pipeline's channels must match");
-    m
+    PipelineProbe::mpmd(w).model(place, mesh)
 }
 
 /// FFBP on the single-core reference CPU: no mesh, no banks — the

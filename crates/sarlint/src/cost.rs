@@ -30,7 +30,7 @@
 //! between all-L1 and all-DRAM at the declared cache-line touch
 //! counts, and carries the paper's flat 17.5 W datasheet power.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use desim::{Json, OpCounts};
 use emesh::{route_xy, Mesh2D};
@@ -219,7 +219,9 @@ impl Acc {
 }
 
 /// Per-link load map: `(mesh id, node, direction index) -> cycles`.
-type LinkLoads = HashMap<(u8, usize, usize), f64>;
+/// Ordered so the float folds below visit links in a fixed order —
+/// byte-identical cost reports across processes require it.
+type LinkLoads = BTreeMap<(u8, usize, usize), f64>;
 
 /// Accumulate `wire / rate` serialization cycles on every link of the
 /// XY route `from -> to` of mesh `mesh_id`.
@@ -273,8 +275,9 @@ fn epiphany_phase(
     let wic = p.write_issue_cycles_per_dword.max(1) as f64;
     let rounds = ph.rounds as f64;
 
-    // Per-round, per-core serial work.
-    let mut serial: HashMap<usize, Acc> = HashMap::new();
+    // Per-round, per-core serial work (ordered: the hi-sum below is a
+    // float fold whose result must not depend on hash order).
+    let mut serial: BTreeMap<usize, Acc> = BTreeMap::new();
     // Busiest core's pure compute (op-count) work — the reference the
     // SL013/SL014 lints compare resource occupancies against.
     let mut comp_max = Acc::default();
@@ -641,6 +644,24 @@ pub fn lint(cost: &CostReport, report: &mut Report) {
     }
 }
 
+/// Price an already-built [`ProgramModel`] on `platform` — the
+/// placement-search entry point: the autotuner builds one model per
+/// candidate placement and re-prices it here without resolving a
+/// mapping each time. Models without workload declarations (and
+/// wall-clock platforms) get the vacuous unbounded report.
+pub fn cost_model(model: &ProgramModel, platform: &dyn Platform) -> CostReport {
+    if !model.has_workload() {
+        return CostReport::unbounded();
+    }
+    match platform.kind() {
+        PlatformKind::Epiphany => {
+            epiphany_cost(model, &platform.epiphany_params().unwrap_or_default())
+        }
+        PlatformKind::RefCpu => refcpu_cost(model, &platform.refcpu_params().unwrap_or_default()),
+        PlatformKind::Host => CostReport::unbounded(),
+    }
+}
+
 /// Cost one registered Mapping × Platform pair: resolve the model,
 /// evaluate the platform's analytical bounds, and run the cost lints.
 /// Pairs without workload declarations (host threads, model-less
@@ -663,13 +684,7 @@ pub fn cost_pair(
         ));
         return (CostReport::unbounded(), report);
     };
-    let cost = match platform.kind() {
-        PlatformKind::Epiphany => {
-            epiphany_cost(&model, &platform.epiphany_params().unwrap_or_default())
-        }
-        PlatformKind::RefCpu => refcpu_cost(&model, &platform.refcpu_params().unwrap_or_default()),
-        PlatformKind::Host => CostReport::unbounded(),
-    };
+    let cost = cost_model(&model, platform);
     if cost.bounded {
         lint(&cost, &mut report);
     } else {

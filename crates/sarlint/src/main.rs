@@ -48,13 +48,8 @@ fn main() -> ExitCode {
 fn check(h: &BenchHarness) -> Result<usize, Diagnostic> {
     let place = match h.operand("placement")? {
         None => None,
-        Some(name) => Some(Placement::named(name).ok_or_else(|| {
-            Diagnostic::hard(
-                "CLI003",
-                format!("--placement {name}"),
-                "unknown placement; expected 'neighbor' or 'scattered'",
-            )
-        })?),
+        // Literal names or @path/to/placement.json (CLI003 / CLI007).
+        Some(spec) => Some(Placement::resolve(spec)?),
     };
 
     let mappings: Vec<Box<dyn Mapping>> = match h.operand("mapping")? {

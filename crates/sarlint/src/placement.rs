@@ -33,8 +33,9 @@ pub fn check(model: &ProgramModel, report: &mut Report) {
         let (fx, fy) = model.node_xy(ch.from);
         let (tx, ty) = model.node_xy(ch.to);
         // Spell the dimension-ordered route the eMesh will take: the
-        // full x leg first, then the y leg.
-        let (dx, dy) = (fx.abs_diff(tx), fy.abs_diff(ty));
+        // full x leg first, then the y leg (shared arithmetic with the
+        // cost model via `emesh`).
+        let (dx, dy) = model.xy_legs(ch.from, ch.to);
         let hop = format!(
             "core {} ({fx},{fy}) -> core {} ({tx},{ty}) is {d} hops \
              (XY route: {dx} along x, then {dy} along y)",
