@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run -p bench --bin run --release -- [--mapping M] [--platform P] \
-//!     [--workload ffbp|autofocus] \
+//!     [--workload ffbp|rda|autofocus] \
 //!     [--placement neighbor|scattered|@placement.json] \
 //!     [--faults spec.json] [--seed N] \
 //!     [--small] [--json] [--list] [--analyze] [--cost] [--trace out.json] \
@@ -123,7 +123,7 @@ fn selection(h: &BenchHarness) -> Selection {
             fail(&Diagnostic::hard(
                 "CLI001",
                 format!("--workload {k}"),
-                "unknown workload name; expected 'ffbp' or 'autofocus'",
+                "unknown workload name; expected 'ffbp', 'rda' or 'autofocus'",
             ));
         }
     }
@@ -143,7 +143,7 @@ fn main() {
         for p in all_platforms() {
             println!("  {}", p.label());
         }
-        println!("workloads : ffbp, autofocus");
+        println!("workloads : ffbp, rda, autofocus");
         println!("placements: neighbor, scattered, @path/to/placement.json");
         return;
     }

@@ -23,6 +23,9 @@
 //! * [`ffbp`] — fast factorized back-projection with merge base 2 (or
 //!   4), nearest-neighbour/linear/cubic interpolation, and the polar
 //!   subaperture grids,
+//! * [`rda`] — the Range–Doppler Algorithm: matched-filter range
+//!   compression, corner turn + azimuth FFT, range-cell migration
+//!   correction, azimuth compression (the transpose-heavy family),
 //! * [`autofocus`] — the autofocus criterion calculation: Neville
 //!   cubic interpolation in range and beam, correlation criterion
 //!   (eq. 6), and the flight-path shift search,
@@ -40,6 +43,7 @@ pub mod geometry;
 pub mod image;
 pub mod parallel;
 pub mod quality;
+pub mod rda;
 pub mod scene;
 pub mod signal;
 pub mod track;

@@ -1,0 +1,36 @@
+//! Range–Doppler Algorithm (RDA) image formation.
+//!
+//! The classic transpose-heavy SAR formation pipeline, as a second
+//! kernel family next to FFBP:
+//!
+//! 1. **Range compression** — each raw echo row is matched-filtered
+//!    against the transmitted chirp (frequency domain, via the in-tree
+//!    radix-2 FFT).
+//! 2. **Corner turn + azimuth FFT** — the matrix is transposed from
+//!    pulse-major to bin-major and every range bin's pulse history is
+//!    transformed to the Doppler domain. On the manycore mappings this
+//!    is the phase whose dominant cost is eMesh/SDRAM transpose
+//!    traffic, not arithmetic.
+//! 3. **Range-cell migration correction (RCMC)** — in the
+//!    range–Doppler domain a target's curved range history collapses
+//!    to a Doppler-dependent shift `delta(bin, m)`; each sample is
+//!    gathered from `bin + delta` (nearest-neighbour).
+//! 4. **Azimuth compression** — per range bin, the Doppler spectrum is
+//!    multiplied by the conjugate FFT of the azimuth reference
+//!    (hyperbolic phase history at that range) and inverse-transformed
+//!    back to a focused azimuth line.
+//!
+//! Every stage kernel takes a `&mut OpCounts` and accrues a
+//! *data-independent* operation ledger: the counts depend only on the
+//! geometry and configuration, never on sample values. The mapping
+//! drivers and the `sarlint` program-model probes call the same
+//! functions, so declared work is exact by construction.
+
+mod pipeline;
+mod stages;
+
+pub use pipeline::{rda, RdaConfig, RdaRun};
+pub use stages::{
+    azimuth_compress, azimuth_reference, doppler_spectrum, fft_ops, ifft_ops, range_compress_row,
+    rcmc_correct, rcmc_shift, RCMC_MAX_SIN,
+};

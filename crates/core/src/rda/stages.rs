@@ -1,0 +1,257 @@
+//! Counted RDA stage kernels.
+//!
+//! Each function both performs its stage on host data and accrues the
+//! canonical operation ledger into an [`OpCounts`]. The ledger is
+//! data-independent: for a fixed geometry and configuration every call
+//! charges exactly the same counts regardless of sample values (RCMC
+//! charges its shift arithmetic whether or not the gather lands inside
+//! the swath). The mapping drivers and the static program-model probes
+//! rely on this to stay bit-exact with each other.
+
+use desim::OpCounts;
+
+use crate::complex::c32;
+use crate::geometry::SarGeometry;
+use crate::image::ComplexImage;
+use crate::signal::{fft_inplace, ifft_inplace, MatchedFilter};
+
+/// Operation ledger for one in-place radix-2 FFT of length `n`
+/// (power of two): `(n/2)·log2(n)` butterflies, each a complex
+/// multiply (2 FMA + 2 flops), an add/sub pair (4 flops), the twiddle
+/// recurrence (2 FMA + 2 flops -- folded into the per-butterfly FMA
+/// and flop charges below), two complex loads and stores, plus the
+/// bit-reversal pass.
+pub fn fft_ops(n: usize, counts: &mut OpCounts) {
+    debug_assert!(n.is_power_of_two());
+    let stages = n.trailing_zeros() as u64;
+    let b = (n as u64 / 2) * stages;
+    counts.fmas += 4 * b;
+    counts.flops += 6 * b;
+    counts.loads += 4 * b;
+    counts.stores += 4 * b;
+    counts.ialu += 2 * b + n as u64;
+}
+
+/// [`fft_ops`] plus the `1/N` normalisation pass of the inverse FFT.
+pub fn ifft_ops(n: usize, counts: &mut OpCounts) {
+    fft_ops(n, counts);
+    counts.divs += 2 * n as u64;
+    counts.loads += 2 * n as u64;
+    counts.stores += 2 * n as u64;
+}
+
+/// Range-compress one raw echo row: zero-pad to the filter's FFT
+/// length, forward FFT, conjugate-reference multiply, inverse FFT,
+/// truncate to `num_bins`.
+pub fn range_compress_row(
+    mf: &MatchedFilter,
+    echo: &[c32],
+    num_bins: usize,
+    counts: &mut OpCounts,
+) -> Vec<c32> {
+    let l = mf.fft_len() as u64;
+    // Stage in/out copies.
+    counts.loads += 2 * echo.len() as u64 + 2 * num_bins as u64;
+    counts.stores += 2 * l + 2 * num_bins as u64;
+    // FFT, pointwise reference multiply, inverse FFT.
+    fft_ops(mf.fft_len(), counts);
+    counts.fmas += 2 * l;
+    counts.flops += 2 * l;
+    counts.loads += 4 * l;
+    counts.stores += 2 * l;
+    counts.ialu += l;
+    ifft_ops(mf.fft_len(), counts);
+    let mut compressed = mf.compress(echo);
+    compressed.truncate(num_bins);
+    compressed
+}
+
+/// Azimuth FFT of one range bin's pulse history (the Doppler
+/// spectrum). `column` length must be a power of two.
+pub fn doppler_spectrum(column: &[c32], counts: &mut OpCounts) -> Vec<c32> {
+    counts.loads += 2 * column.len() as u64;
+    counts.stores += 2 * column.len() as u64;
+    let mut g = column.to_vec();
+    fft_inplace(&mut g);
+    fft_ops(g.len(), counts);
+    g
+}
+
+/// Doppler bins whose implied squint exceeds this `|sin theta|` are
+/// clamped; the resulting huge migration pushes the gather off the end
+/// of the swath, which zeroes the (unphysical) bin.
+pub const RCMC_MAX_SIN: f32 = 0.95;
+
+/// Range-cell migration for Doppler bin `doppler` at range bin `bin`,
+/// in whole range bins (nearest-neighbour, always >= 0).
+///
+/// Doppler index `m` maps to squint `sin theta = lambda m~ / (2 N d)`
+/// (`m~` the signed alias of `m`, `d` the pulse spacing); a scatterer
+/// seen at squint `theta` sits `R (1/cos theta - 1)` beyond its
+/// closest-approach range.
+pub fn rcmc_shift(geom: &SarGeometry, bin: usize, doppler: usize) -> usize {
+    let n = geom.num_pulses;
+    let m_signed = if doppler * 2 < n {
+        doppler as f32
+    } else {
+        doppler as f32 - n as f32
+    };
+    let sin_t = (geom.wavelength * m_signed / (2.0 * n as f32 * geom.pulse_spacing))
+        .clamp(-RCMC_MAX_SIN, RCMC_MAX_SIN);
+    let cos_t = (1.0 - sin_t * sin_t).sqrt();
+    let migration = geom.bin_range(bin) * (1.0 / cos_t - 1.0);
+    (migration / geom.dr).round() as usize
+}
+
+/// Apply RCMC to range bin `bin` of the bin-major range–Doppler matrix
+/// `rd` (rows = range bins, cols = Doppler bins): gather each Doppler
+/// sample from `bin + delta`, zero when the source falls off the far
+/// end of the swath. With `enabled == false` the row is copied
+/// unshifted (the ablation path); the per-sample ledger is uniform in
+/// either mode.
+pub fn rcmc_correct(
+    rd: &ComplexImage,
+    geom: &SarGeometry,
+    bin: usize,
+    enabled: bool,
+    counts: &mut OpCounts,
+) -> Vec<c32> {
+    let n = geom.num_pulses;
+    let mut out = Vec::with_capacity(n);
+    for m in 0..n {
+        let shift = if enabled { rcmc_shift(geom, bin, m) } else { 0 };
+        if enabled {
+            counts.flops += 6;
+            counts.fmas += 2;
+            counts.divs += 2;
+            counts.sqrts += 1;
+            counts.ialu += 2;
+        }
+        counts.loads += 2;
+        counts.stores += 2;
+        counts.ialu += 1;
+        let src = bin + shift;
+        out.push(if src < geom.num_bins {
+            rd.at(src, m)
+        } else {
+            c32::ZERO
+        });
+    }
+    out
+}
+
+/// Frequency-domain azimuth reference for range bin `bin`: the FFT of
+/// the hyperbolic phase history a unit scatterer at that range traces
+/// over the aperture.
+pub fn azimuth_reference(geom: &SarGeometry, bin: usize, counts: &mut OpCounts) -> Vec<c32> {
+    let n = geom.num_pulses;
+    let r = geom.bin_range(bin);
+    let mut h: Vec<c32> = (0..n)
+        .map(|k| {
+            let y = geom.platform_y(k);
+            c32::cis(geom.range_phase((r * r + y * y).sqrt()))
+        })
+        .collect();
+    counts.fmas += 2 * n as u64;
+    counts.flops += 2 * n as u64;
+    counts.sqrts += n as u64;
+    counts.trigs += n as u64;
+    counts.stores += 2 * n as u64;
+    fft_inplace(&mut h);
+    fft_ops(n, counts);
+    h
+}
+
+/// Azimuth-compress one range bin: conjugate-multiply the corrected
+/// Doppler spectrum by the reference spectrum and inverse-transform.
+/// The output is the focused azimuth line in circular-lag order (lag 0
+/// at index 0); the pipeline rotates it so broadside lands mid-image.
+pub fn azimuth_compress(corrected: &[c32], reference: &[c32], counts: &mut OpCounts) -> Vec<c32> {
+    assert_eq!(corrected.len(), reference.len());
+    let n = corrected.len() as u64;
+    let mut s: Vec<c32> = corrected
+        .iter()
+        .zip(reference)
+        .map(|(z, h)| *z * h.conj())
+        .collect();
+    counts.fmas += 2 * n;
+    counts.flops += 3 * n;
+    counts.loads += 4 * n;
+    counts.stores += 2 * n;
+    counts.ialu += n;
+    ifft_inplace(&mut s);
+    ifft_ops(s.len(), counts);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcmc_shift_is_zero_at_zero_doppler_and_grows_off_broadside() {
+        let g = SarGeometry::test_size();
+        assert_eq!(rcmc_shift(&g, 0, 0), 0);
+        assert_eq!(rcmc_shift(&g, g.num_bins - 1, 0), 0);
+        // The aliased band edge (m = N/2) implies the largest squint.
+        let edge = rcmc_shift(&g, g.num_bins / 2, g.num_pulses / 2);
+        let near = rcmc_shift(&g, g.num_bins / 2, 1);
+        assert!(edge >= near);
+    }
+
+    #[test]
+    fn rcmc_shift_matches_geometric_migration_at_close_range() {
+        // r0 = 100 m makes migration several bins deep; the Doppler bin
+        // whose squint equals the aperture-edge squint must predict the
+        // same extra delay as the geometry does.
+        let g = SarGeometry {
+            r0: 100.0,
+            ..SarGeometry::test_size()
+        };
+        let r = g.bin_range(0);
+        let y_edge = g.platform_y(g.num_pulses - 1);
+        let geometric = ((r * r + y_edge * y_edge).sqrt() - r) / g.dr;
+        let sin_edge = y_edge / (r * r + y_edge * y_edge).sqrt();
+        let m_edge = (2.0 * g.num_pulses as f32 * g.pulse_spacing * sin_edge / g.wavelength).round()
+            as usize;
+        let predicted = rcmc_shift(&g, 0, m_edge) as f32;
+        assert!(
+            (predicted - geometric).abs() <= 1.0,
+            "predicted {predicted} vs geometric {geometric}"
+        );
+    }
+
+    #[test]
+    fn stage_ledgers_are_data_independent() {
+        let g = SarGeometry::test_size();
+        let n = g.num_pulses;
+        let zeros = vec![c32::ZERO; n];
+        let tones: Vec<c32> = (0..n).map(|t| c32::cis(0.3 * t as f32)).collect();
+        let mut a = OpCounts::default();
+        let mut b = OpCounts::default();
+        doppler_spectrum(&zeros, &mut a);
+        doppler_spectrum(&tones, &mut b);
+        let rd0 = ComplexImage::zeros(g.num_bins, n);
+        let mut rd1 = ComplexImage::zeros(g.num_bins, n);
+        for z in rd1.as_mut_slice() {
+            *z = c32::new(1.0, -2.0);
+        }
+        rcmc_correct(&rd0, &g, 3, true, &mut a);
+        rcmc_correct(&rd1, &g, 3, true, &mut b);
+        azimuth_compress(&zeros, &zeros, &mut a);
+        azimuth_compress(&tones, &tones, &mut b);
+        assert_eq!(a, b);
+        assert!(a.flop_work() > 0);
+    }
+
+    #[test]
+    fn fft_ledger_scales_n_log_n() {
+        let mut small = OpCounts::default();
+        let mut big = OpCounts::default();
+        fft_ops(64, &mut small);
+        fft_ops(1024, &mut big);
+        // 1024·10 / (64·6) = 26.67x the butterflies.
+        assert!(big.fmas > 25 * small.fmas);
+        assert!(big.fmas < 28 * small.fmas);
+    }
+}

@@ -194,20 +194,19 @@ pub fn simulate_with_track(
     data
 }
 
-/// Synthesise *raw* (uncompressed) echoes for `scene` using an LFM
-/// chirp, then pulse-compress them with the matched filter — the full
-/// front half of the signal chain. Slower than
-/// [`simulate_compressed_data`]; used to validate that the direct
-/// synthesis is equivalent to chirp + compression.
-pub fn simulate_via_chirp(scene: &Scene, chirp: ChirpParams) -> ComplexImage {
+/// Synthesise the *raw* (uncompressed) echo matrix for `scene` using
+/// an LFM chirp: rows = pulses, cols = `num_bins + chirp.samples`
+/// fast-time samples. Each target deposits a delayed, phase-rotated
+/// copy of the chirp per pulse. This is the input the RDA pipeline
+/// consumes (its first stage is the matched filter).
+pub fn simulate_raw_echoes(scene: &Scene, chirp: ChirpParams) -> ComplexImage {
     let g = &scene.geometry;
     let waveform = lfm_chirp(chirp);
-    let mf = MatchedFilter::new(&waveform, g.num_bins + waveform.len());
-    let mut out = ComplexImage::zeros(g.num_pulses, g.num_bins);
     let echo_len = g.num_bins + waveform.len();
+    let mut raw = ComplexImage::zeros(g.num_pulses, echo_len);
     for k in 0..g.num_pulses {
         let py = g.platform_y(k);
-        let mut echo = vec![c32::ZERO; echo_len];
+        let row = raw.row_mut(k);
         for t in &scene.targets {
             let range = g.slant_range(py, t.x, t.y);
             let delay_bins = (range - g.r0) / g.dr;
@@ -219,11 +218,26 @@ pub fn simulate_via_chirp(scene: &Scene, chirp: ChirpParams) -> ComplexImage {
             for (i, w) in waveform.iter().enumerate() {
                 let idx = d0 + i as i64;
                 if idx >= 0 && (idx as usize) < echo_len {
-                    echo[idx as usize] += *w * phase;
+                    row[idx as usize] += *w * phase;
                 }
             }
         }
-        let compressed = mf.compress(&echo);
+    }
+    raw
+}
+
+/// Synthesise raw echoes for `scene`, then pulse-compress them with
+/// the matched filter — the full front half of the signal chain.
+/// Slower than [`simulate_compressed_data`]; used to validate that the
+/// direct synthesis is equivalent to chirp + compression.
+pub fn simulate_via_chirp(scene: &Scene, chirp: ChirpParams) -> ComplexImage {
+    let g = &scene.geometry;
+    let waveform = lfm_chirp(chirp);
+    let mf = MatchedFilter::new(&waveform, g.num_bins + waveform.len());
+    let raw = simulate_raw_echoes(scene, chirp);
+    let mut out = ComplexImage::zeros(g.num_pulses, g.num_bins);
+    for k in 0..g.num_pulses {
+        let compressed = mf.compress(raw.row(k));
         out.row_mut(k).copy_from_slice(&compressed[..g.num_bins]);
     }
     out

@@ -42,4 +42,4 @@ pub use platform::{
     all_platforms, platform_named, EpiphanyPlatform, HostPlatform, Platform, PlatformKind,
     RefCpuPlatform, EPIPHANY_POWER_W, INTEL_POWER_W,
 };
-pub use workload::{AutofocusWorkload, FfbpWorkload, Workload};
+pub use workload::{AutofocusWorkload, FfbpWorkload, RdaWorkload, Workload};

@@ -5,7 +5,9 @@ use sar_core::autofocus::{AutofocusConfig, Block6};
 use sar_core::ffbp::FfbpConfig;
 use sar_core::geometry::SarGeometry;
 use sar_core::image::ComplexImage;
-use sar_core::scene::{simulate_compressed_data, Scene};
+use sar_core::rda::RdaConfig;
+use sar_core::scene::{simulate_compressed_data, simulate_raw_echoes, Scene};
+use sar_core::signal::ChirpParams;
 
 /// The FFBP workload: pulse-compressed data plus algorithm settings.
 #[derive(Clone)]
@@ -39,6 +41,63 @@ impl FfbpWorkload {
             geom,
             data: simulate_compressed_data(&scene, 0.0, 7),
             config: FfbpConfig::default(),
+        }
+    }
+
+    /// Pixels in the output image.
+    pub fn pixels(&self) -> u64 {
+        self.geom.num_pulses as u64 * self.geom.num_bins as u64
+    }
+}
+
+/// The RDA workload: raw (uncompressed) echoes plus algorithm
+/// settings. Rows of `raw` are pulses; each row carries `num_bins +
+/// chirp.samples` fast-time samples.
+#[derive(Clone)]
+pub struct RdaWorkload {
+    /// Collection geometry.
+    pub geom: SarGeometry,
+    /// Raw echo matrix (rows = pulses).
+    pub raw: ComplexImage,
+    /// Algorithm configuration (chirp, RCMC on/off).
+    pub config: RdaConfig,
+}
+
+impl RdaWorkload {
+    /// The paper-scale workload: the same six-target scene FFBP images,
+    /// but as raw echoes (1024 pulses x 1129 fast-time samples).
+    pub fn paper() -> RdaWorkload {
+        let geom = SarGeometry::paper_size();
+        let scene = Scene::six_targets(geom);
+        let config = RdaConfig {
+            chirp: ChirpParams {
+                samples: 128,
+                fractional_bandwidth: 0.9,
+            },
+            rcmc: true,
+        };
+        RdaWorkload {
+            geom,
+            raw: simulate_raw_echoes(&scene, config.chirp),
+            config,
+        }
+    }
+
+    /// A small workload for tests (64 pulses x 193 fast-time samples).
+    pub fn small() -> RdaWorkload {
+        let geom = SarGeometry::test_size();
+        let scene = Scene::six_targets(geom);
+        let config = RdaConfig {
+            chirp: ChirpParams {
+                samples: 64,
+                fractional_bandwidth: 0.9,
+            },
+            rcmc: true,
+        };
+        RdaWorkload {
+            geom,
+            raw: simulate_raw_echoes(&scene, config.chirp),
+            config,
         }
     }
 
@@ -110,8 +169,10 @@ impl AutofocusWorkload {
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum Workload {
-    /// Image formation input.
+    /// Image formation input (back-projection family).
     Ffbp(FfbpWorkload),
+    /// Image formation input (range–Doppler family).
+    Rda(RdaWorkload),
     /// Autofocus criterion input.
     Autofocus(AutofocusWorkload),
 }
@@ -121,6 +182,7 @@ impl Workload {
     pub fn kernel(&self) -> &'static str {
         match self {
             Workload::Ffbp(_) => "ffbp",
+            Workload::Rda(_) => "rda",
             Workload::Autofocus(_) => "autofocus",
         }
     }
@@ -129,7 +191,15 @@ impl Workload {
     pub fn ffbp(&self) -> Option<&FfbpWorkload> {
         match self {
             Workload::Ffbp(w) => Some(w),
-            Workload::Autofocus(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The RDA input, if that is the variant.
+    pub fn rda(&self) -> Option<&RdaWorkload> {
+        match self {
+            Workload::Rda(w) => Some(w),
+            _ => None,
         }
     }
 
@@ -137,7 +207,7 @@ impl Workload {
     pub fn autofocus(&self) -> Option<&AutofocusWorkload> {
         match self {
             Workload::Autofocus(w) => Some(w),
-            Workload::Ffbp(_) => None,
+            _ => None,
         }
     }
 
@@ -145,16 +215,19 @@ impl Workload {
     pub fn pixels(&self) -> u64 {
         match self {
             Workload::Ffbp(w) => w.pixels(),
+            Workload::Rda(w) => w.pixels(),
             Workload::Autofocus(w) => w.pixels(),
         }
     }
 
     /// Resolve a `--workload` name at either scale. Names are the
-    /// kernel identities: `"ffbp"` and `"autofocus"`.
+    /// kernel identities: `"ffbp"`, `"rda"` and `"autofocus"`.
     pub fn named(kernel: &str, small: bool) -> Option<Workload> {
         match (kernel, small) {
             ("ffbp", true) => Some(Workload::Ffbp(FfbpWorkload::small())),
             ("ffbp", false) => Some(Workload::Ffbp(FfbpWorkload::paper())),
+            ("rda", true) => Some(Workload::Rda(RdaWorkload::small())),
+            ("rda", false) => Some(Workload::Rda(RdaWorkload::paper())),
             ("autofocus", true) => Some(Workload::Autofocus(AutofocusWorkload::small())),
             ("autofocus", false) => Some(Workload::Autofocus(AutofocusWorkload::paper())),
             _ => None,
@@ -186,10 +259,21 @@ mod tests {
     }
 
     #[test]
-    fn registry_resolves_both_kernels() {
+    fn small_rda_raw_matrix_has_chirp_padding() {
+        let w = RdaWorkload::small();
+        assert_eq!(w.raw.rows(), w.geom.num_pulses);
+        assert_eq!(w.raw.cols(), w.geom.num_bins + w.config.chirp.samples);
+        assert!(w.raw.energy() > 0.0);
+    }
+
+    #[test]
+    fn registry_resolves_every_kernel() {
         let w = Workload::named("ffbp", true).expect("ffbp resolves");
         assert_eq!(w.kernel(), "ffbp");
-        assert!(w.ffbp().is_some() && w.autofocus().is_none());
+        assert!(w.ffbp().is_some() && w.autofocus().is_none() && w.rda().is_none());
+        let w = Workload::named("rda", true).expect("rda resolves");
+        assert_eq!(w.kernel(), "rda");
+        assert!(w.rda().is_some() && w.ffbp().is_none());
         let w = Workload::named("autofocus", false).expect("autofocus resolves");
         assert_eq!(w.kernel(), "autofocus");
         assert!(w.autofocus().is_some());

@@ -17,6 +17,7 @@ use crate::autofocus_ref::AUTOFOCUS_SUSTAINED_IPC;
 use crate::autofocus_seq::AUTOFOCUS_PAIRING;
 use crate::{
     autofocus_mpmd, autofocus_net, autofocus_ref, autofocus_seq, ffbp_ref, ffbp_seq, ffbp_spmd,
+    rda_seq, rda_spmd,
 };
 
 fn kernel_mismatch(mapping: &dyn Mapping, workload: &Workload) -> HarnessError {
@@ -454,6 +455,110 @@ impl Mapping for AutofocusNetMapping {
     }
 }
 
+/// RDA on one Epiphany core (the sequential reference port).
+pub struct RdaSeqMapping;
+
+impl Mapping for RdaSeqMapping {
+    fn name(&self) -> &'static str {
+        "rda_seq"
+    }
+    fn kernel(&self) -> &'static str {
+        "rda"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Epiphany
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        tracer: &Tracer,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .rda()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let r = rda_seq::run_traced(w, params, tracer.clone());
+        Ok(MappingRun {
+            record: r.record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .rda()
+            .map(|w| crate::program_model::rda_seq_model(w, platform_mesh(platform)))
+    }
+}
+
+/// RDA SPMD over the full mesh, with the tiled corner-turn phase.
+#[derive(Default)]
+pub struct RdaSpmdMapping {
+    /// Driver knobs (core pin). Default: every core the mesh provides.
+    pub opts: rda_spmd::RdaSpmdOptions,
+}
+
+impl Mapping for RdaSpmdMapping {
+    fn name(&self) -> &'static str {
+        "rda_spmd"
+    }
+    fn kernel(&self) -> &'static str {
+        "rda"
+    }
+    fn supports(&self, kind: PlatformKind) -> bool {
+        kind == PlatformKind::Epiphany
+    }
+    fn execute(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        tracer: &Tracer,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .rda()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let r = rda_spmd::run_traced(w, params, self.opts, tracer.clone());
+        Ok(MappingRun {
+            record: r.record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+    fn execute_ctx(
+        &self,
+        workload: &Workload,
+        platform: &dyn Platform,
+        ctx: &RunContext,
+    ) -> Result<MappingRun, HarnessError> {
+        let w = workload
+            .rda()
+            .ok_or_else(|| kernel_mismatch(self, workload))?;
+        let params = platform
+            .epiphany_params()
+            .ok_or_else(|| unsupported(self, platform))?;
+        let r = rda_spmd::run_faulted(w, params, self.opts, ctx.tracer.clone(), ctx.faults.clone());
+        Ok(MappingRun {
+            record: r.record,
+            image: Some(r.image),
+            sweep: None,
+            best: None,
+        })
+    }
+    fn program_model(&self, workload: &Workload, platform: &dyn Platform) -> Option<ProgramModel> {
+        workload
+            .rda()
+            .map(|w| crate::program_model::rda_spmd_model(w, &self.opts, platform_mesh(platform)))
+    }
+}
+
 /// Every mapping, for exhaustive cross-machine sweeps.
 pub fn all_mappings() -> Vec<Box<dyn Mapping>> {
     vec![
@@ -465,6 +570,8 @@ pub fn all_mappings() -> Vec<Box<dyn Mapping>> {
         Box::new(AutofocusSeqMapping),
         Box::new(AutofocusMpmdMapping::default()),
         Box::new(AutofocusNetMapping::default()),
+        Box::new(RdaSeqMapping),
+        Box::new(RdaSpmdMapping::default()),
     ]
 }
 

@@ -73,6 +73,104 @@ impl ExternalLayout {
     }
 }
 
+/// SDRAM layout for the RDA pipeline: three disjoint regions.
+///
+/// * **raw** — the uncompressed echo matrix, `pulses x echo_len`,
+///   pulse-major (read-only input),
+/// * **B** — a `pulses x bins`-sized working buffer: holds the
+///   range-compressed matrix pulse-major, later the range–Doppler
+///   matrix bin-major,
+/// * **C** — a second working buffer of the same size: the corner-
+///   turned (transposed) matrix, later the focused image bin-major.
+///
+/// Every phase reads one region and writes a *different* one, so a
+/// phase is idempotent and can be redone after a core halt
+/// (checkpoint/restart, like the FFBP SPMD mapping).
+#[derive(Debug, Clone, Copy)]
+pub struct RdaLayout {
+    /// Pulse count (also the azimuth FFT length).
+    pub pulses: u32,
+    /// Range bins per pulse after compression.
+    pub bins: u32,
+    /// Fast-time samples per raw pulse (`bins + chirp samples`).
+    pub echo_len: u32,
+    base_raw: u32,
+    base_b: u32,
+    base_c: u32,
+}
+
+impl RdaLayout {
+    /// Layout for a `pulses x bins` image formed from `pulses x
+    /// echo_len` raw echoes.
+    pub fn new(pulses: u32, bins: u32, echo_len: u32) -> RdaLayout {
+        assert!(echo_len >= bins, "raw rows carry at least num_bins samples");
+        let raw_bytes = pulses as u64 * echo_len as u64 * PIXEL_BYTES;
+        let image_bytes = pulses as u64 * bins as u64 * PIXEL_BYTES;
+        let total = raw_bytes + 2 * image_bytes;
+        assert!(
+            total <= memsim::address::EXTERNAL_SIZE as u64,
+            "RDA working set of {total} B does not fit the external window"
+        );
+        RdaLayout {
+            pulses,
+            bins,
+            echo_len,
+            base_raw: 0,
+            base_b: raw_bytes as u32,
+            base_c: (raw_bytes + image_bytes) as u32,
+        }
+    }
+
+    /// External address of raw sample `(pulse, sample)`.
+    pub fn raw_addr(&self, pulse: u32, sample: u32) -> GlobalAddr {
+        debug_assert!(pulse < self.pulses && sample < self.echo_len);
+        let off = self.base_raw as u64
+            + (pulse as u64 * self.echo_len as u64 + sample as u64) * PIXEL_BYTES;
+        GlobalAddr::external(off as u32)
+    }
+
+    /// Address of `(pulse, bin)` in region B viewed pulse-major (the
+    /// range-compressed matrix).
+    pub fn rc_addr(&self, pulse: u32, bin: u32) -> GlobalAddr {
+        debug_assert!(pulse < self.pulses && bin < self.bins);
+        let off = self.base_b as u64 + (pulse as u64 * self.bins as u64 + bin as u64) * PIXEL_BYTES;
+        GlobalAddr::external(off as u32)
+    }
+
+    /// Address of `(bin, doppler)` in region B viewed bin-major (the
+    /// range–Doppler matrix; same bytes as [`Self::rc_addr`], different
+    /// lifetime).
+    pub fn rd_addr(&self, bin: u32, m: u32) -> GlobalAddr {
+        debug_assert!(bin < self.bins && m < self.pulses);
+        let off = self.base_b as u64 + (bin as u64 * self.pulses as u64 + m as u64) * PIXEL_BYTES;
+        GlobalAddr::external(off as u32)
+    }
+
+    /// Address of `(bin, pulse)` in region C viewed bin-major (the
+    /// corner-turned matrix, later the focused image).
+    pub fn ct_addr(&self, bin: u32, pulse: u32) -> GlobalAddr {
+        debug_assert!(bin < self.bins && pulse < self.pulses);
+        let off =
+            self.base_c as u64 + (bin as u64 * self.pulses as u64 + pulse as u64) * PIXEL_BYTES;
+        GlobalAddr::external(off as u32)
+    }
+
+    /// Bytes of one raw pulse row.
+    pub fn raw_row_bytes(&self) -> u64 {
+        self.echo_len as u64 * PIXEL_BYTES
+    }
+
+    /// Bytes of one range-compressed row (pulse-major region B).
+    pub fn rc_row_bytes(&self) -> u64 {
+        self.bins as u64 * PIXEL_BYTES
+    }
+
+    /// Bytes of one bin-major row (one full pulse history).
+    pub fn col_bytes(&self) -> u64 {
+        self.pulses as u64 * PIXEL_BYTES
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +197,29 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn oversized_image_rejected() {
         let _ = ExternalLayout::new(4096, 4001);
+    }
+
+    #[test]
+    fn rda_regions_are_disjoint_and_fit_at_paper_scale() {
+        let l = RdaLayout::new(1024, 1001, 1129);
+        assert_eq!(l.raw_row_bytes(), 9032);
+        assert_eq!(l.rc_row_bytes(), 8008);
+        assert_eq!(l.col_bytes(), 8192);
+        // Region boundaries: last raw byte < first B byte < first C byte.
+        let raw_end = l.raw_addr(1023, 1128).0 as u64 + PIXEL_BYTES;
+        let b_start = l.rc_addr(0, 0).0 as u64;
+        assert!(raw_end <= b_start);
+        let b_end = l.rd_addr(1000, 1023).0 as u64 + PIXEL_BYTES;
+        let c_start = l.ct_addr(0, 0).0 as u64;
+        assert!(b_end <= c_start);
+        assert!(l.ct_addr(1000, 1023).is_external());
+        // B's two views cover the same bytes.
+        assert_eq!(l.rc_addr(0, 0), l.rd_addr(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_rda_working_set_rejected() {
+        let _ = RdaLayout::new(4096, 4001, 4129);
     }
 }

@@ -13,6 +13,10 @@
 //! | autofocus | Epiphany, 1 core | [`autofocus_seq`] |
 //! | autofocus | Epiphany, 13 cores MPMD | [`autofocus_mpmd`] |
 //!
+//! Plus the Range–Doppler kernel family grown on top of the same
+//! harness: [`rda_seq`] (one Epiphany core) and [`rda_spmd`] (full
+//! mesh, with an explicit tiled corner-turn phase).
+//!
 //! Every driver runs the *same functional kernels* from `sar-core`
 //! (results are identical across machines — the paper's Fig. 7c/7d
 //! observation) while feeding operation counts and memory traffic to
@@ -30,9 +34,11 @@ pub mod ffbp_spmd;
 pub mod harness_impls;
 pub mod layout;
 pub mod program_model;
+pub mod rda_seq;
+pub mod rda_spmd;
 pub mod table1;
 pub mod workloads;
 
 pub use harness_impls::{all_mappings, mapping_named, mapping_named_placed};
 pub use table1::{table1, Table1, Table1Row};
-pub use workloads::{AutofocusWorkload, FfbpWorkload};
+pub use workloads::{AutofocusWorkload, FfbpWorkload, RdaWorkload};

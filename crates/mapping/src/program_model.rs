@@ -12,19 +12,27 @@
 //! dynamic trace cross-check) catches the drift.
 
 use desim::OpCounts;
-use epiphany::Chip;
+use epiphany::{Chip, EpiphanyParams};
 use sar_core::autofocus::criterion::{BeamStageOut, RangeStageOut};
 use sar_core::autofocus::{beam_stage, correlate_partial, focus_criterion, range_stage};
+use sar_core::complex::c32;
 use sar_core::ffbp::merge::combine_sample_with_lookup;
 use sar_core::ffbp::pipeline::stage0;
+use sar_core::image::ComplexImage;
+use sar_core::rda::{
+    azimuth_compress, azimuth_reference, doppler_spectrum, range_compress_row, rcmc_correct,
+    rcmc_shift,
+};
+use sar_core::signal::{lfm_chirp, MatchedFilter};
 use sim_harness::{BarrierDecl, Bound, FlagDecl, ProgramModel, TrafficDecl, WorkDecl};
 
 use crate::autofocus_mpmd::Placement;
 use crate::autofocus_ref::AUTOFOCUS_SUSTAINED_IPC;
 use crate::autofocus_seq::AUTOFOCUS_PAIRING;
 use crate::ffbp_spmd::SpmdOptions;
-use crate::layout::{ExternalLayout, BANK_CHILD_A, BANK_CHILD_B};
-use crate::workloads::{AutofocusWorkload, FfbpWorkload};
+use crate::layout::{ExternalLayout, RdaLayout, BANK_CHILD_A, BANK_CHILD_B};
+use crate::rda_spmd::{transpose_ops, RdaSpmdOptions, TILE};
+use crate::workloads::{AutofocusWorkload, FfbpWorkload, RdaWorkload};
 
 /// Bytes of one autofocus block in a range core's prefetch bank (a
 /// 6x6 block of complex pixels, as DMA'd by the pipeline drivers).
@@ -457,6 +465,259 @@ pub fn autofocus_mpmd_model(
     PipelineProbe::mpmd(w).model(place, mesh)
 }
 
+/// Per-unit op ledgers of the three RDA pipeline stages, probed by
+/// running the stage kernels themselves once. All three are
+/// data-independent (the `sar_core::rda` tests pin that), so a single
+/// probe per stage is exact for every row/bin of the run.
+struct RdaStageProbe {
+    per_range_row: OpCounts,
+    per_doppler_bin: OpCounts,
+    per_azimuth_bin: OpCounts,
+}
+
+fn probe_rda_stages(w: &RdaWorkload) -> RdaStageProbe {
+    let n = w.geom.num_pulses;
+    let bins = w.geom.num_bins;
+    let waveform = lfm_chirp(w.config.chirp);
+    let mf = MatchedFilter::new(&waveform, w.raw.cols());
+    let mut per_range_row = OpCounts::default();
+    range_compress_row(&mf, w.raw.row(0), bins, &mut per_range_row);
+    let mut per_doppler_bin = OpCounts::default();
+    doppler_spectrum(&vec![c32::ZERO; n], &mut per_doppler_bin);
+    let rd = ComplexImage::zeros(bins, n);
+    let mut per_azimuth_bin = OpCounts::default();
+    let corrected = rcmc_correct(&rd, &w.geom, 0, w.config.rcmc, &mut per_azimuth_bin);
+    let href = azimuth_reference(&w.geom, 0, &mut per_azimuth_bin);
+    azimuth_compress(&corrected, &href, &mut per_azimuth_bin);
+    RdaStageProbe {
+        per_range_row,
+        per_doppler_bin,
+        per_azimuth_bin,
+    }
+}
+
+/// Exact RCMC gather count per bin — the blocking external reads the
+/// azimuth phase issues for migration cells that land on deeper
+/// in-swath rows, computed exactly as the drivers compute them.
+fn rcmc_gathers_per_bin(w: &RdaWorkload) -> Vec<u64> {
+    let n = w.geom.num_pulses;
+    let bins = w.geom.num_bins;
+    (0..bins)
+        .map(|i| {
+            if !w.config.rcmc {
+                return 0;
+            }
+            (0..n)
+                .filter(|&m| {
+                    let d = rcmc_shift(&w.geom, i, m);
+                    d > 0 && i + d < bins
+                })
+                .count() as u64
+        })
+        .collect()
+}
+
+/// RDA on one Epiphany core: three phases over the [`RdaLayout`]
+/// regions, every input sample a blocking 8 B external read, every
+/// result row a posted external write — no DMA, flags or barriers.
+pub fn rda_seq_model(w: &RdaWorkload, mesh: (u16, u16)) -> ProgramModel {
+    let mut m = ProgramModel::new(mesh.0, mesh.1);
+    m.cores = vec![0];
+    let layout = RdaLayout::new(
+        w.geom.num_pulses as u32,
+        w.geom.num_bins as u32,
+        w.raw.cols() as u32,
+    );
+    let probe = probe_rda_stages(w);
+    let pulses = w.geom.num_pulses as u64;
+    let bins = w.geom.num_bins as u64;
+    let echo = w.raw.cols() as u64;
+    let gathers: u64 = rcmc_gathers_per_bin(w).iter().sum();
+
+    let ph = m.phase("range", 1);
+    let mut wd = WorkDecl::new(0);
+    wd.exact_ops(probe.per_range_row.scaled(pulses));
+    wd.compute_calls = Bound::exact(pulses as f64);
+    wd.ext_read_msgs = Bound::exact((pulses * echo) as f64);
+    wd.ext_read_bytes = Bound::exact((8 * pulses * echo) as f64);
+    wd.ext_write_msgs = Bound::exact(pulses as f64);
+    wd.ext_write_bytes = Bound::exact((pulses * layout.rc_row_bytes()) as f64);
+    ph.work.push(wd);
+
+    // The corner turn a single core pays as strided pointwise reads.
+    let ph = m.phase("doppler", 1);
+    let mut wd = WorkDecl::new(0);
+    wd.exact_ops(probe.per_doppler_bin.scaled(bins));
+    wd.compute_calls = Bound::exact(bins as f64);
+    wd.ext_read_msgs = Bound::exact((bins * pulses) as f64);
+    wd.ext_read_bytes = Bound::exact((8 * bins * pulses) as f64);
+    wd.ext_write_msgs = Bound::exact(bins as f64);
+    wd.ext_write_bytes = Bound::exact((bins * layout.col_bytes()) as f64);
+    ph.work.push(wd);
+
+    let ph = m.phase("azimuth", 1);
+    let mut wd = WorkDecl::new(0);
+    wd.exact_ops(probe.per_azimuth_bin.scaled(bins));
+    wd.compute_calls = Bound::exact(bins as f64);
+    wd.ext_read_msgs = Bound::exact((bins * pulses + gathers) as f64);
+    wd.ext_read_bytes = Bound::exact((8 * (bins * pulses + gathers)) as f64);
+    wd.ext_write_msgs = Bound::exact(bins as f64);
+    wd.ext_write_bytes = Bound::exact((bins * layout.col_bytes()) as f64);
+    ph.work.push(wd);
+    m
+}
+
+/// The SPMD RDA mapping: four phases with work units dealt round-robin
+/// over the subgrid. Each core stages DMA landings (raw pulse rows,
+/// corner-turn tiles, bin-major rows) in its two upper banks — the
+/// model declares them bank-sized, since the raw-row head and the
+/// paper-scale bin-major rows fill one whole bank. Every phase drains
+/// its posted writes behind a per-core flag and ends on a barrier, and
+/// a lost core is recovered by redoing the phase from its input region
+/// (checkpoint/restart).
+pub fn rda_spmd_model(w: &RdaWorkload, opts: &RdaSpmdOptions, mesh: (u16, u16)) -> ProgramModel {
+    let n_req = opts.cores.unwrap_or(mesh.0 as usize * mesh.1 as usize);
+    let (cols, rows) = if n_req <= mesh.0 as usize * mesh.1 as usize {
+        mesh
+    } else {
+        Chip::mesh_for_cores(n_req)
+    };
+    let mut m = ProgramModel::new(cols, rows);
+    m.cores = Chip::subgrid_on(cols, rows, n_req);
+    let bank = EpiphanyParams::default().sram.bank_bytes;
+    let layout = RdaLayout::new(
+        w.geom.num_pulses as u32,
+        w.geom.num_bins as u32,
+        w.raw.cols() as u32,
+    );
+    let probe = probe_rda_stages(w);
+    let gathers = rcmc_gathers_per_bin(w);
+    let pulses = w.geom.num_pulses;
+    let bins = w.geom.num_bins;
+    let nc = m.cores.len();
+
+    let raw_row = layout.raw_row_bytes();
+    let cores = m.cores.clone();
+    for &c in &cores {
+        // Bank A receives every inbound landing: raw-row heads,
+        // corner-turn tiles and bin-major rows. Bank B only ever
+        // receives the raw-row *tail*, which exists when the row
+        // overflows one bank (it does at paper scale); the corner
+        // turn's outbound tile is staged there but written locally,
+        // never landed.
+        m.buffer(format!("stage_a[{c}]"), c, BANK_CHILD_A, 0, bank);
+        if raw_row > u64::from(bank) {
+            #[allow(clippy::cast_possible_truncation)]
+            let tail = (raw_row - u64::from(bank)) as u32;
+            m.buffer(format!("raw_tail[{c}]"), c, BANK_CHILD_B, 0, tail);
+        }
+        m.flags.push(FlagDecl {
+            label: format!("drain[{c}]"),
+            setter: c,
+            waiter: c,
+            sets: 1,
+            waits: 1,
+            // A lost drain is recovered by redoing the phase from its
+            // intact input region.
+            recovery: Some("checkpoint_restart".to_string()),
+        });
+    }
+    m.barriers.push(BarrierDecl {
+        label: "phase_end".to_string(),
+        participants: cores.clone(),
+        arrivals: cores.clone(),
+    });
+
+    // Phase 1: one raw pulse row DMA'd in per owned pulse (two
+    // descriptors when the row overflows one bank), the compressed row
+    // posted back.
+    let descs_per_row = if raw_row > u64::from(bank) { 2.0 } else { 1.0 };
+    let ph = m.phase("range", 1);
+    for (p, &c) in cores.iter().enumerate() {
+        let owned_rows = (pulses / nc + usize::from(p < pulses % nc)) as u64;
+        let owned = owned_rows as f64;
+        let mut wd = WorkDecl::new(c);
+        wd.exact_ops(probe.per_range_row.scaled(owned_rows));
+        wd.compute_calls = Bound::exact(owned);
+        wd.dma_msgs = Bound::exact(descs_per_row * owned);
+        wd.dma_bytes = Bound::exact(owned * raw_row as f64);
+        wd.ext_write_msgs = Bound::exact(owned);
+        wd.ext_write_bytes = Bound::exact(owned * layout.rc_row_bytes() as f64);
+        wd.flag_waits = Bound::exact(1.0);
+        ph.work.push(wd);
+    }
+    ph.barriers = 1;
+
+    // Phase 2: the tiled corner turn — per owned tile one strided 2D
+    // DMA in, a local transpose, one strided 2D DMA out. Pure traffic.
+    let tile_rows = pulses.div_ceil(TILE);
+    let tile_cols = bins.div_ceil(TILE);
+    let mut tiles_per = vec![0u64; nc];
+    let mut elems_per = vec![0u64; nc];
+    let mut task = 0usize;
+    for ti in 0..tile_rows {
+        for tj in 0..tile_cols {
+            let p = task % nc;
+            task += 1;
+            let r = TILE.min(pulses - ti * TILE);
+            let c = TILE.min(bins - tj * TILE);
+            tiles_per[p] += 1;
+            elems_per[p] += (r * c) as u64;
+        }
+    }
+    let ph = m.phase("corner_turn", 1);
+    for (p, &c) in cores.iter().enumerate() {
+        let mut wd = WorkDecl::new(c);
+        wd.exact_ops(transpose_ops(elems_per[p]));
+        wd.compute_calls = Bound::exact(tiles_per[p] as f64);
+        wd.dma_msgs = Bound::exact(2.0 * tiles_per[p] as f64);
+        wd.dma_bytes = Bound::exact(2.0 * 8.0 * elems_per[p] as f64);
+        wd.flag_waits = Bound::exact(1.0);
+        ph.work.push(wd);
+    }
+    ph.barriers = 1;
+
+    // Phases 3 and 4: bin-major rows dealt round-robin; the azimuth
+    // phase additionally issues its exact per-bin RCMC gathers as
+    // blocking 8 B reads.
+    let col_bytes = layout.col_bytes() as f64;
+    let ph = m.phase("doppler", 1);
+    for (p, &c) in cores.iter().enumerate() {
+        let owned_bins = (bins / nc + usize::from(p < bins % nc)) as u64;
+        let owned = owned_bins as f64;
+        let mut wd = WorkDecl::new(c);
+        wd.exact_ops(probe.per_doppler_bin.scaled(owned_bins));
+        wd.compute_calls = Bound::exact(owned);
+        wd.dma_msgs = Bound::exact(owned);
+        wd.dma_bytes = Bound::exact(owned * col_bytes);
+        wd.ext_write_msgs = Bound::exact(owned);
+        wd.ext_write_bytes = Bound::exact(owned * col_bytes);
+        wd.flag_waits = Bound::exact(1.0);
+        ph.work.push(wd);
+    }
+    ph.barriers = 1;
+
+    let ph = m.phase("azimuth", 1);
+    for (p, &c) in cores.iter().enumerate() {
+        let owned_bins = (bins / nc + usize::from(p < bins % nc)) as u64;
+        let owned = owned_bins as f64;
+        let g: u64 = gathers.iter().skip(p).step_by(nc).sum();
+        let mut wd = WorkDecl::new(c);
+        wd.exact_ops(probe.per_azimuth_bin.scaled(owned_bins));
+        wd.compute_calls = Bound::exact(owned);
+        wd.dma_msgs = Bound::exact(owned);
+        wd.dma_bytes = Bound::exact(owned * col_bytes);
+        wd.ext_read_msgs = Bound::exact(g as f64);
+        wd.ext_read_bytes = Bound::exact(8.0 * g as f64);
+        wd.ext_write_msgs = Bound::exact(owned);
+        wd.ext_write_bytes = Bound::exact(owned * col_bytes);
+        wd.flag_waits = Bound::exact(1.0);
+        ph.work.push(wd);
+    }
+    ph.barriers = 1;
+    m
+}
+
 /// FFBP on the single-core reference CPU: no mesh, no banks — the
 /// model exists purely for its workload declarations, so the cost
 /// model can bracket the i7 rows of Table I too.
@@ -591,6 +852,79 @@ mod tests {
         assert!(m.buffers.iter().any(|b| b.bytes == 6 * 16 * 8));
         assert!(m.buffers.iter().any(|b| b.bytes == 3 * 16 * 8));
         assert!(m.barriers.is_empty());
+    }
+
+    #[test]
+    fn rda_seq_model_declares_every_input_sample_as_a_blocking_read() {
+        let w = RdaWorkload::small();
+        let m = rda_seq_model(&w, (4, 4));
+        assert_eq!(m.cores, vec![0]);
+        assert!(m.buffers.is_empty() && m.flags.is_empty() && m.barriers.is_empty());
+        assert_eq!(m.workload.len(), 3);
+        let names: Vec<&str> = m.workload.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["range", "doppler", "azimuth"]);
+        // The range phase reads the whole raw matrix, once.
+        let range = &m.workload[0].work[0];
+        let raw_samples = (w.raw.rows() * w.raw.cols()) as f64;
+        assert_eq!(range.ext_read_msgs, Bound::exact(raw_samples));
+        assert_eq!(range.ext_read_bytes, Bound::exact(8.0 * raw_samples));
+        // The azimuth phase reads at least the full bin-major matrix
+        // (plus the exact RCMC gathers).
+        let matrix = (w.geom.num_pulses * w.geom.num_bins) as f64;
+        let az = &m.workload[2].work[0];
+        assert!(az.ext_read_msgs.lo >= matrix);
+        assert_eq!(az.ext_read_msgs.lo, az.ext_read_msgs.hi);
+    }
+
+    #[test]
+    fn rda_spmd_model_declares_the_staging_banks_and_the_corner_turn() {
+        let w = RdaWorkload::small();
+        let m = rda_spmd_model(&w, &RdaSpmdOptions::default(), (4, 4));
+        assert_eq!(m.cores.len(), 16);
+        // One bank-sized staging buffer per core at small scale (raw
+        // rows fit one bank); the paper-scale rows overflow into the
+        // second upper bank, adding a tail buffer per core.
+        assert_eq!(m.buffers.len(), 16);
+        assert!(m.buffers.iter().all(|b| b.bank == BANK_CHILD_A));
+        let paper = rda_spmd_model(&RdaWorkload::paper(), &RdaSpmdOptions::default(), (4, 4));
+        assert_eq!(paper.buffers.len(), 32);
+        assert!(paper
+            .buffers
+            .iter()
+            .all(|b| b.bank == BANK_CHILD_A || b.bank == BANK_CHILD_B));
+        assert_eq!(m.flags.len(), 16);
+        assert!(m.flags.iter().all(|f| f.recovery.is_some()));
+        assert_eq!(m.barriers[0].participants.len(), 16);
+        assert_eq!(m.workload.len(), 4);
+        assert_eq!(m.workload[1].name, "corner_turn");
+        // The corner turn moves the whole matrix twice (in and out)
+        // and nothing else: no external blocking reads, no posted rows.
+        let matrix_bytes = (w.geom.num_pulses * w.geom.num_bins * 8) as f64;
+        let ct = &m.workload[1];
+        let dma: f64 = ct.work.iter().map(|wd| wd.dma_bytes.lo).sum();
+        assert!((dma - 2.0 * matrix_bytes).abs() < 1e-6);
+        assert!(ct.work.iter().all(|wd| wd.ext_read_msgs == Bound::zero()));
+        assert!(ct.work.iter().all(|wd| wd.ext_write_msgs == Bound::zero()));
+        // Tile count matches the driver's tiling.
+        let tiles: f64 = ct.work.iter().map(|wd| wd.compute_calls.lo).sum();
+        let expect = w.geom.num_pulses.div_ceil(TILE) * w.geom.num_bins.div_ceil(TILE);
+        assert!((tiles - expect as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rda_spmd_model_respects_the_core_pin_and_the_e64_mesh() {
+        let w = RdaWorkload::small();
+        let e64 = rda_spmd_model(&w, &RdaSpmdOptions::default(), (8, 8));
+        assert_eq!(e64.mesh, (8, 8));
+        assert_eq!(e64.cores.len(), 64);
+        let pinned = rda_spmd_model(&w, &RdaSpmdOptions { cores: Some(4) }, (4, 4));
+        assert_eq!(pinned.cores, Chip::subgrid_on(4, 4, 4));
+        // Work totals are invariant under the deal: the same matrix
+        // moves whether 4 or 64 cores carry it.
+        let total = |m: &ProgramModel, ph: usize| -> f64 {
+            m.workload[ph].work.iter().map(|wd| wd.dma_bytes.lo).sum()
+        };
+        assert!((total(&e64, 1) - total(&pinned, 1)).abs() < 1e-6);
     }
 
     #[test]

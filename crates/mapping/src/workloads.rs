@@ -1,4 +1,4 @@
 //! Workload definitions now live in the harness (shared by every
 //! mapping × platform pair); re-exported here for the existing paths.
 
-pub use sim_harness::workload::{AutofocusWorkload, FfbpWorkload};
+pub use sim_harness::workload::{AutofocusWorkload, FfbpWorkload, RdaWorkload};

@@ -19,7 +19,7 @@ fn all_registered_pairs_pass_the_gate() {
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("13 pair(s) analyzed, 0 hard finding(s)"),
+        stdout.contains("17 pair(s) analyzed, 0 hard finding(s)"),
         "{stdout}"
     );
 }
@@ -32,13 +32,13 @@ fn json_output_is_parseable_and_covers_every_pair() {
     let doc = Json::parse(&stdout).expect("stdout is one JSON document");
     assert_eq!(doc.get("bench").and_then(Json::as_str), Some("sarlint"));
     assert_eq!(doc.get("workload").and_then(Json::as_str), Some("small"));
-    assert_eq!(doc.get("pairs_analyzed").and_then(Json::as_u64), Some(13));
+    assert_eq!(doc.get("pairs_analyzed").and_then(Json::as_u64), Some(17));
     assert_eq!(doc.get("hard_findings").and_then(Json::as_u64), Some(0));
     let pairs = doc
         .get("pairs")
         .and_then(Json::as_array)
         .expect("pairs array");
-    assert_eq!(pairs.len(), 13);
+    assert_eq!(pairs.len(), 17);
     for pair in pairs {
         assert_eq!(pair.get("clean").and_then(Json::as_bool), Some(true));
         assert!(pair.get("mapping").and_then(Json::as_str).is_some());
@@ -66,7 +66,7 @@ fn cost_summary_prints_per_pair_in_prose_mode() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         stdout.matches("cost:").count(),
-        13,
+        17,
         "one cost line per pair:\n{stdout}"
     );
     assert!(stdout.contains("cost: cycles ["), "{stdout}");

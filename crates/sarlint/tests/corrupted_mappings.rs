@@ -63,7 +63,7 @@ fn all_registered_pairs_are_clean() {
         })
         .sum();
     assert_eq!(analyzed, expected, "every supported pair analyzed once");
-    assert_eq!(on_e64, 5, "all five Epiphany mappings analyze on the e64");
+    assert_eq!(on_e64, 7, "all seven Epiphany mappings analyze on the e64");
 }
 
 #[test]

@@ -53,7 +53,7 @@ fn static_bounds_bracket_every_simulated_pair() {
     }
     assert_eq!(
         (bounded_pairs, unbounded_pairs),
-        (12, 1),
-        "12 simulated pairs bracketed, the host pair unbounded"
+        (16, 1),
+        "16 simulated pairs bracketed, the host pair unbounded"
     );
 }

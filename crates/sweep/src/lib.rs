@@ -78,10 +78,41 @@ pub struct Cell {
 }
 
 /// The cache key of one cell. Includes [`RUN_RECORD_VERSION`], so a
-/// schema bump invalidates every cached cell at once.
-pub fn cell_key(mapping: &str, platform: &str, kernel: &str, small: bool, seed: u64) -> String {
+/// schema bump invalidates every cached cell at once, and — when the
+/// grid carries a fault spec — a digest of the spec text, so editing
+/// (or removing) the `faults` block invalidates every cached cell of
+/// the grid instead of silently serving records simulated under a
+/// different fault schedule. Fault-free grids keep the legacy
+/// digest-free key, so existing fault-free documents stay valid
+/// caches and serialise byte-identically.
+pub fn cell_key(
+    mapping: &str,
+    platform: &str,
+    kernel: &str,
+    small: bool,
+    seed: u64,
+    faults: Option<&str>,
+) -> String {
     let scale = if small { "small" } else { "paper" };
-    format!("{mapping}|{platform}|{kernel}|{scale}|{seed}|v{RUN_RECORD_VERSION}")
+    match faults {
+        None => format!("{mapping}|{platform}|{kernel}|{scale}|{seed}|v{RUN_RECORD_VERSION}"),
+        Some(spec) => format!(
+            "{mapping}|{platform}|{kernel}|{scale}|{seed}|f{:016x}|v{RUN_RECORD_VERSION}",
+            fault_digest(spec)
+        ),
+    }
+}
+
+/// FNV-1a 64-bit digest of the fault-spec text. Not cryptographic —
+/// it only needs to make distinct specs (and spec edits) land on
+/// distinct keys with overwhelming probability.
+fn fault_digest(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn bad_spec(subject: impl Into<String>, message: impl Into<String>) -> Diagnostic {
@@ -394,6 +425,7 @@ pub fn run_grid(
             kernel_of(i),
             spec.small,
             cell.seed,
+            spec.faults.as_deref(),
         );
         match cache.map.get(&key) {
             Some(record) => slots.push(Some(record.clone())),
@@ -491,6 +523,7 @@ pub fn run_grid(
                         kernel_of(i),
                         spec.small,
                         cell.seed,
+                        spec.faults.as_deref(),
                     ),
                 )
                 .with("mapping", cell.mapping.as_str())
@@ -730,12 +763,33 @@ mod tests {
 
     #[test]
     fn cell_keys_embed_the_record_version() {
-        let key = cell_key("ffbp_spmd", "e64", "ffbp", true, 3);
+        let key = cell_key("ffbp_spmd", "e64", "ffbp", true, 3, None);
         assert_eq!(
             key,
             format!("ffbp_spmd|e64|ffbp|small|3|v{RUN_RECORD_VERSION}")
         );
-        assert_ne!(key, cell_key("ffbp_spmd", "e64", "ffbp", false, 3));
+        assert_ne!(key, cell_key("ffbp_spmd", "e64", "ffbp", false, 3, None));
+    }
+
+    #[test]
+    fn cell_keys_embed_the_fault_spec() {
+        let free = cell_key("ffbp_spmd", "e64", "ffbp", true, 3, None);
+        let spec_a = r#"{"version": 1, "faults": []}"#;
+        let spec_b = r#"{"version": 1, "faults": [{"kind": "flag_drop", "at": 2000}]}"#;
+        let with_a = cell_key("ffbp_spmd", "e64", "ffbp", true, 3, Some(spec_a));
+        let with_b = cell_key("ffbp_spmd", "e64", "ffbp", true, 3, Some(spec_b));
+        // Adding, editing or removing the faults block all move the key.
+        assert_ne!(free, with_a);
+        assert_ne!(with_a, with_b);
+        // Same spec text reproduces the same key (the cache contract).
+        assert_eq!(
+            with_a,
+            cell_key("ffbp_spmd", "e64", "ffbp", true, 3, Some(spec_a))
+        );
+        // Fault-free keys keep the legacy digest-free format, so
+        // existing fault-free sweep documents remain byte-identical.
+        assert_eq!(free.split('|').count(), 6);
+        assert_eq!(with_a.split('|').count(), 7);
     }
 
     #[test]
@@ -862,6 +916,57 @@ mod tests {
                 cell.seed
             );
         }
+    }
+
+    #[test]
+    fn a_fault_spec_edit_invalidates_the_cache() {
+        let faulted = |faults: &str| {
+            GridSpec::parse(&format!(
+                r#"{{
+                    "version": 1,
+                    "name": "t",
+                    "small": true,
+                    "pairs": [{{"mapping": "autofocus_seq", "platform": "epiphany"}}],
+                    "seeds": [7, 8],
+                    "faults": {faults}
+                }}"#
+            ))
+            .expect("faulted spec parses")
+        };
+        let spec = faulted(r#"{"version": 1, "faults": []}"#);
+        let first = run_grid(&spec, 1, &CellCache::empty()).expect("grid runs");
+        assert_eq!(first.cells_run, 2);
+        let cache = CellCache::from_document(&first.document);
+
+        // A no-op rerun of the unchanged grid stays free...
+        let rerun = run_grid(&spec, 1, &cache).expect("grid resumes");
+        assert_eq!(rerun.cells_run, 0, "unchanged faulted grid must be cached");
+        assert_eq!(rerun.cells_cached, 2);
+        assert_eq!(
+            first.document.to_string_pretty(),
+            rerun.document.to_string_pretty()
+        );
+
+        // ...but editing the faults block re-simulates every cell
+        // instead of serving records from the old schedule...
+        let edited = faulted(r#"{"version": 1, "faults": [{"kind": "flag_drop", "at": 2000}]}"#);
+        let second = run_grid(&edited, 1, &cache).expect("edited grid runs");
+        assert_eq!(
+            second.cells_run, 2,
+            "a fault-spec edit must invalidate every cached cell"
+        );
+        assert_eq!(second.cells_cached, 0);
+
+        // ...and so does removing the block entirely.
+        let removed = GridSpec {
+            faults: None,
+            ..spec.clone()
+        };
+        let third = run_grid(&removed, 1, &cache).expect("fault-free grid runs");
+        assert_eq!(
+            third.cells_cached, 0,
+            "dropping the faults block must miss the faulted cache"
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@ use sar_repro::epiphany::EpiphanyParams;
 use sar_repro::refcpu::RefCpuParams;
 use sar_repro::sar_epiphany::autofocus_mpmd::{self, Placement};
 use sar_repro::sar_epiphany::ffbp_spmd::{self, SpmdOptions};
-use sar_repro::sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload};
-use sar_repro::sar_epiphany::{autofocus_ref, autofocus_seq, ffbp_ref, ffbp_seq};
+use sar_repro::sar_epiphany::rda_spmd::{self, RdaSpmdOptions};
+use sar_repro::sar_epiphany::workloads::{AutofocusWorkload, FfbpWorkload, RdaWorkload};
+use sar_repro::sar_epiphany::{autofocus_ref, autofocus_seq, ffbp_ref, ffbp_seq, rda_seq};
 
 #[test]
 fn all_machines_form_the_same_ffbp_image() {
@@ -19,6 +20,16 @@ fn all_machines_form_the_same_ffbp_image() {
     let c = ffbp_spmd::run(&w, EpiphanyParams::default(), SpmdOptions::default()).image;
     assert_eq!(a.as_slice(), b.as_slice());
     assert_eq!(b.as_slice(), c.as_slice());
+}
+
+#[test]
+fn all_machines_form_the_same_rda_image() {
+    let w = RdaWorkload::small();
+    let plain = sar_repro::sar_core::rda::rda(&w.raw, &w.geom, &w.config).image;
+    let a = rda_seq::run(&w, EpiphanyParams::default()).image;
+    let b = rda_spmd::run(&w, EpiphanyParams::default(), RdaSpmdOptions::default()).image;
+    assert_eq!(plain.as_slice(), a.as_slice());
+    assert_eq!(a.as_slice(), b.as_slice());
 }
 
 #[test]
@@ -153,7 +164,9 @@ fn every_mapping_on_every_platform_matches_the_plain_algorithms() {
 
     let ffbp_w = FfbpWorkload::small();
     let af_w = AutofocusWorkload::small();
+    let rda_w = RdaWorkload::small();
     let plain_image = ffbp(&ffbp_w.data, &ffbp_w.geom, &ffbp_w.config).image;
+    let plain_rda = sar_repro::sar_core::rda::rda(&rda_w.raw, &rda_w.geom, &rda_w.config).image;
     let plain_sweep = sweep_criterion(
         &af_w.f_minus,
         &af_w.f_plus,
@@ -167,6 +180,7 @@ fn every_mapping_on_every_platform_matches_the_plain_algorithms() {
     for m in all_mappings() {
         let w = match m.kernel() {
             "ffbp" => Workload::Ffbp(ffbp_w.clone()),
+            "rda" => Workload::Rda(rda_w.clone()),
             _ => Workload::Autofocus(af_w.clone()),
         };
         for p in all_platforms() {
@@ -181,6 +195,15 @@ fn every_mapping_on_every_platform_matches_the_plain_algorithms() {
                     image.as_slice(),
                     plain_image.as_slice(),
                     "{} on {} diverged from plain FFBP",
+                    m.name(),
+                    p.label()
+                );
+            } else if m.kernel() == "rda" {
+                let image = out.image.expect("rda mappings return the image");
+                assert_eq!(
+                    image.as_slice(),
+                    plain_rda.as_slice(),
+                    "{} on {} diverged from plain RDA",
                     m.name(),
                     p.label()
                 );
@@ -201,7 +224,7 @@ fn every_mapping_on_every_platform_matches_the_plain_algorithms() {
         }
     }
     // Every mapping runs once per platform it supports: the three
-    // host-kind mappings on the host, the five Epiphany-kind mappings
+    // host-kind mappings on the host, the seven Epiphany-kind mappings
     // on both the e16 and the e64.
     let expected: usize = all_mappings()
         .iter()
